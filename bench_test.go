@@ -1,0 +1,438 @@
+// Benchmarks regenerating the paper's artifacts (one per table and figure)
+// plus ablations of the design choices called out in DESIGN.md: the Bloom
+// filter in the deduplicator, the secondary indexes in the event store,
+// and points-derived versus static feature weighting.
+package caisp_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/clock"
+	"github.com/caisplatform/caisp/internal/core"
+	"github.com/caisplatform/caisp/internal/correlate"
+	"github.com/caisplatform/caisp/internal/dedup"
+	"github.com/caisplatform/caisp/internal/experiments"
+	"github.com/caisplatform/caisp/internal/feedgen"
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/stix"
+	"github.com/caisplatform/caisp/internal/stixpattern"
+	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/tip"
+	"github.com/caisplatform/caisp/internal/worker"
+)
+
+// --- Table I: static threat-score computation ----------------------------
+
+func BenchmarkTableIStaticScore(b *testing.B) {
+	values := []float64{3, 4, 3, 1, 5}
+	weights := []float64{0.10, 0.25, 0.40, 0.15, 0.10}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristic.StaticScore(values, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Table II: heuristic registry construction ---------------------------
+
+func BenchmarkTableIIRegistry(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if got := len(heuristic.DefaultHeuristics()); got != 6 {
+			b.Fatalf("heuristics = %d", got)
+		}
+	}
+}
+
+// --- Table III: inventory matching (the §IV rule) ------------------------
+
+func BenchmarkTableIIIInventoryMatch(b *testing.B) {
+	inv := infra.PaperInventory()
+	terms := []string{"apache struts", "apache"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if !inv.Match(terms).Matched() {
+			b.Fatal("no match")
+		}
+	}
+}
+
+// --- Table IV/V: full heuristic evaluation of the use-case IoC -----------
+
+func BenchmarkTableVUseCaseEvaluation(b *testing.B) {
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := heuristic.NewEngine(
+		heuristic.WithInfrastructure(collector),
+		heuristic.WithNow(func() time.Time { return experiments.EvalTime }),
+	)
+	ioc := experiments.UseCaseIoC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := engine.Evaluate(ioc)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Score != 2.7407 {
+			b.Fatalf("TS = %v", res.Score)
+		}
+	}
+}
+
+// --- Fig. 2: dashboard topology assembly ---------------------------------
+
+func BenchmarkFig2Topology(b *testing.B) {
+	s, err := experiments.NewScenario()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	dash := s.Platform.Dashboard()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if topo := dash.BuildTopology(); len(topo.Nodes) != 4 {
+			b.Fatal("bad topology")
+		}
+	}
+}
+
+// --- Fig. 3/4: reduction of an enriched IoC into an rIoC -----------------
+
+func BenchmarkFig4Reduce(b *testing.B) {
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := heuristic.NewEngine(
+		heuristic.WithInfrastructure(collector),
+		heuristic.WithNow(func() time.Time { return experiments.EvalTime }),
+	)
+	ioc := experiments.UseCaseIoC()
+	res, err := engine.Evaluate(ioc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := heuristic.Reduce(ioc, res, collector, experiments.EvalTime)
+		if err != nil || r == nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- X2: the full pipeline (feeds → dashboard) ---------------------------
+
+func BenchmarkPipelineRunBatch(b *testing.B) {
+	for _, items := range []int{50, 200} {
+		b.Run(fmt.Sprintf("items=%d", items), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				gen := feedgen.New(feedgen.Config{
+					Seed: int64(i), Items: items,
+					DuplicationRate: 0.2, OverlapRate: 0.15,
+				})
+				feeds, err := gen.Feeds(time.Hour)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := core.New(core.Config{
+					Feeds: feeds,
+					Clock: clock.NewFake(experiments.EvalTime),
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StartTimer()
+				if err := p.RunBatch(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				p.Close()
+			}
+		})
+	}
+}
+
+// --- X1: deduplication throughput and its Bloom ablation -----------------
+
+func benchmarkDedup(b *testing.B, useBloom bool) {
+	events := make([]normalize.Event, 10000)
+	for i := range events {
+		e, err := normalize.New(fmt.Sprintf("host-%d.example", i%2000),
+			normalize.CategoryMalwareDomain, "bench", normalize.SourceOSINT, experiments.EvalTime)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events[i] = e
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := dedup.New(dedup.WithBloom(useBloom), dedup.WithExpectedItems(4000))
+		for _, e := range events {
+			d.Offer(e)
+		}
+		if d.Len() != 2000 {
+			b.Fatalf("unique = %d", d.Len())
+		}
+	}
+}
+
+func BenchmarkAblationDedupBloomOn(b *testing.B)  { benchmarkDedup(b, true) }
+func BenchmarkAblationDedupBloomOff(b *testing.B) { benchmarkDedup(b, false) }
+
+// --- Ablation: secondary indexes in the event store ----------------------
+
+func benchmarkStoreSearch(b *testing.B, indexed bool) {
+	store, err := storage.Open("", storage.WithIndexes(indexed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	now := experiments.EvalTime
+	for i := 0; i < 2000; i++ {
+		e := misp.NewEvent(fmt.Sprintf("evt-%d", i), now)
+		e.AddAttribute("domain", "Network activity", fmt.Sprintf("h%d.example", i), now)
+		if err := store.Put(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hits, err := store.SearchValue(fmt.Sprintf("h%d.example", i%2000))
+		if err != nil || len(hits) != 1 {
+			b.Fatalf("hits=%d err=%v", len(hits), err)
+		}
+	}
+}
+
+func BenchmarkAblationStoreSearchIndexed(b *testing.B) { benchmarkStoreSearch(b, true) }
+func BenchmarkAblationStoreSearchScan(b *testing.B)    { benchmarkStoreSearch(b, false) }
+
+// --- Ablation: points-derived vs static weighting ------------------------
+
+func BenchmarkAblationWeightingPoints(b *testing.B) {
+	engine := heuristic.NewEngine(heuristic.WithNow(func() time.Time { return experiments.EvalTime }))
+	ioc := experiments.UseCaseIoC()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := engine.Evaluate(ioc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationWeightingStatic(b *testing.B) {
+	values := []float64{3, 1, 2, 1, 2, 1, 0, 5, 4}
+	weights := []float64{8, 8, 12, 8, 4, 4, 4, 23, 17}
+	var sum float64
+	for _, w := range weights {
+		sum += w
+	}
+	for i := range weights {
+		weights[i] /= sum
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := heuristic.StaticScore(values, weights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Substrate microbenchmarks -------------------------------------------
+
+func BenchmarkSTIXPatternParse(b *testing.B) {
+	const pattern = "[domain-name:value = 'evil.example' OR ipv4-addr:value = '203.0.113.7'] WITHIN 300 SECONDS"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := stixpattern.Parse(pattern); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSTIXPatternMatch(b *testing.B) {
+	p, err := stixpattern.Parse("[domain-name:value = 'evil.example' OR ipv4-addr:value = '203.0.113.7']")
+	if err != nil {
+		b.Fatal(err)
+	}
+	obs := []stixpattern.Observation{{
+		Fields: map[string][]string{"ipv4-addr:value": {"203.0.113.7"}},
+	}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ok, err := p.Match(obs)
+		if err != nil || !ok {
+			b.Fatal("no match")
+		}
+	}
+}
+
+func BenchmarkCorrelate(b *testing.B) {
+	for _, n := range []int{100, 1000} {
+		b.Run(fmt.Sprintf("events=%d", n), func(b *testing.B) {
+			events := make([]normalize.Event, 0, n)
+			for i := 0; i < n; i++ {
+				value := fmt.Sprintf("host-%d.example", i/3) // ~3 events per host cluster
+				if i%3 == 1 {
+					value = "http://" + value + "/path"
+				}
+				e, err := normalize.New(value, normalize.CategoryMalwareDomain,
+					"bench", normalize.SourceOSINT, experiments.EvalTime)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = append(events, e)
+			}
+			c := correlate.New()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := c.Correlate(events); len(got) == 0 {
+					b.Fatal("no clusters")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSTIXBundleRoundTrip(b *testing.B) {
+	bundle := stix.NewBundle()
+	for i := 0; i < 50; i++ {
+		v := stix.NewVulnerability(fmt.Sprintf("CVE-2020-%04d", i), "bench", experiments.EvalTime)
+		v.SetExtra("x_caisp_threat_score", 2.5)
+		bundle.Add(v)
+	}
+	data, err := bundle.MarshalJSON()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		back, err := stix.ParseBundle(data)
+		if err != nil || len(back.Objects) != 50 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMISPToSTIX(b *testing.B) {
+	e := misp.NewEvent("bench", experiments.EvalTime)
+	e.AddAttribute("vulnerability", "External analysis", "CVE-2017-9805", experiments.EvalTime)
+	e.AddAttribute("domain", "Network activity", "evil.example", experiments.EvalTime)
+	e.AddAttribute("ip-dst", "Network activity", "203.0.113.7", experiments.EvalTime)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := misp.ToSTIX(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Distributed heuristic component throughput ---------------------------
+
+func BenchmarkWorkerAnalyze(b *testing.B) {
+	store, err := storage.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	service := tip.NewService(store)
+	api := httptest.NewServer(tip.NewAPI(service, ""))
+	defer api.Close()
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := worker.New(worker.Config{
+		BusAddr:   "127.0.0.1:1", // Analyze is called directly; the bus stays idle
+		TIP:       tip.NewClient(api.URL, ""),
+		Collector: collector,
+		Now:       func() time.Time { return experiments.EvalTime },
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	event, err := normalize.New("CVE-2017-9805", normalize.CategoryVulnExploit,
+		"bench", normalize.SourceOSINT, experiments.EvalTime.AddDate(0, -3, 0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	event.Context = map[string]string{
+		"cvss-vector": "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		"products":    "apache struts,apache",
+		"os":          "debian",
+	}
+	ciocs := correlate.New().Correlate([]normalize.Event{event})
+	me, err := correlate.ToMISP(&ciocs[0], experiments.EvalTime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Analyze mutates the event (score attribute, eIoC tag); decode a fresh
+	// copy per iteration, mirroring the worker's real receive path.
+	wire, err := misp.MarshalWrapped(me)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fresh, err := misp.UnmarshalWrapped(wire)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Analyze(fresh); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation: temporal constraint in correlation -------------------------
+
+func benchmarkCorrelateWindow(b *testing.B, window time.Duration) {
+	events := make([]normalize.Event, 0, 600)
+	for i := 0; i < 600; i++ {
+		value := fmt.Sprintf("host-%d.example", i/4)
+		if i%4 != 0 {
+			value = fmt.Sprintf("http://host-%d.example/p%d", i/4, i%4)
+		}
+		e, err := normalize.New(value, normalize.CategoryMalwareDomain,
+			"bench", normalize.SourceOSINT,
+			experiments.EvalTime.Add(time.Duration(i)*time.Hour))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	c := correlate.New(correlate.WithTimeWindow(window))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := c.Correlate(events); len(got) == 0 {
+			b.Fatal("no clusters")
+		}
+	}
+}
+
+func BenchmarkAblationCorrelateUnwindowed(b *testing.B) { benchmarkCorrelateWindow(b, 0) }
+func BenchmarkAblationCorrelateWindowed(b *testing.B) {
+	benchmarkCorrelateWindow(b, 2*time.Hour)
+}

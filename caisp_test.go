@@ -1,0 +1,112 @@
+package caisp_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp"
+	"github.com/caisplatform/caisp/internal/experiments"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	feeds, err := caisp.SyntheticFeeds(42, 60, 0.2, 0.1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(feeds) != 6 {
+		t.Fatalf("feeds = %d", len(feeds))
+	}
+	platform, err := caisp.New(caisp.Config{Feeds: feeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer platform.Close()
+
+	if _, err := platform.ReportAlarm(caisp.Alarm{
+		NodeID:      "node4",
+		Severity:    caisp.SeverityHigh,
+		Description: "struts probe",
+		Application: "apache",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := platform.RunBatch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := platform.Stats()
+	if stats.EventsCollected == 0 || stats.EIoCs == 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if len(platform.Dashboard().RIoCs()) == 0 {
+		t.Fatal("no rIoCs through the public API")
+	}
+}
+
+func TestPublicScore(t *testing.T) {
+	ioc := experiments.UseCaseIoC()
+
+	// With the paper inventory and the paper's evaluation instant, Score
+	// reproduces the use case.
+	res, err := caisp.Score(ioc, caisp.PaperInventory(), experiments.EvalTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 2.7407 {
+		t.Fatalf("Score = %v, want 2.7407", res.Score)
+	}
+	// Without an inventory the accuracy-style features degrade and the
+	// score drops.
+	bare, err := caisp.Score(ioc, nil, experiments.EvalTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.Score >= res.Score {
+		t.Fatalf("no-inventory score %v not below %v", bare.Score, res.Score)
+	}
+}
+
+func TestPublicParseBundle(t *testing.T) {
+	raw := `{"type":"bundle","id":"bundle--6ba7b810-9dad-11d1-80b4-00c04fd430c8",
+	  "spec_version":"2.0","objects":[
+	  {"type":"vulnerability","id":"vulnerability--6ba7b810-9dad-11d1-80b4-00c04fd430c8",
+	   "created":"2017-09-13T00:00:00.000Z","modified":"2017-09-13T00:00:00.000Z",
+	   "name":"CVE-2017-9805"}]}`
+	bundle, err := caisp.ParseBundle([]byte(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.Objects) != 1 {
+		t.Fatalf("objects = %d", len(bundle.Objects))
+	}
+}
+
+func TestPaperInventoryExported(t *testing.T) {
+	inv := caisp.PaperInventory()
+	if len(inv.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(inv.Nodes))
+	}
+	if got := inv.Match([]string{"apache"}); len(got.NodeIDs) != 1 {
+		t.Fatalf("match = %+v", got)
+	}
+}
+
+func TestPublicBuildReport(t *testing.T) {
+	feeds, err := caisp.SyntheticFeeds(7, 30, 0.1, 0.1, time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	platform, err := caisp.New(caisp.Config{Feeds: feeds})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer platform.Close()
+	if err := platform.RunBatch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	r := caisp.BuildReport(platform, 5, time.Now())
+	md := r.Markdown()
+	if len(md) == 0 || r.Pipeline.EventsCollected == 0 {
+		t.Fatalf("report = %+v", r)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/caisplatform/caisp/internal/experiments"
+	"github.com/caisplatform/caisp/internal/stix"
+)
+
+func writeBundle(t *testing.T, objs ...stix.Object) string {
+	t.Helper()
+	bundle := stix.NewBundle(objs...)
+	data, err := json.Marshal(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunScoresBundle(t *testing.T) {
+	path := writeBundle(t, experiments.UseCaseIoC())
+	if err := run(path, "", "", "2018-06-01T12:00:00Z", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", "", "2018-06-01T12:00:00Z", true); err != nil {
+		t.Fatalf("verbose: %v", err)
+	}
+}
+
+func TestRunWithWeights(t *testing.T) {
+	path := writeBundle(t, experiments.UseCaseIoC())
+	weights := filepath.Join(t.TempDir(), "weights.json")
+	if err := os.WriteFile(weights, []byte(`{
+	  "vulnerability": {"cve": {"relevance": 40, "accuracy": 20, "timeliness": 4, "variety": 4}}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", weights, "2018-06-01T12:00:00Z", false); err != nil {
+		t.Fatal(err)
+	}
+	bad := filepath.Join(t.TempDir(), "bad-weights.json")
+	if err := os.WriteFile(bad, []byte(`{"grouping": {}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "", bad, "", false); err == nil {
+		t.Fatal("bad weights accepted")
+	}
+	if err := run(path, "", filepath.Join(t.TempDir(), "absent"), "", false); err == nil {
+		t.Fatal("missing weights file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(filepath.Join(t.TempDir(), "absent.json"), "", "", "", false); err == nil {
+		t.Fatal("missing bundle accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{nope"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, "", "", "", false); err == nil {
+		t.Fatal("garbage bundle accepted")
+	}
+	// A bundle with only unscorable objects fails loudly.
+	rel := stix.NewRelationship("indicates",
+		stix.NewID(stix.TypeIndicator), stix.NewID(stix.TypeMalware),
+		experiments.EvalTime)
+	relOnly := writeBundle(t, rel)
+	if err := run(relOnly, "", "", "", false); err == nil {
+		t.Fatal("unscorable bundle accepted")
+	}
+	// Bad -at flag.
+	good := writeBundle(t, experiments.UseCaseIoC())
+	if err := run(good, "", "", "yesterday", false); err == nil {
+		t.Fatal("bad -at accepted")
+	}
+	// Bad inventory file.
+	if err := run(good, filepath.Join(t.TempDir(), "absent-inv.json"), "", "", false); err == nil {
+		t.Fatal("missing inventory accepted")
+	}
+}

@@ -1,0 +1,258 @@
+// Command caispd runs the full Context-Aware OSINT Platform: OSINT
+// collection (synthetic feeds by default, or a directory of feed files),
+// the TIP operational module with its REST API, the heuristic component,
+// the live dashboard, and the TAXII sharing endpoint.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/core"
+	"github.com/caisplatform/caisp/internal/feed"
+	"github.com/caisplatform/caisp/internal/feedgen"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/report"
+	"github.com/caisplatform/caisp/internal/sessions"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+func main() {
+	var (
+		dashAddr  = flag.String("dashboard", ":8450", "dashboard listen address")
+		tipAddr   = flag.String("tip", ":8440", "TIP REST API listen address")
+		taxiiAddr = flag.String("taxii", ":8460", "TAXII listen address (empty disables)")
+		dataDir   = flag.String("data", "", "event store directory (empty = in-memory)")
+		invPath   = flag.String("inventory", "", "inventory JSON (empty = paper's Table III inventory)")
+		feedDir   = flag.String("feeds", "", "directory of feed files (empty = built-in synthetic feeds)")
+		seed      = flag.Int64("seed", 1, "synthetic feed seed")
+		items     = flag.Int("items", 200, "synthetic feed records per feed")
+		interval  = flag.Duration("interval", time.Minute, "feed polling interval")
+		apiKey    = flag.String("key", "", "TIP API key (empty disables auth)")
+		alarmLog  = flag.String("alarms", "", "syslog-style alarm file ingested at startup")
+		sessLog   = flag.String("sessions", "", "JSON file of user sessions for the §II-B summary endpoints")
+	)
+	flag.Parse()
+	if err := run(*dashAddr, *tipAddr, *taxiiAddr, *dataDir, *invPath, *feedDir,
+		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog); err != nil {
+		fmt.Fprintln(os.Stderr, "caispd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
+	seed int64, items int, interval time.Duration, apiKey, alarmLog, sessLog string) error {
+	var inventory *infra.Inventory
+	if invPath != "" {
+		raw, err := os.ReadFile(invPath)
+		if err != nil {
+			return err
+		}
+		inventory, err = infra.ParseInventory(raw)
+		if err != nil {
+			return err
+		}
+	}
+
+	feeds, err := buildFeeds(feedDir, seed, items, interval)
+	if err != nil {
+		return err
+	}
+
+	platform, err := core.New(core.Config{
+		DataDir:    dataDir,
+		Inventory:  inventory,
+		Feeds:      feeds,
+		ShareTAXII: taxiiAddr != "",
+	})
+	if err != nil {
+		return err
+	}
+	defer platform.Close()
+
+	if alarmLog != "" {
+		if err := ingestAlarms(platform, alarmLog); err != nil {
+			return err
+		}
+	}
+	if sessLog != "" {
+		if err := loadSessions(platform, sessLog); err != nil {
+			return err
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := platform.Start(ctx, 2*time.Second); err != nil {
+		return err
+	}
+
+	servers := []*http.Server{
+		{Addr: dashAddr, Handler: withReport(platform)},
+		{Addr: tipAddr, Handler: tip.NewAPI(platform.TIP(), apiKey)},
+	}
+	fmt.Printf("dashboard:  http://localhost%s\n", dashAddr)
+	fmt.Printf("TIP API:    http://localhost%s\n", tipAddr)
+	if taxiiAddr != "" {
+		servers = append(servers, &http.Server{Addr: taxiiAddr, Handler: platform.TAXII()})
+		fmt.Printf("TAXII:      http://localhost%s/taxii2/\n", taxiiAddr)
+	}
+	errCh := make(chan error, len(servers))
+	for _, srv := range servers {
+		srv := srv
+		go func() { errCh <- srv.ListenAndServe() }()
+	}
+
+	ticker := time.NewTicker(10 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			fmt.Println("\nshutting down")
+			for _, srv := range servers {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+				_ = srv.Shutdown(shutdownCtx)
+				cancel()
+			}
+			platform.Stop()
+			return nil
+		case err := <-errCh:
+			if err != nil && err != http.ErrServerClosed {
+				return err
+			}
+		case <-ticker.C:
+			st := platform.Stats()
+			fmt.Printf("collected=%d unique=%d ciocs=%d eiocs=%d riocs=%d stored=%d\n",
+				st.EventsCollected, st.EventsUnique, st.CIoCs, st.EIoCs, st.RIoCs, st.StoredEvents)
+		}
+	}
+}
+
+// withReport mounts the analyst situation report next to the dashboard.
+func withReport(platform *core.Platform) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /report", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
+		_, _ = w.Write([]byte(report.Build(platform, 10, time.Now()).Markdown()))
+	})
+	mux.Handle("/", platform.Dashboard())
+	return mux
+}
+
+// ingestAlarms replays a syslog-style alert file into the collector.
+func ingestAlarms(platform *core.Platform, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	stored, failed := platform.Collector().IngestAlarmLines(
+		strings.Split(string(data), "\n"), time.Now())
+	fmt.Printf("ingested %d alarms from %s (%d lines failed)\n", len(stored), path, len(failed))
+	for i, err := range failed {
+		fmt.Printf("  line %d: %v\n", i+1, err)
+	}
+	return nil
+}
+
+// loadSessions reads a JSON array of user sessions and enables the
+// dashboard's /api/sessions endpoints.
+func loadSessions(platform *core.Platform, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var recorded []sessions.Session
+	if err := json.Unmarshal(data, &recorded); err != nil {
+		return fmt.Errorf("parse sessions file: %w", err)
+	}
+	analyzer := sessions.NewAnalyzer()
+	loaded := 0
+	for _, s := range recorded {
+		if err := analyzer.Add(s); err != nil {
+			fmt.Printf("  session %s skipped: %v\n", s.ID, err)
+			continue
+		}
+		loaded++
+	}
+	platform.Dashboard().SetSessionAnalyzer(analyzer)
+	fmt.Printf("loaded %d user sessions from %s\n", loaded, path)
+	return nil
+}
+
+// buildFeeds loads feed files from a directory (inferring category and
+// parser from the file name/extension) or falls back to the synthetic
+// generator.
+func buildFeeds(feedDir string, seed int64, items int, interval time.Duration) ([]feed.Feed, error) {
+	if feedDir == "" {
+		gen := feedgen.New(feedgen.Config{
+			Seed: seed, Items: items,
+			DuplicationRate: 0.2, OverlapRate: 0.15, DefangRate: 0.3,
+		})
+		return gen.Feeds(interval)
+	}
+	entries, err := os.ReadDir(feedDir)
+	if err != nil {
+		return nil, err
+	}
+	var feeds []feed.Feed
+	for _, entry := range entries {
+		if entry.IsDir() {
+			continue
+		}
+		name := entry.Name()
+		path := filepath.Join(feedDir, name)
+		base := name[:len(name)-len(filepath.Ext(name))]
+		feeds = append(feeds, feed.Feed{
+			Name:     base,
+			Category: categoryForFile(base),
+			Fetcher:  &feed.FileFetcher{Path: path},
+			Parser:   parserForFile(name),
+			Interval: interval,
+		})
+	}
+	if len(feeds) == 0 {
+		return nil, fmt.Errorf("no feed files in %s", feedDir)
+	}
+	return feeds, nil
+}
+
+func parserForFile(name string) feed.Parser {
+	switch filepath.Ext(name) {
+	case ".csv":
+		return feed.CSVParser{ValueColumn: 0, HasHeader: true}
+	case ".json":
+		if filepath.Base(name) == "osint-misp.json" {
+			return feed.MISPFeedParser{}
+		}
+		return feed.AdvisoryParser{}
+	default:
+		return feed.PlaintextParser{}
+	}
+}
+
+func categoryForFile(base string) string {
+	switch base {
+	case feedgen.FeedMalwareDomains, feedgen.FeedMISP:
+		return normalize.CategoryMalwareDomain
+	case feedgen.FeedBotnetIPs:
+		return normalize.CategoryBotnetC2
+	case feedgen.FeedPhishingURLs:
+		return normalize.CategoryPhishing
+	case feedgen.FeedMalwareHashes:
+		return normalize.CategoryMalwareHash
+	case feedgen.FeedAdvisories:
+		return normalize.CategoryVulnExploit
+	default:
+		return normalize.CategoryUnknown
+	}
+}

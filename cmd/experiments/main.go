@@ -1,0 +1,93 @@
+// Command experiments regenerates the paper's tables and figures from the
+// implementation. With no flags it prints everything; -artifact selects one
+// (table1…table5, fig2, fig3, fig4, reduction).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/caisplatform/caisp/internal/experiments"
+)
+
+func main() {
+	artifact := flag.String("artifact", "all",
+		"artifact to regenerate: all, table1, table2, table3, table4, table5, fig2, fig3, fig4, reduction, detection")
+	flag.Parse()
+	if err := run(*artifact); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(artifact string) error {
+	switch artifact {
+	case "all":
+		text, err := experiments.RenderAll()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "table1":
+		text, err := experiments.RenderTableI()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "table2":
+		fmt.Println(experiments.RenderTableII())
+		return nil
+	case "table3":
+		fmt.Println(experiments.RenderTableIII())
+		return nil
+	case "table4":
+		fmt.Println(experiments.RenderTableIV())
+		return nil
+	case "table5":
+		text, err := experiments.RenderTableV()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "fig2", "fig3", "fig4":
+		s, err := experiments.NewScenario()
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		var text string
+		switch artifact {
+		case "fig2":
+			text = s.RenderFig2()
+		case "fig3":
+			text, err = s.RenderFig3()
+		case "fig4":
+			text, err = s.RenderFig4()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "reduction":
+		text, err := experiments.RenderReduction()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	case "detection":
+		text, err := experiments.RenderDetection()
+		if err != nil {
+			return err
+		}
+		fmt.Println(text)
+		return nil
+	default:
+		return fmt.Errorf("unknown artifact %q", artifact)
+	}
+}

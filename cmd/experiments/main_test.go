@@ -1,0 +1,24 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunAllArtifacts(t *testing.T) {
+	// Every artifact id must render without error; "all" is covered by the
+	// experiments package tests and skipped here to keep the test fast.
+	for _, artifact := range []string{
+		"table1", "table2", "table3", "table4", "table5",
+		"fig2", "fig3", "fig4",
+	} {
+		artifact := artifact
+		t.Run(artifact, func(t *testing.T) {
+			if err := run(artifact); err != nil {
+				t.Fatalf("run(%q): %v", artifact, err)
+			}
+		})
+	}
+	if err := run("bogus"); err == nil {
+		t.Fatal("unknown artifact accepted")
+	}
+}

@@ -1,0 +1,61 @@
+// Command feedgen generates deterministic synthetic OSINT feeds, either
+// into a directory (-out) or served over HTTP (-listen). It is the offline
+// substitute for the live feeds the paper's OSINT Data Collector consumes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/caisplatform/caisp/internal/feedgen"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "", "directory to write feed files into")
+		listen  = flag.String("listen", "", "address to serve feeds on (e.g. :8090)")
+		seed    = flag.Int64("seed", 1, "PRNG seed (equal seeds produce equal feeds)")
+		items   = flag.Int("items", 200, "records per feed")
+		dup     = flag.Float64("dup", 0.2, "intra-feed duplication rate (0-0.9)")
+		overlap = flag.Float64("overlap", 0.15, "cross-feed overlap rate (0-0.9)")
+		defang  = flag.Float64("defang", 0.3, "fraction of defanged values (0-0.9)")
+	)
+	flag.Parse()
+	if err := run(*out, *listen, *seed, *items, *dup, *overlap, *defang); err != nil {
+		fmt.Fprintln(os.Stderr, "feedgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, listen string, seed int64, items int, dup, overlap, defang float64) error {
+	gen := feedgen.New(feedgen.Config{
+		Seed:            seed,
+		Items:           items,
+		DuplicationRate: dup,
+		OverlapRate:     overlap,
+		DefangRate:      defang,
+	})
+	switch {
+	case out != "":
+		if err := gen.WriteDir(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d feeds to %s (seed %d, %d items each)\n",
+			len(feedgen.AllFeeds), out, seed, items)
+		return nil
+	case listen != "":
+		handler, err := gen.Handler()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("serving feeds on %s under /feeds/<name> (seed %d)\n", listen, seed)
+		for _, name := range feedgen.AllFeeds {
+			fmt.Printf("  /feeds/%s\n", name)
+		}
+		return http.ListenAndServe(listen, handler)
+	default:
+		return fmt.Errorf("one of -out or -listen is required")
+	}
+}

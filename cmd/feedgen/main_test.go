@@ -1,0 +1,49 @@
+package main
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+
+	"github.com/caisplatform/caisp/internal/feedgen"
+)
+
+func TestRunWritesDirectory(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, "", 3, 20, 0.2, 0.1, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != len(feedgen.AllFeeds) {
+		t.Fatalf("wrote %d files, want %d", len(entries), len(feedgen.AllFeeds))
+	}
+}
+
+func TestRunRequiresTarget(t *testing.T) {
+	if err := run("", "", 1, 10, 0, 0, 0); err == nil {
+		t.Fatal("no target accepted")
+	}
+}
+
+func TestGeneratedFeedsServeOverHTTP(t *testing.T) {
+	// The -listen path uses the same handler; exercise it via httptest.
+	gen := feedgen.New(feedgen.Config{Seed: 3, Items: 10})
+	handler, err := gen.Handler()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(handler)
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/feeds/" + feedgen.FeedMalwareDomains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,91 @@
+// Command heuristicd runs the heuristic component as a standalone process,
+// the paper's deployment shape: it subscribes to a TIP's publish socket
+// (the zeroMQ channel of §IV-A), scores incoming cIoCs against its local
+// inventory, and writes enriched events back through the TIP REST API.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/tip"
+	"github.com/caisplatform/caisp/internal/worker"
+)
+
+func main() {
+	var (
+		busAddr = flag.String("bus", "127.0.0.1:8441", "TIP publish socket address")
+		tipURL  = flag.String("tip", "http://127.0.0.1:8440", "TIP REST API base URL")
+		apiKey  = flag.String("key", "", "TIP API key")
+		invPath = flag.String("inventory", "", "inventory JSON (empty = paper's Table III inventory)")
+	)
+	flag.Parse()
+	if err := run(*busAddr, *tipURL, *apiKey, *invPath); err != nil {
+		fmt.Fprintln(os.Stderr, "heuristicd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(busAddr, tipURL, apiKey, invPath string) error {
+	inventory := infra.PaperInventory()
+	if invPath != "" {
+		raw, err := os.ReadFile(invPath)
+		if err != nil {
+			return err
+		}
+		inventory, err = infra.ParseInventory(raw)
+		if err != nil {
+			return err
+		}
+	}
+	collector, err := infra.NewCollector(inventory)
+	if err != nil {
+		return err
+	}
+	w, err := worker.New(worker.Config{
+		BusAddr:   busAddr,
+		TIP:       tip.NewClient(tipURL, apiKey),
+		Collector: collector,
+		RIoCSink: func(r heuristic.RIoC) {
+			fmt.Printf("rIoC %s TS=%.4f (%s) nodes=%v\n", r.CVE, r.ThreatScore, r.Priority, r.NodeIDs)
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Printf("heuristic component: bus %s, TIP %s\n", busAddr, tipURL)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		w.Run(ctx)
+	}()
+	ticker := time.NewTicker(15 * time.Second)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			<-done
+			st := w.Stats()
+			fmt.Printf("\nshutting down: received=%d enriched=%d riocs=%d failures=%d\n",
+				st.Received, st.Enriched, st.RIoCs, st.Failures)
+			return nil
+		case <-done:
+			return nil
+		case <-ticker.C:
+			st := w.Stats()
+			fmt.Printf("received=%d skipped=%d enriched=%d riocs=%d failures=%d reconnects=%d\n",
+				st.Received, st.Skipped, st.Enriched, st.RIoCs, st.Failures, st.Reconnect)
+		}
+	}
+}

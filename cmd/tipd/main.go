@@ -1,0 +1,56 @@
+// Command tipd runs a standalone threat-intelligence-platform instance
+// (the MISP-equivalent of the paper's Operational Module): a MISP-format
+// event store with REST API, export modules and a TCP publish socket that
+// plays the role of MISP's zeroMQ plugin.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+func main() {
+	var (
+		addr    = flag.String("listen", ":8440", "REST API listen address")
+		pubAddr = flag.String("publish", "", "TCP publish-socket address (empty disables)")
+		dataDir = flag.String("data", "", "event store directory (empty = in-memory)")
+		apiKey  = flag.String("key", "", "API key required in the Authorization header (empty disables auth)")
+		name    = flag.String("name", "tipd", "instance name")
+	)
+	flag.Parse()
+	if err := run(*addr, *pubAddr, *dataDir, *apiKey, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "tipd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, pubAddr, dataDir, apiKey, name string) error {
+	store, err := storage.Open(dataDir)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+
+	broker := bus.NewBroker()
+	defer broker.Close()
+	if pubAddr != "" {
+		listener, err := broker.ListenTCP(pubAddr)
+		if err != nil {
+			return err
+		}
+		defer listener.Close()
+		fmt.Printf("publishing stored events on tcp://%s (topics %s, %s)\n",
+			listener.Addr(), tip.TopicEventAdd, tip.TopicEventEdit)
+	}
+
+	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(name))
+	fmt.Printf("%s: serving MISP-like REST API on %s (%d events loaded)\n",
+		name, addr, service.Len())
+	return http.ListenAndServe(addr, tip.NewAPI(service, apiKey))
+}

@@ -1,0 +1,62 @@
+// Quickstart: run one batch of the full pipeline over synthetic OSINT
+// feeds and print what reached the dashboard.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/caisplatform/caisp"
+)
+
+func main() {
+	// Six synthetic feeds (plaintext, CSV, MISP JSON, advisory JSON) with
+	// 20% intra-feed duplication and 15% cross-feed overlap.
+	feeds, err := caisp.SyntheticFeeds(42 /* seed */, 150 /* items */, 0.2, 0.15, time.Minute)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A platform over the paper's Table III inventory (the default).
+	platform, err := caisp.New(caisp.Config{Feeds: feeds})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// Tell the platform what the infrastructure is seeing: an alarm and an
+	// internally detected indicator influence the threat scores.
+	if _, err := platform.ReportAlarm(caisp.Alarm{
+		NodeID:      "node4",
+		Severity:    caisp.SeverityHigh,
+		SrcIP:       "198.51.100.77",
+		DstIP:       "10.0.0.14",
+		Description: "suspicious POST to apache struts endpoint",
+		Application: "apache",
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	// One synchronous pipeline pass: poll → normalize → dedup → correlate
+	// → store → score → reduce.
+	if err := platform.RunBatch(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	stats := platform.Stats()
+	fmt.Printf("collected %d events (%d unique, %d duplicates folded)\n",
+		stats.EventsCollected, stats.EventsUnique, stats.Duplicates)
+	fmt.Printf("composed %d cIoCs, enriched %d eIoCs, %d rIoCs reached the dashboard\n\n",
+		stats.CIoCs, stats.EIoCs, stats.RIoCs)
+
+	fmt.Println(platform.Dashboard().RenderTopology())
+	for _, r := range platform.Dashboard().RIoCs() {
+		affected := fmt.Sprint(r.NodeIDs)
+		if r.AllNodes {
+			affected = "all nodes"
+		}
+		fmt.Printf("rIoC %-16s TS=%.4f (%s) affects %s\n", r.CVE, r.ThreatScore, r.Priority, affected)
+	}
+}

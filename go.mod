@@ -1,0 +1,3 @@
+module github.com/caisplatform/caisp
+
+go 1.22

@@ -1,0 +1,220 @@
+// Package bus implements the asynchronous publish/subscribe channel the
+// paper builds on zeroMQ: the MISP instance publishes every stored event in
+// real time and the heuristic component subscribes to start its analysis
+// (§IV-A). The broker fans out topic-tagged frames to in-process
+// subscribers and to TCP subscribers; topic matching is prefix-based, as in
+// zeroMQ. Slow subscribers drop the oldest queued messages rather than
+// blocking publishers.
+package bus
+
+import (
+	"sync"
+)
+
+// Message is one published datum.
+type Message struct {
+	Topic   string
+	Payload []byte
+}
+
+// Subscription receives messages whose topic starts with its prefix.
+type Subscription struct {
+	prefix string
+	ch     chan Message
+	broker *Broker
+
+	mu      sync.Mutex
+	dropped int
+	closed  bool
+}
+
+// C returns the subscription's receive channel. It is closed when the
+// subscription or the broker shuts down.
+func (s *Subscription) C() <-chan Message { return s.ch }
+
+// Dropped reports how many messages were discarded because the subscriber
+// lagged behind.
+func (s *Subscription) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Close cancels the subscription.
+func (s *Subscription) Close() {
+	s.broker.unsubscribe(s)
+}
+
+// deliver enqueues without blocking: when the buffer is full the oldest
+// message is dropped to make room.
+func (s *Subscription) deliver(m Message) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for {
+		select {
+		case s.ch <- m:
+			return
+		default:
+		}
+		select {
+		case <-s.ch:
+			s.dropped++
+		default:
+		}
+	}
+}
+
+func (s *Subscription) markClosed() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
+// Broker is an in-process topic bus; ListenTCP extends it over the network.
+type Broker struct {
+	mu     sync.Mutex
+	subs   map[*Subscription]bool
+	conns  map[*serverConn]bool
+	closed bool
+
+	published int
+	bufSize   int
+}
+
+// Option configures a Broker.
+type Option interface{ apply(*Broker) }
+
+type bufSizeOption int
+
+func (o bufSizeOption) apply(b *Broker) { b.bufSize = int(o) }
+
+// WithBuffer sets the per-subscription queue length (default 256).
+func WithBuffer(n int) Option { return bufSizeOption(n) }
+
+// NewBroker constructs a Broker.
+func NewBroker(opts ...Option) *Broker {
+	b := &Broker{
+		subs:    make(map[*Subscription]bool),
+		conns:   make(map[*serverConn]bool),
+		bufSize: 256,
+	}
+	for _, o := range opts {
+		o.apply(b)
+	}
+	if b.bufSize < 1 {
+		b.bufSize = 1
+	}
+	return b
+}
+
+// Subscribe registers a prefix subscription. The empty prefix receives
+// every message.
+func (b *Broker) Subscribe(topicPrefix string) *Subscription {
+	sub := &Subscription{
+		prefix: topicPrefix,
+		ch:     make(chan Message, b.bufSize),
+		broker: b,
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		sub.markClosed()
+		return sub
+	}
+	b.subs[sub] = true
+	return sub
+}
+
+// Publish fans the message out to all matching subscribers. It never
+// blocks on slow consumers.
+func (b *Broker) Publish(topic string, payload []byte) {
+	msg := Message{Topic: topic, Payload: payload}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.published++
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		if hasPrefix(topic, s.prefix) {
+			subs = append(subs, s)
+		}
+	}
+	conns := make([]*serverConn, 0, len(b.conns))
+	for c := range b.conns {
+		if hasPrefix(topic, c.prefix()) {
+			conns = append(conns, c)
+		}
+	}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.deliver(msg)
+	}
+	for _, c := range conns {
+		c.send(msg)
+	}
+}
+
+// TCPConns reports the number of connected TCP subscribers — deployments
+// use it to confirm remote components are attached before publishing
+// (pub/sub delivers only to present subscribers).
+func (b *Broker) TCPConns() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.conns)
+}
+
+// Published returns the number of accepted Publish calls.
+func (b *Broker) Published() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.published
+}
+
+// Close shuts the broker down: all subscriptions are closed and TCP
+// connections terminated.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	subs := make([]*Subscription, 0, len(b.subs))
+	for s := range b.subs {
+		subs = append(subs, s)
+	}
+	conns := make([]*serverConn, 0, len(b.conns))
+	for c := range b.conns {
+		conns = append(conns, c)
+	}
+	b.subs = map[*Subscription]bool{}
+	b.conns = map[*serverConn]bool{}
+	b.mu.Unlock()
+
+	for _, s := range subs {
+		s.markClosed()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+}
+
+func (b *Broker) unsubscribe(s *Subscription) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	b.mu.Unlock()
+	s.markClosed()
+}
+
+func hasPrefix(topic, prefix string) bool {
+	return len(topic) >= len(prefix) && topic[:len(prefix)] == prefix
+}

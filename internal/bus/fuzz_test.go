@@ -1,0 +1,47 @@
+package bus
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadFrameNeverPanics feeds the bus frame decoder random bytes.
+func TestReadFrameNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = readFrame(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBusFrameRoundTripQuick checks write→read identity for random topics
+// and payloads.
+func TestBusFrameRoundTripQuick(t *testing.T) {
+	f := func(topicRaw [8]byte, payload []byte) bool {
+		topic := string(bytes.ToValidUTF8(topicRaw[:], nil))
+		var buf bytes.Buffer
+		if err := writeFrame(&buf, Message{Topic: topic, Payload: payload}); err != nil {
+			return false
+		}
+		m, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return m.Topic == topic && bytes.Equal(m.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadFrameLengthBombRejected ensures a huge declared frame length is
+// refused before allocation.
+func TestReadFrameLengthBombRejected(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff, 0x00, 0x02}
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("length bomb accepted")
+	}
+}

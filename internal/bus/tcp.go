@@ -1,0 +1,358 @@
+package bus
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// Wire format: a subscriber connects over TCP and sends one line
+// "SUB <topic-prefix>\n" (the prefix may be empty). The broker then streams
+// frames:
+//
+//	uint32 frameLen | uint16 topicLen | topic | payload
+//
+// frameLen covers topicLen+topic+payload. Frames are never fragmented
+// across publishes.
+
+const maxFrame = 64 << 20 // 64 MiB: larger frames indicate a protocol error
+
+// Listener accepts TCP subscribers for a broker.
+type Listener struct {
+	broker *Broker
+	ln     net.Listener
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[*serverConn]bool
+	done   chan struct{}
+}
+
+// ListenTCP starts serving broker subscriptions on addr (e.g.
+// "127.0.0.1:0"). The returned Listener reports the bound address via Addr.
+func (b *Broker) ListenTCP(addr string) (*Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("bus: listen %s: %w", addr, err)
+	}
+	l := &Listener{broker: b, ln: ln, conns: make(map[*serverConn]bool), done: make(chan struct{})}
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the bound listen address.
+func (l *Listener) Addr() string { return l.ln.Addr().String() }
+
+// Close stops accepting subscribers and closes existing connections.
+func (l *Listener) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	conns := make([]*serverConn, 0, len(l.conns))
+	for c := range l.conns {
+		conns = append(conns, c)
+	}
+	l.conns = map[*serverConn]bool{}
+	l.mu.Unlock()
+	err := l.ln.Close()
+	for _, c := range conns {
+		c.close()
+	}
+	<-l.done
+	return err
+}
+
+func (l *Listener) acceptLoop() {
+	defer close(l.done)
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		go l.handle(conn)
+	}
+}
+
+func (l *Listener) handle(conn net.Conn) {
+	r := bufio.NewReader(conn)
+	// Handshake: "SUB <prefix>\n".
+	line, err := r.ReadString('\n')
+	if err != nil {
+		conn.Close()
+		return
+	}
+	if len(line) < 4 || line[:4] != "SUB " {
+		conn.Close()
+		return
+	}
+	prefix := line[4 : len(line)-1]
+	sc := &serverConn{conn: conn, topicPrefix: prefix, out: make(chan Message, 256)}
+	l.broker.mu.Lock()
+	if l.broker.closed {
+		l.broker.mu.Unlock()
+		conn.Close()
+		return
+	}
+	l.broker.conns[sc] = true
+	l.broker.mu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		sc.close()
+	} else {
+		l.conns[sc] = true
+		l.mu.Unlock()
+	}
+
+	sc.writeLoop()
+
+	l.broker.mu.Lock()
+	delete(l.broker.conns, sc)
+	l.broker.mu.Unlock()
+	l.mu.Lock()
+	delete(l.conns, sc)
+	l.mu.Unlock()
+}
+
+// serverConn is one TCP subscriber held by the broker.
+type serverConn struct {
+	conn        net.Conn
+	topicPrefix string
+	out         chan Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+func (c *serverConn) prefix() string { return c.topicPrefix }
+
+// send enqueues for the connection's writer, dropping the oldest frame when
+// the subscriber lags.
+func (c *serverConn) send(m Message) {
+	// The lock is held across the enqueue so close() cannot close the
+	// channel between the closed check and the send.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	for {
+		select {
+		case c.out <- m:
+			return
+		default:
+		}
+		select {
+		case <-c.out:
+		default:
+		}
+	}
+}
+
+func (c *serverConn) writeLoop() {
+	w := bufio.NewWriter(c.conn)
+	for m := range c.out {
+		if err := writeFrame(w, m); err != nil {
+			break
+		}
+		if len(c.out) == 0 {
+			if err := w.Flush(); err != nil {
+				break
+			}
+		}
+	}
+	c.close()
+}
+
+func (c *serverConn) close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.out)
+	c.mu.Unlock()
+	c.conn.Close()
+}
+
+func writeFrame(w io.Writer, m Message) error {
+	topic := []byte(m.Topic)
+	frameLen := 2 + len(topic) + len(m.Payload)
+	var hdr [6]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(frameLen))
+	binary.BigEndian.PutUint16(hdr[4:6], uint16(len(topic)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(topic); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+func readFrame(r io.Reader) (Message, error) {
+	var hdr [6]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Message{}, err
+	}
+	frameLen := binary.BigEndian.Uint32(hdr[0:4])
+	topicLen := binary.BigEndian.Uint16(hdr[4:6])
+	if frameLen > maxFrame || uint32(topicLen)+2 > frameLen {
+		return Message{}, errors.New("bus: malformed frame header")
+	}
+	body := make([]byte, frameLen-2)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Message{}, err
+	}
+	return Message{
+		Topic:   string(body[:topicLen]),
+		Payload: body[topicLen:],
+	}, nil
+}
+
+// Client is a reconnecting TCP subscriber. Messages arrive on C; the client
+// redials with exponential backoff when the connection drops, until Close.
+type Client struct {
+	addr   string
+	prefix string
+	ch     chan Message
+
+	mu        sync.Mutex
+	closed    bool
+	conn      net.Conn
+	reconnect int
+	done      chan struct{}
+	quit      chan struct{}
+}
+
+// Dial starts a subscriber for topicPrefix against a broker listener.
+func Dial(addr, topicPrefix string) *Client {
+	c := &Client{
+		addr:   addr,
+		prefix: topicPrefix,
+		ch:     make(chan Message, 256),
+		done:   make(chan struct{}),
+		quit:   make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// C returns the receive channel; it closes when the client is closed.
+func (c *Client) C() <-chan Message { return c.ch }
+
+// Reconnects reports how many times the client redialed after a drop.
+func (c *Client) Reconnects() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reconnect
+}
+
+// Close stops the client.
+func (c *Client) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.quit)
+	if c.conn != nil {
+		c.conn.Close()
+	}
+	c.mu.Unlock()
+	<-c.done
+}
+
+func (c *Client) run() {
+	defer close(c.done)
+	defer close(c.ch)
+	backoff := 10 * time.Millisecond
+	first := true
+	for {
+		if c.isClosed() {
+			return
+		}
+		conn, err := net.Dial("tcp", c.addr)
+		if err != nil {
+			if !c.sleep(backoff) {
+				return
+			}
+			backoff = minDuration(backoff*2, 2*time.Second)
+			continue
+		}
+		if !first {
+			c.mu.Lock()
+			c.reconnect++
+			c.mu.Unlock()
+		}
+		first = false
+		backoff = 10 * time.Millisecond
+
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			conn.Close()
+			return
+		}
+		c.conn = conn
+		c.mu.Unlock()
+
+		if _, err := fmt.Fprintf(conn, "SUB %s\n", c.prefix); err != nil {
+			conn.Close()
+			continue
+		}
+		r := bufio.NewReader(conn)
+		for {
+			m, err := readFrame(r)
+			if err != nil {
+				conn.Close()
+				break
+			}
+			select {
+			case c.ch <- m:
+			default:
+				// Drop oldest to keep the newest flowing.
+				select {
+				case <-c.ch:
+				default:
+				}
+				c.ch <- m
+			}
+		}
+	}
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+func (c *Client) sleep(d time.Duration) bool {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return !c.isClosed()
+	case <-c.quit:
+		return false
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,546 @@
+// Package core wires the three modules of the Context-Aware OSINT Platform
+// (paper §III) into one pipeline:
+//
+//	Input:       feeds → normalize → dedup → aggregate/correlate → cIoC
+//	Operational: cIoC → TIP (MISP-format store, auto-correlation, bus
+//	             publish) → heuristic analysis → threat score → eIoC
+//	Output:      eIoC → reduction → rIoC → dashboard push; eIoC → TAXII
+//	             collection for external sharing
+//
+// The platform runs either in streaming mode (Start: feed scheduler +
+// heuristic worker on the bus) or in batch mode (RunBatch: one synchronous
+// pass, used by the examples and the experiment harness).
+package core
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/clock"
+	"github.com/caisplatform/caisp/internal/correlate"
+	"github.com/caisplatform/caisp/internal/dashboard"
+	"github.com/caisplatform/caisp/internal/dedup"
+	"github.com/caisplatform/caisp/internal/feed"
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/taxii"
+	"github.com/caisplatform/caisp/internal/textclass"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+// TAXIICollection is the collection eIoCs are shared into.
+const TAXIICollection = "eiocs"
+
+// defaultCompactAfterOps triggers event-store compaction once this many
+// WAL operations accumulated since the last snapshot, bounding both WAL
+// growth and restart-replay time.
+const defaultCompactAfterOps = 5000
+
+// Config parameterizes a Platform.
+type Config struct {
+	// DataDir is the event-store directory; empty means in-memory.
+	DataDir string
+	// Inventory describes the monitored infrastructure; nil uses the
+	// paper's Table III inventory.
+	Inventory *infra.Inventory
+	// Feeds are the OSINT feeds to poll.
+	Feeds []feed.Feed
+	// Clock drives polling and evaluation; nil uses the system clock.
+	Clock clock.Clock
+	// Logger receives pipeline logs; nil uses slog.Default().
+	Logger *slog.Logger
+	// ShareTAXII enables the TAXII server and publishes every eIoC into
+	// its collection.
+	ShareTAXII bool
+	// DisableClassifier turns off the NLP keyword classifier that tags
+	// unknown-category events from their text (§II-A enhancement).
+	DisableClassifier bool
+}
+
+// Stats counts pipeline activity.
+type Stats struct {
+	EventsCollected int `json:"events_collected"`
+	EventsUnique    int `json:"events_unique"`
+	Duplicates      int `json:"duplicates"`
+	CIoCs           int `json:"ciocs"`
+	EIoCs           int `json:"eiocs"`
+	RIoCs           int `json:"riocs"`
+	Classified      int `json:"classified"`
+	Unscorable      int `json:"unscorable"`
+	StoredEvents    int `json:"stored_events"`
+}
+
+// Platform is a running Context-Aware OSINT Platform instance.
+type Platform struct {
+	cfg    Config
+	clk    clock.Clock
+	logger *slog.Logger
+
+	// Input module.
+	scheduler  *feed.Scheduler
+	deduper    *dedup.Deduper
+	corr       *correlate.Correlator
+	classifier *textclass.Classifier
+
+	// Operational module.
+	store  *storage.Store
+	broker *bus.Broker
+	tip    *tip.Service
+	engine *heuristic.Engine
+
+	// Output module.
+	collector *infra.Collector
+	dash      *dashboard.Server
+	taxiiSrv  *taxii.Server
+
+	mu        sync.Mutex
+	pending   []normalize.Event
+	processed map[string]bool // event UUIDs already analyzed
+	stats     Stats
+
+	compactAfter int
+
+	runMu   sync.Mutex
+	started bool
+	cancel  context.CancelFunc
+	workers sync.WaitGroup
+	sub     *bus.Subscription
+}
+
+// New assembles a platform from the configuration.
+func New(cfg Config) (*Platform, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	inventory := cfg.Inventory
+	if inventory == nil {
+		inventory = infra.PaperInventory()
+	}
+	collector, err := infra.NewCollector(inventory)
+	if err != nil {
+		return nil, err
+	}
+	store, err := storage.Open(cfg.DataDir)
+	if err != nil {
+		return nil, err
+	}
+	broker := bus.NewBroker()
+
+	p := &Platform{
+		cfg:       cfg,
+		clk:       cfg.Clock,
+		logger:    cfg.Logger,
+		deduper:   dedup.New(),
+		corr:      correlate.New(),
+		store:     store,
+		broker:    broker,
+		collector: collector,
+		processed: make(map[string]bool),
+
+		compactAfter: defaultCompactAfterOps,
+	}
+	if !cfg.DisableClassifier {
+		p.classifier = textclass.New()
+	}
+	p.tip = tip.NewService(store, tip.WithBroker(broker), tip.WithLogger(cfg.Logger))
+	p.engine = heuristic.NewEngine(
+		heuristic.WithInfrastructure(collector),
+		heuristic.WithNow(cfg.Clock.Now),
+	)
+	p.dash = dashboard.NewServer(collector)
+	if cfg.ShareTAXII {
+		p.taxiiSrv = taxii.NewServer("CAISP sharing", "caisp", taxii.WithNow(cfg.Clock.Now))
+		p.taxiiSrv.AddCollection(TAXIICollection, "Enriched IoCs",
+			"eIoCs produced by the heuristic component", false)
+	}
+	p.scheduler = feed.NewScheduler(p.ingest,
+		feed.WithClock(cfg.Clock), feed.WithLogger(cfg.Logger))
+	for _, f := range cfg.Feeds {
+		if err := p.scheduler.Add(f); err != nil {
+			store.Close()
+			broker.Close()
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// Accessors for the composed services.
+
+// TIP returns the operational module's TIP service.
+func (p *Platform) TIP() *tip.Service { return p.tip }
+
+// Broker returns the internal message bus.
+func (p *Platform) Broker() *bus.Broker { return p.broker }
+
+// Collector returns the infrastructure collector.
+func (p *Platform) Collector() *infra.Collector { return p.collector }
+
+// Dashboard returns the output module's dashboard server.
+func (p *Platform) Dashboard() *dashboard.Server { return p.dash }
+
+// TAXII returns the sharing server, or nil when disabled.
+func (p *Platform) TAXII() *taxii.Server { return p.taxiiSrv }
+
+// Engine returns the heuristic engine.
+func (p *Platform) Engine() *heuristic.Engine { return p.engine }
+
+// FeedStats returns per-feed collection counters.
+func (p *Platform) FeedStats() map[string]feed.Stats { return p.scheduler.Stats() }
+
+// DedupStats returns the deduplication counters.
+func (p *Platform) DedupStats() dedup.Stats { return p.deduper.Stats() }
+
+// Stats returns pipeline counters.
+func (p *Platform) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := p.stats
+	st.StoredEvents = p.tip.Len()
+	return st
+}
+
+// ReportAlarm records an infrastructure alarm and pushes it to the
+// dashboard.
+func (p *Platform) ReportAlarm(a infra.Alarm) (infra.Alarm, error) {
+	stored, err := p.collector.AddAlarm(a)
+	if err != nil {
+		return infra.Alarm{}, err
+	}
+	p.dash.PushAlarm(stored)
+	return stored, nil
+}
+
+// ReportInternalIoC records an indicator detected inside the
+// infrastructure (§III-A2). Besides feeding the heuristic context, the
+// event is stored in the TIP as an organisation-only MISP event — "data
+// received from the monitored infrastructures could be stored in the MISP
+// database, in order to perform basic automated correlation steps, when
+// some cIoCs are received" (§III-B1) — and the correlated UUIDs of already
+// stored events are returned.
+func (p *Platform) ReportInternalIoC(value, category, source string) (normalize.Event, []string, error) {
+	e, err := p.collector.AddInternalIoC(value, category, source, p.clk.Now())
+	if err != nil {
+		return normalize.Event{}, nil, err
+	}
+	me := misp.NewEvent(fmt.Sprintf("infrastructure sighting [%s] %s", source, e.Value), p.clk.Now())
+	me.Distribution = misp.DistributionOrganisation // never shared outward
+	me.AddTag("caisp:infrastructure")
+	typ := mispTypeFor(e.Type)
+	me.AddAttribute(typ, "Internal reference", e.Value, e.LastSeen).Comment = "detected by " + source
+	correlated, err := p.tip.AddEvent(me)
+	if err != nil {
+		return normalize.Event{}, nil, fmt.Errorf("core: store infrastructure sighting: %w", err)
+	}
+	return e, correlated, nil
+}
+
+// mispTypeFor maps a normalized IoC type to the MISP attribute type used
+// for infrastructure sightings.
+func mispTypeFor(typ normalize.IoCType) string {
+	switch typ {
+	case normalize.TypeIPv4, normalize.TypeIPv6, normalize.TypeCIDR:
+		return "ip-dst"
+	case normalize.TypeDomain:
+		return "domain"
+	case normalize.TypeURL:
+		return "url"
+	case normalize.TypeMD5:
+		return "md5"
+	case normalize.TypeSHA1:
+		return "sha1"
+	case normalize.TypeSHA256:
+		return "sha256"
+	case normalize.TypeSHA512:
+		return "sha512"
+	case normalize.TypeCVE:
+		return "vulnerability"
+	case normalize.TypeEmail:
+		return "email-dst"
+	case normalize.TypeFilename:
+		return "filename"
+	default:
+		return "text"
+	}
+}
+
+// Classifier returns the NLP text classifier, or nil when disabled.
+func (p *Platform) Classifier() *textclass.Classifier { return p.classifier }
+
+// ingest is the feed scheduler sink: classify → normalize → dedup →
+// pending buffer.
+func (p *Platform) ingest(e normalize.Event) {
+	p.classify(&e)
+	stored, isNew := p.deduper.Offer(e)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.EventsCollected++
+	if !isNew {
+		p.stats.Duplicates++
+		return
+	}
+	p.stats.EventsUnique++
+	p.pending = append(p.pending, stored)
+}
+
+// classify tags unknown-category events from their textual context using
+// the keyword classifier (§II-A: "tag OSINT data as relevant or
+// irrelevant"; the prediction confidence rides along for SIEM consumers).
+// It must run before deduplication: the category is part of the
+// deterministic event identity.
+func (p *Platform) classify(e *normalize.Event) {
+	if p.classifier == nil || e.Category != normalize.CategoryUnknown {
+		return
+	}
+	text := strings.TrimSpace(e.Context["description"] + " " + e.Context["event_info"])
+	if text == "" {
+		return
+	}
+	pred := p.classifier.Classify(text)
+	if !pred.Relevant || pred.Confidence < 0.5 {
+		return
+	}
+	e.Category = pred.Category
+	if e.Context == nil {
+		e.Context = make(map[string]string, 2)
+	}
+	e.Context["classified_as"] = pred.Category
+	e.Context["classifier_confidence"] = strconv.FormatFloat(pred.Confidence, 'f', 2, 64)
+	if err := normalize.Canonicalize(e); err != nil {
+		return
+	}
+	p.mu.Lock()
+	p.stats.Classified++
+	p.mu.Unlock()
+}
+
+// drainPending takes the buffered unique events for correlation.
+func (p *Platform) drainPending() []normalize.Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := p.pending
+	p.pending = nil
+	return out
+}
+
+// composeAndStore correlates a batch of events into cIoCs and stores each
+// as a MISP event in the TIP (which publishes it on the bus).
+func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, error) {
+	if len(events) == 0 {
+		return nil, nil
+	}
+	ciocs := p.corr.Correlate(events)
+	stored := make([]*misp.Event, 0, len(ciocs))
+	for i := range ciocs {
+		me, err := correlate.ToMISP(&ciocs[i], p.clk.Now())
+		if err != nil {
+			return stored, fmt.Errorf("core: compose cIoC: %w", err)
+		}
+		if _, err := p.tip.AddEvent(me); err != nil {
+			return stored, fmt.Errorf("core: store cIoC: %w", err)
+		}
+		stored = append(stored, me)
+	}
+	p.mu.Lock()
+	p.stats.CIoCs += len(ciocs)
+	p.mu.Unlock()
+	p.maybeCompact()
+	return stored, nil
+}
+
+// maybeCompact snapshots the store once enough WAL operations accumulated.
+func (p *Platform) maybeCompact() {
+	if p.store.WALOps() <= p.compactAfter {
+		return
+	}
+	if err := p.store.Compact(); err != nil {
+		p.logger.Warn("store compaction failed", "error", err)
+	}
+}
+
+// analyze runs the heuristic stage for one stored cIoC event: convert to
+// STIX, score each supported SDO, enrich, write the eIoC back, reduce and
+// push rIoCs, share over TAXII.
+func (p *Platform) analyze(me *misp.Event) error {
+	p.mu.Lock()
+	if p.processed[me.UUID] {
+		p.mu.Unlock()
+		return nil
+	}
+	p.processed[me.UUID] = true
+	p.mu.Unlock()
+
+	bundle, err := misp.ToSTIX(me)
+	if err != nil {
+		return fmt.Errorf("core: convert %s: %w", me.UUID, err)
+	}
+	now := p.clk.Now()
+	scored := 0
+	var topScore float64
+	for _, obj := range bundle.Objects {
+		res, err := p.engine.Evaluate(obj)
+		if err != nil {
+			continue // SDO type without a heuristic (relationships, identities of orgs…)
+		}
+		scored++
+		heuristic.Enrich(obj, res)
+		if res.Score > topScore {
+			topScore = res.Score
+		}
+		rioc, err := heuristic.Reduce(obj, res, p.collector, now)
+		if err != nil {
+			return err
+		}
+		if rioc != nil {
+			p.dash.PushRIoC(*rioc)
+			p.mu.Lock()
+			p.stats.RIoCs++
+			p.mu.Unlock()
+		}
+		if p.taxiiSrv != nil {
+			if err := p.taxiiSrv.AddObjects(TAXIICollection, obj); err != nil {
+				p.logger.Warn("taxii share failed", "error", err)
+			}
+		}
+	}
+	if scored == 0 {
+		p.mu.Lock()
+		p.stats.Unscorable++
+		p.mu.Unlock()
+		return nil
+	}
+	// Write the threat score back into the stored MISP event — "adding the
+	// threat score as a new MISP attribute" (§IV-A) — turning it into the
+	// stored eIoC.
+	me.AddAttribute("comment", "Other",
+		"threat-score:"+strconv.FormatFloat(topScore, 'f', 4, 64), now)
+	me.AddTag("caisp:eioc")
+	if _, err := p.tip.AddEvent(me); err != nil {
+		return fmt.Errorf("core: store eIoC %s: %w", me.UUID, err)
+	}
+	p.mu.Lock()
+	p.stats.EIoCs++
+	p.mu.Unlock()
+	p.maybeCompact()
+	return nil
+}
+
+// RunBatch performs one synchronous pipeline pass: poll every feed once,
+// dedup, correlate, store, analyze. Not for use while Start is running.
+func (p *Platform) RunBatch(ctx context.Context) error {
+	p.scheduler.PollOnce(ctx)
+	stored, err := p.composeAndStore(p.drainPending())
+	if err != nil {
+		return err
+	}
+	for _, me := range stored {
+		if err := p.analyze(me); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Start launches streaming mode: the feed scheduler polls on its
+// intervals, a composer goroutine flushes pending events every
+// flushInterval, and a worker consumes the bus to run heuristic analysis.
+func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if p.started {
+		return fmt.Errorf("core: platform already started")
+	}
+	if flushInterval <= 0 {
+		flushInterval = time.Second
+	}
+	ctx, p.cancel = context.WithCancel(ctx)
+	p.started = true
+
+	p.sub = p.broker.Subscribe(tip.TopicEventAdd)
+	p.workers.Add(1)
+	go func() {
+		defer p.workers.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case msg, ok := <-p.sub.C():
+				if !ok {
+					return
+				}
+				me, err := misp.UnmarshalWrapped(msg.Payload)
+				if err != nil {
+					p.logger.Warn("bus payload undecodable", "error", err)
+					continue
+				}
+				if !me.HasTag("caisp:cioc") {
+					continue // infrastructure data is stored, not analyzed
+				}
+				if err := p.analyze(me); err != nil {
+					p.logger.Warn("heuristic analysis failed", "uuid", me.UUID, "error", err)
+				}
+			}
+		}
+	}()
+
+	p.workers.Add(1)
+	go func() {
+		defer p.workers.Done()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-p.clk.After(flushInterval):
+				if _, err := p.composeAndStore(p.drainPending()); err != nil {
+					p.logger.Warn("composition failed", "error", err)
+				}
+			}
+		}
+	}()
+
+	return p.scheduler.Start(ctx)
+}
+
+// Stop ends streaming mode and flushes remaining pending events.
+func (p *Platform) Stop() {
+	p.runMu.Lock()
+	defer p.runMu.Unlock()
+	if !p.started {
+		return
+	}
+	p.cancel()
+	p.scheduler.Stop()
+	if p.sub != nil {
+		p.sub.Close()
+	}
+	p.workers.Wait()
+	p.started = false
+	// Final flush so nothing collected is lost.
+	if stored, err := p.composeAndStore(p.drainPending()); err == nil {
+		for _, me := range stored {
+			if err := p.analyze(me); err != nil {
+				p.logger.Warn("final analysis failed", "uuid", me.UUID, "error", err)
+			}
+		}
+	}
+}
+
+// Close releases resources (store, broker, dashboard sockets).
+func (p *Platform) Close() error {
+	p.Stop()
+	p.dash.Close()
+	p.broker.Close()
+	return p.store.Close()
+}

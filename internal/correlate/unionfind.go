@@ -1,0 +1,70 @@
+// Package correlate implements the aggregation and correlation stage of the
+// OSINT Data Collector (paper §III-A1): security events are grouped by
+// threat category, interconnections between events inside each group are
+// found, and each connected sub-set of events is composed into a single
+// composed IoC (cIoC).
+package correlate
+
+// unionFind is a disjoint-set forest over string keys with path compression
+// and union by rank.
+type unionFind struct {
+	parent map[string]string
+	rank   map[string]int
+}
+
+func newUnionFind() *unionFind {
+	return &unionFind{
+		parent: make(map[string]string),
+		rank:   make(map[string]int),
+	}
+}
+
+// add registers a key as its own singleton set if unknown.
+func (u *unionFind) add(key string) {
+	if _, ok := u.parent[key]; !ok {
+		u.parent[key] = key
+	}
+}
+
+// find returns the set representative for key, compressing paths.
+func (u *unionFind) find(key string) string {
+	u.add(key)
+	root := key
+	for u.parent[root] != root {
+		root = u.parent[root]
+	}
+	for u.parent[key] != root {
+		key, u.parent[key] = u.parent[key], root
+	}
+	return root
+}
+
+// union merges the sets containing a and b.
+func (u *unionFind) union(a, b string) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}
+
+// connected reports whether a and b are in the same set.
+func (u *unionFind) connected(a, b string) bool {
+	return u.find(a) == u.find(b)
+}
+
+// components groups all registered keys by their representative.
+func (u *unionFind) components() map[string][]string {
+	out := make(map[string][]string)
+	for key := range u.parent {
+		root := u.find(key)
+		out[root] = append(out[root], key)
+	}
+	return out
+}

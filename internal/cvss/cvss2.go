@@ -1,0 +1,158 @@
+package cvss
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// V2 holds the six base metrics of a CVSS v2.0 vector.
+type V2 struct {
+	AccessVector     string // L, A, N
+	AccessComplexity string // H, M, L
+	Authentication   string // M, S, N
+	Confidentiality  string // N, P, C
+	Integrity        string // N, P, C
+	Availability     string // N, P, C
+}
+
+// ParseV2 parses a CVSS v2 vector such as "AV:N/AC:L/Au:N/C:P/I:P/A:P",
+// with or without a surrounding "CVSS2#" or parenthesised form.
+func ParseV2(vector string) (V2, error) {
+	s := strings.TrimPrefix(vector, "CVSS2#")
+	s = strings.TrimPrefix(s, "(")
+	s = strings.TrimSuffix(s, ")")
+	var v V2
+	seen := make(map[string]bool, 6)
+	for _, part := range strings.Split(s, "/") {
+		name, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return V2{}, fmt.Errorf("cvss: malformed metric %q in %q", part, vector)
+		}
+		if seen[name] {
+			return V2{}, fmt.Errorf("cvss: duplicate metric %q in %q", name, vector)
+		}
+		seen[name] = true
+		switch name {
+		case "AV":
+			if !oneOf(val, "L", "A", "N") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.AccessVector = val
+		case "AC":
+			if !oneOf(val, "H", "M", "L") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.AccessComplexity = val
+		case "Au":
+			if !oneOf(val, "M", "S", "N") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.Authentication = val
+		case "C":
+			if !oneOf(val, "N", "P", "C") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.Confidentiality = val
+		case "I":
+			if !oneOf(val, "N", "P", "C") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.Integrity = val
+		case "A":
+			if !oneOf(val, "N", "P", "C") {
+				return V2{}, badValue(name, val, vector)
+			}
+			v.Availability = val
+		default:
+			// Ignore temporal/environmental metrics.
+		}
+	}
+	for _, m := range []struct{ name, val string }{
+		{"AV", v.AccessVector}, {"AC", v.AccessComplexity},
+		{"Au", v.Authentication}, {"C", v.Confidentiality},
+		{"I", v.Integrity}, {"A", v.Availability},
+	} {
+		if m.val == "" {
+			return V2{}, fmt.Errorf("cvss: missing base metric %s in %q", m.name, vector)
+		}
+	}
+	return v, nil
+}
+
+// BaseScore computes the CVSS v2.0 base score (0.0–10.0, one decimal).
+func (v V2) BaseScore() float64 {
+	impact := 10.41 * (1 - (1-cia2(v.Confidentiality))*(1-cia2(v.Integrity))*(1-cia2(v.Availability)))
+	exploitability := 20 * v.avWeight() * v.acWeight() * v.auWeight()
+	fImpact := 1.176
+	if impact == 0 {
+		fImpact = 0
+	}
+	score := (0.6*impact + 0.4*exploitability - 1.5) * fImpact
+	return math.Round(score*10) / 10
+}
+
+// Severity returns the conventional v2 severity band
+// (low <4.0, medium <7.0, high ≥7.0).
+func (v V2) Severity() Severity {
+	score := v.BaseScore()
+	switch {
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	default:
+		return SeverityHigh
+	}
+}
+
+// String reconstructs the canonical v2 base vector.
+func (v V2) String() string {
+	return fmt.Sprintf("AV:%s/AC:%s/Au:%s/C:%s/I:%s/A:%s",
+		v.AccessVector, v.AccessComplexity, v.Authentication,
+		v.Confidentiality, v.Integrity, v.Availability)
+}
+
+func (v V2) avWeight() float64 {
+	switch v.AccessVector {
+	case "L":
+		return 0.395
+	case "A":
+		return 0.646
+	default: // N
+		return 1.0
+	}
+}
+
+func (v V2) acWeight() float64 {
+	switch v.AccessComplexity {
+	case "H":
+		return 0.35
+	case "M":
+		return 0.61
+	default: // L
+		return 0.71
+	}
+}
+
+func (v V2) auWeight() float64 {
+	switch v.Authentication {
+	case "M":
+		return 0.45
+	case "S":
+		return 0.56
+	default: // N
+		return 0.704
+	}
+}
+
+func cia2(val string) float64 {
+	switch val {
+	case "P":
+		return 0.275
+	case "C":
+		return 0.660
+	default: // N
+		return 0
+	}
+}

@@ -1,0 +1,264 @@
+// Package cvss implements parsing and base-score computation for the Common
+// Vulnerability Scoring System, versions 3.x and 2.0. The heuristic engine
+// uses CVSS severity bands to score the `cve` feature of vulnerability IoCs
+// (Table IV of the paper) without any network dependency on NVD.
+package cvss
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Severity is a qualitative severity rating band.
+type Severity int
+
+// Severity bands as defined by the CVSS v3.x specification (and the
+// conventional banding applied to v2 scores).
+const (
+	SeverityNone Severity = iota + 1
+	SeverityLow
+	SeverityMedium
+	SeverityHigh
+	SeverityCritical
+)
+
+// String returns the lower-case band name.
+func (s Severity) String() string {
+	switch s {
+	case SeverityNone:
+		return "none"
+	case SeverityLow:
+		return "low"
+	case SeverityMedium:
+		return "medium"
+	case SeverityHigh:
+		return "high"
+	case SeverityCritical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Rate maps a CVSS v3.x base score to its qualitative severity band.
+func Rate(score float64) Severity {
+	switch {
+	case score <= 0:
+		return SeverityNone
+	case score < 4.0:
+		return SeverityLow
+	case score < 7.0:
+		return SeverityMedium
+	case score < 9.0:
+		return SeverityHigh
+	default:
+		return SeverityCritical
+	}
+}
+
+// V3 holds the eight base metrics of a CVSS v3.x vector.
+type V3 struct {
+	AttackVector       string // N, A, L, P
+	AttackComplexity   string // L, H
+	PrivilegesRequired string // N, L, H
+	UserInteraction    string // N, R
+	Scope              string // U, C
+	Confidentiality    string // H, L, N
+	Integrity          string // H, L, N
+	Availability       string // H, L, N
+}
+
+// ParseV3 parses a CVSS v3.0 or v3.1 vector string such as
+// "CVSS:3.0/AV:N/AC:L/PR:N/UI:R/S:U/C:H/I:H/A:H". The "CVSS:3.x/" prefix is
+// optional. All eight base metrics must be present.
+func ParseV3(vector string) (V3, error) {
+	var v V3
+	s := vector
+	if rest, ok := strings.CutPrefix(s, "CVSS:3.0/"); ok {
+		s = rest
+	} else if rest, ok := strings.CutPrefix(s, "CVSS:3.1/"); ok {
+		s = rest
+	}
+	seen := make(map[string]bool, 8)
+	for _, part := range strings.Split(s, "/") {
+		name, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return V3{}, fmt.Errorf("cvss: malformed metric %q in %q", part, vector)
+		}
+		if seen[name] {
+			return V3{}, fmt.Errorf("cvss: duplicate metric %q in %q", name, vector)
+		}
+		seen[name] = true
+		switch name {
+		case "AV":
+			if !oneOf(val, "N", "A", "L", "P") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.AttackVector = val
+		case "AC":
+			if !oneOf(val, "L", "H") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.AttackComplexity = val
+		case "PR":
+			if !oneOf(val, "N", "L", "H") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.PrivilegesRequired = val
+		case "UI":
+			if !oneOf(val, "N", "R") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.UserInteraction = val
+		case "S":
+			if !oneOf(val, "U", "C") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.Scope = val
+		case "C":
+			if !oneOf(val, "H", "L", "N") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.Confidentiality = val
+		case "I":
+			if !oneOf(val, "H", "L", "N") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.Integrity = val
+		case "A":
+			if !oneOf(val, "H", "L", "N") {
+				return V3{}, badValue(name, val, vector)
+			}
+			v.Availability = val
+		default:
+			// Temporal and environmental metrics are accepted and ignored;
+			// only the base score is needed by the heuristics.
+		}
+	}
+	for _, m := range []struct {
+		name string
+		val  string
+	}{
+		{"AV", v.AttackVector}, {"AC", v.AttackComplexity},
+		{"PR", v.PrivilegesRequired}, {"UI", v.UserInteraction},
+		{"S", v.Scope}, {"C", v.Confidentiality},
+		{"I", v.Integrity}, {"A", v.Availability},
+	} {
+		if m.val == "" {
+			return V3{}, fmt.Errorf("cvss: missing base metric %s in %q", m.name, vector)
+		}
+	}
+	return v, nil
+}
+
+// BaseScore computes the CVSS v3.1 base score (0.0–10.0, one decimal).
+func (v V3) BaseScore() float64 {
+	iss := 1 - (1-cia(v.Confidentiality))*(1-cia(v.Integrity))*(1-cia(v.Availability))
+	var impact float64
+	if v.Scope == "C" {
+		impact = 7.52*(iss-0.029) - 3.25*math.Pow(iss-0.02, 15)
+	} else {
+		impact = 6.42 * iss
+	}
+	exploitability := 8.22 * v.avWeight() * v.acWeight() * v.prWeight() * v.uiWeight()
+	if impact <= 0 {
+		return 0
+	}
+	var score float64
+	if v.Scope == "C" {
+		score = math.Min(1.08*(impact+exploitability), 10)
+	} else {
+		score = math.Min(impact+exploitability, 10)
+	}
+	return roundUp1(score)
+}
+
+// Severity returns the qualitative band of the base score.
+func (v V3) Severity() Severity { return Rate(v.BaseScore()) }
+
+// String reconstructs the canonical v3.1 base vector.
+func (v V3) String() string {
+	return fmt.Sprintf("CVSS:3.1/AV:%s/AC:%s/PR:%s/UI:%s/S:%s/C:%s/I:%s/A:%s",
+		v.AttackVector, v.AttackComplexity, v.PrivilegesRequired,
+		v.UserInteraction, v.Scope, v.Confidentiality, v.Integrity,
+		v.Availability)
+}
+
+func (v V3) avWeight() float64 {
+	switch v.AttackVector {
+	case "N":
+		return 0.85
+	case "A":
+		return 0.62
+	case "L":
+		return 0.55
+	default: // P
+		return 0.2
+	}
+}
+
+func (v V3) acWeight() float64 {
+	if v.AttackComplexity == "L" {
+		return 0.77
+	}
+	return 0.44
+}
+
+func (v V3) prWeight() float64 {
+	switch v.PrivilegesRequired {
+	case "N":
+		return 0.85
+	case "L":
+		if v.Scope == "C" {
+			return 0.68
+		}
+		return 0.62
+	default: // H
+		if v.Scope == "C" {
+			return 0.5
+		}
+		return 0.27
+	}
+}
+
+func (v V3) uiWeight() float64 {
+	if v.UserInteraction == "N" {
+		return 0.85
+	}
+	return 0.62
+}
+
+func cia(val string) float64 {
+	switch val {
+	case "H":
+		return 0.56
+	case "L":
+		return 0.22
+	default: // N
+		return 0
+	}
+}
+
+// roundUp1 implements the CVSS v3.1 "Roundup" function: the smallest number,
+// specified to one decimal place, that is equal to or higher than its input.
+func roundUp1(x float64) float64 {
+	i := int(math.Round(x * 100000))
+	if i%10000 == 0 {
+		return float64(i) / 100000
+	}
+	return (math.Floor(float64(i)/10000) + 1) / 10
+}
+
+func oneOf(val string, allowed ...string) bool {
+	for _, a := range allowed {
+		if val == a {
+			return true
+		}
+	}
+	return false
+}
+
+func badValue(name, val, vector string) error {
+	return fmt.Errorf("cvss: invalid value %q for metric %s in %q", val, name, vector)
+}

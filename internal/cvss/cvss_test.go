@@ -1,0 +1,223 @@
+package cvss
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseV3KnownScores(t *testing.T) {
+	tests := []struct {
+		give     string
+		want     float64
+		wantBand Severity
+	}{
+		// CVE-2017-9805 (Apache Struts RCE) — the paper's §IV use case,
+		// assessed high with CVSS v3.0 = 8.1.
+		{give: "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", want: 8.1, wantBand: SeverityHigh},
+		// Heartbleed-style info leak.
+		{give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:N/A:N", want: 7.5, wantBand: SeverityHigh},
+		// Full critical (e.g. EternalBlue banding).
+		{give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", want: 9.8, wantBand: SeverityCritical},
+		// Scope changed critical (e.g. Spectre-class escape to host).
+		{give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:C/C:H/I:H/A:H", want: 10.0, wantBand: SeverityCritical},
+		// Low-impact local vector.
+		{give: "CVSS:3.1/AV:L/AC:H/PR:H/UI:R/S:U/C:L/I:N/A:N", want: 1.8, wantBand: SeverityLow},
+		// Zero impact → zero score.
+		{give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:N/I:N/A:N", want: 0.0, wantBand: SeverityNone},
+		// Scope-changed with privileges required (PR weight shifts).
+		{give: "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:C/C:H/I:H/A:H", want: 9.9, wantBand: SeverityCritical},
+		// Medium band.
+		{give: "CVSS:3.1/AV:N/AC:L/PR:L/UI:N/S:U/C:L/I:L/A:N", want: 5.4, wantBand: SeverityMedium},
+		// Physical access vector.
+		{give: "CVSS:3.1/AV:P/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H", want: 6.8, wantBand: SeverityMedium},
+		// User interaction required XSS-like with scope change.
+		{give: "CVSS:3.1/AV:N/AC:L/PR:N/UI:R/S:C/C:L/I:L/A:N", want: 6.1, wantBand: SeverityMedium},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			v, err := ParseV3(tt.give)
+			if err != nil {
+				t.Fatalf("ParseV3: %v", err)
+			}
+			if got := v.BaseScore(); got != tt.want {
+				t.Errorf("BaseScore() = %.1f, want %.1f", got, tt.want)
+			}
+			if got := v.Severity(); got != tt.wantBand {
+				t.Errorf("Severity() = %v, want %v", got, tt.wantBand)
+			}
+		})
+	}
+}
+
+func TestParseV3Errors(t *testing.T) {
+	tests := []string{
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H",         // missing A
+		"CVSS:3.1/AV:X/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",     // bad AV
+		"CVSS:3.1/AV:N/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H/A:H", // duplicate
+		"CVSS:3.1/AVN/AC:L/PR:N/UI:N/S:U/C:H/I:H/A:H",      // malformed pair
+		"",
+	}
+	for _, give := range tests {
+		if _, err := ParseV3(give); err == nil {
+			t.Errorf("ParseV3(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestParseV3RoundTrip(t *testing.T) {
+	const give = "CVSS:3.1/AV:A/AC:H/PR:L/UI:R/S:C/C:L/I:H/A:N"
+	v, err := ParseV3(give)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.String() != give {
+		t.Fatalf("String() = %q, want %q", v.String(), give)
+	}
+	back, err := ParseV3(v.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Fatalf("round trip mismatch: %+v vs %+v", back, v)
+	}
+}
+
+func TestParseV2KnownScores(t *testing.T) {
+	tests := []struct {
+		give string
+		want float64
+	}{
+		// CVE-2002-0392-style full network compromise.
+		{give: "AV:N/AC:L/Au:N/C:C/I:C/A:C", want: 10.0},
+		// Classic partial-impact remote (many web CVEs).
+		{give: "AV:N/AC:L/Au:N/C:P/I:P/A:P", want: 7.5},
+		// Local low-complexity info leak.
+		{give: "AV:L/AC:L/Au:N/C:P/I:N/A:N", want: 2.1},
+		// No impact.
+		{give: "AV:N/AC:L/Au:N/C:N/I:N/A:N", want: 0.0},
+		// With CVSS2# prefix.
+		{give: "CVSS2#AV:N/AC:M/Au:N/C:P/I:N/A:N", want: 4.3},
+		// Parenthesised NVD style.
+		{give: "(AV:N/AC:L/Au:S/C:P/I:P/A:P)", want: 6.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.give, func(t *testing.T) {
+			v, err := ParseV2(tt.give)
+			if err != nil {
+				t.Fatalf("ParseV2: %v", err)
+			}
+			if got := v.BaseScore(); got != tt.want {
+				t.Errorf("BaseScore() = %.1f, want %.1f", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestParseV2Errors(t *testing.T) {
+	tests := []string{
+		"AV:N/AC:L/Au:N/C:C/I:C",          // missing A
+		"AV:Q/AC:L/Au:N/C:C/I:C/A:C",      // bad AV
+		"AV:N/AV:N/AC:L/Au:N/C:C/I:C/A:C", // duplicate
+		"",
+	}
+	for _, give := range tests {
+		if _, err := ParseV2(give); err == nil {
+			t.Errorf("ParseV2(%q) succeeded, want error", give)
+		}
+	}
+}
+
+func TestRateBands(t *testing.T) {
+	tests := []struct {
+		score float64
+		want  Severity
+	}{
+		{0, SeverityNone},
+		{0.1, SeverityLow},
+		{3.9, SeverityLow},
+		{4.0, SeverityMedium},
+		{6.9, SeverityMedium},
+		{7.0, SeverityHigh},
+		{8.9, SeverityHigh},
+		{9.0, SeverityCritical},
+		{10.0, SeverityCritical},
+	}
+	for _, tt := range tests {
+		if got := Rate(tt.score); got != tt.want {
+			t.Errorf("Rate(%.1f) = %v, want %v", tt.score, got, tt.want)
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if SeverityCritical.String() != "critical" || SeverityNone.String() != "none" {
+		t.Fatal("unexpected severity names")
+	}
+	if Severity(99).String() != "Severity(99)" {
+		t.Fatalf("unknown severity formatting = %q", Severity(99).String())
+	}
+}
+
+// randomV3 builds an arbitrary but valid v3 metric set from a random source.
+func randomV3(r *rand.Rand) V3 {
+	pick := func(opts ...string) string { return opts[r.Intn(len(opts))] }
+	return V3{
+		AttackVector:       pick("N", "A", "L", "P"),
+		AttackComplexity:   pick("L", "H"),
+		PrivilegesRequired: pick("N", "L", "H"),
+		UserInteraction:    pick("N", "R"),
+		Scope:              pick("U", "C"),
+		Confidentiality:    pick("H", "L", "N"),
+		Integrity:          pick("H", "L", "N"),
+		Availability:       pick("H", "L", "N"),
+	}
+}
+
+func TestV3ScoreBoundsQuick(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			args[0] = reflect.ValueOf(randomV3(r))
+		},
+	}
+	f := func(v V3) bool {
+		s := v.BaseScore()
+		if s < 0 || s > 10 {
+			return false
+		}
+		// Parse(String()) must reproduce the metrics and the score.
+		back, err := ParseV3(v.String())
+		return err == nil && back == v && back.BaseScore() == s
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestV2ScoreBoundsQuick(t *testing.T) {
+	cfg := &quick.Config{
+		Values: func(args []reflect.Value, r *rand.Rand) {
+			pick := func(opts ...string) string { return opts[r.Intn(len(opts))] }
+			args[0] = reflect.ValueOf(V2{
+				AccessVector:     pick("L", "A", "N"),
+				AccessComplexity: pick("H", "M", "L"),
+				Authentication:   pick("M", "S", "N"),
+				Confidentiality:  pick("N", "P", "C"),
+				Integrity:        pick("N", "P", "C"),
+				Availability:     pick("N", "P", "C"),
+			})
+		},
+	}
+	f := func(v V2) bool {
+		s := v.BaseScore()
+		if s < 0 || s > 10 {
+			return false
+		}
+		back, err := ParseV2(v.String())
+		return err == nil && back == v
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,392 @@
+// Package dashboard implements the Output Module's visualization server
+// (paper §III-C1): a graphical representation of the infrastructure
+// topology where each node shows a circle with the number and severity of
+// its alarms (green/yellow/red) and a star with the number of rIoCs
+// associated to it (Fig. 2); a detail view per node with type, IPs,
+// operating system and connected networks (Fig. 3); and per-rIoC detail
+// with CVE, description, affected asset and threat score (Fig. 4).
+// Reduced IoCs and alarms are pushed live to connected browsers over
+// WebSockets (the paper's socket.io channel).
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/sessions"
+	"github.com/caisplatform/caisp/internal/wsock"
+)
+
+// NodeSummary is one node of the Fig. 2 topology view.
+type NodeSummary struct {
+	ID       string   `json:"id"`
+	Name     string   `json:"name"`
+	Type     string   `json:"type,omitempty"`
+	Networks []string `json:"networks,omitempty"`
+	// Alarms maps severity colour → count (the circle indicator).
+	Alarms map[string]int `json:"alarms"`
+	// AlarmTotal is the total number of alarms on the node.
+	AlarmTotal int `json:"alarm_total"`
+	// RIoCs is the number of reduced IoCs associated to the node (the
+	// star indicator).
+	RIoCs int `json:"riocs"`
+}
+
+// Topology is the Fig. 2 payload.
+type Topology struct {
+	Nodes []NodeSummary `json:"nodes"`
+	// Networks lists the distinct networks nodes connect to.
+	Networks []string `json:"networks"`
+}
+
+// NodeDetail is the Fig. 3 payload: the separate tab with "the type of
+// node, the IP addresses, the operating system and the connected networks"
+// plus the node's security data.
+type NodeDetail struct {
+	Node   infra.Node       `json:"node"`
+	Alarms []infra.Alarm    `json:"alarms"`
+	RIoCs  []heuristic.RIoC `json:"riocs"`
+}
+
+// Event is the WebSocket push envelope.
+type Event struct {
+	Kind  string          `json:"kind"` // "rioc" or "alarm"
+	RIoC  *heuristic.RIoC `json:"rioc,omitempty"`
+	Alarm *infra.Alarm    `json:"alarm,omitempty"`
+}
+
+// Server is the dashboard backend.
+type Server struct {
+	collector *infra.Collector
+	hub       *wsock.Hub
+
+	mu       sync.RWMutex
+	riocs    []heuristic.RIoC
+	analyzer *sessions.Analyzer
+	marks    []timelineMark
+
+	mux *http.ServeMux
+}
+
+// timelineMark records one pushed artifact for the streaming view.
+type timelineMark struct {
+	at   time.Time
+	kind string // "rioc" or "alarm"
+}
+
+// TimelineBucket is one minute of dashboard activity.
+type TimelineBucket struct {
+	Minute time.Time `json:"minute"`
+	RIoCs  int       `json:"riocs"`
+	Alarms int       `json:"alarms"`
+}
+
+// NewServer builds a dashboard over an infrastructure collector.
+func NewServer(collector *infra.Collector) *Server {
+	s := &Server{
+		collector: collector,
+		hub:       wsock.NewHub(),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /", s.handleIndex)
+	s.mux.HandleFunc("GET /api/topology", s.handleTopology)
+	s.mux.HandleFunc("GET /api/nodes/{id}", s.handleNode)
+	s.mux.HandleFunc("GET /api/alarms", s.handleAlarms)
+	s.mux.HandleFunc("GET /api/riocs", s.handleRIoCs)
+	s.mux.HandleFunc("GET /api/riocs/{id}", s.handleRIoCDetail)
+	s.mux.HandleFunc("GET /ws", s.handleWS)
+	s.mux.HandleFunc("GET /api/sessions", s.handleSessions)
+	s.mux.HandleFunc("GET /api/sessions/compare", s.handleSessionCompare)
+	s.mux.HandleFunc("GET /api/timeline", s.handleTimeline)
+	return s
+}
+
+// SetSessionAnalyzer attaches the §II-B user-activity analyzer; the
+// /api/sessions endpoints serve its summaries.
+func (s *Server) SetSessionAnalyzer(a *sessions.Analyzer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.analyzer = a
+}
+
+func (s *Server) sessionAnalyzer() *sessions.Analyzer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.analyzer
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	a := s.sessionAnalyzer()
+	if a == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "session analytics not enabled"})
+		return
+	}
+	topK := 10
+	if raw := r.URL.Query().Get("top"); raw != "" {
+		if n, err := strconv.Atoi(raw); err == nil && n > 0 {
+			topK = n
+		}
+	}
+	writeJSON(w, http.StatusOK, a.Summarize(topK))
+}
+
+func (s *Server) handleSessionCompare(w http.ResponseWriter, r *http.Request) {
+	a := s.sessionAnalyzer()
+	if a == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "session analytics not enabled"})
+		return
+	}
+	cmp, err := a.Compare(r.URL.Query().Get("a"), r.URL.Query().Get("b"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, cmp)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// PushRIoC stores a reduced IoC and broadcasts it to connected clients.
+func (s *Server) PushRIoC(r heuristic.RIoC) {
+	s.mu.Lock()
+	s.riocs = append(s.riocs, r)
+	s.mark(r.GeneratedAt, "rioc")
+	s.mu.Unlock()
+	s.broadcast(Event{Kind: "rioc", RIoC: &r})
+}
+
+// PushAlarm broadcasts an alarm (already recorded in the collector).
+func (s *Server) PushAlarm(a infra.Alarm) {
+	s.mu.Lock()
+	s.mark(a.At, "alarm")
+	s.mu.Unlock()
+	s.broadcast(Event{Kind: "alarm", Alarm: &a})
+}
+
+// mark appends to the streaming timeline; caller holds the write lock. The
+// buffer is bounded: the oldest half is dropped past 10000 marks.
+func (s *Server) mark(at time.Time, kind string) {
+	if at.IsZero() {
+		at = time.Now().UTC()
+	}
+	s.marks = append(s.marks, timelineMark{at: at.UTC(), kind: kind})
+	if len(s.marks) > 10000 {
+		s.marks = append([]timelineMark(nil), s.marks[len(s.marks)/2:]...)
+	}
+}
+
+// Timeline aggregates pushed artifacts into per-minute buckets, oldest
+// first — the dashboard's view of "data that is under constant change,
+// i.e., real-time streaming data" (§II-B).
+func (s *Server) Timeline() []TimelineBucket {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	byMinute := make(map[time.Time]*TimelineBucket)
+	for _, m := range s.marks {
+		minute := m.at.Truncate(time.Minute)
+		b := byMinute[minute]
+		if b == nil {
+			b = &TimelineBucket{Minute: minute}
+			byMinute[minute] = b
+		}
+		switch m.kind {
+		case "rioc":
+			b.RIoCs++
+		case "alarm":
+			b.Alarms++
+		}
+	}
+	out := make([]TimelineBucket, 0, len(byMinute))
+	for _, b := range byMinute {
+		out = append(out, *b)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Minute.Before(out[j].Minute) })
+	return out
+}
+
+func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Timeline())
+}
+
+// RIoCs returns the stored reduced IoCs.
+func (s *Server) RIoCs() []heuristic.RIoC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]heuristic.RIoC, len(s.riocs))
+	copy(out, s.riocs)
+	return out
+}
+
+// RIoCsForNode filters rIoCs touching the given node.
+func (s *Server) RIoCsForNode(nodeID string) []heuristic.RIoC {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []heuristic.RIoC
+	for _, r := range s.riocs {
+		for _, id := range r.NodeIDs {
+			if id == nodeID {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// ClientCount reports connected WebSocket clients.
+func (s *Server) ClientCount() int { return s.hub.Len() }
+
+// Close drops all WebSocket clients.
+func (s *Server) Close() { s.hub.CloseAll() }
+
+// BuildTopology assembles the Fig. 2 view model.
+func (s *Server) BuildTopology() Topology {
+	inv := s.collector.Inventory()
+	topo := Topology{Nodes: make([]NodeSummary, 0, len(inv.Nodes))}
+	networkSet := make(map[string]bool)
+	for _, n := range inv.Nodes {
+		counts := s.collector.SeverityCounts(n.ID)
+		alarms := map[string]int{
+			infra.SeverityLow.String():    counts[infra.SeverityLow],
+			infra.SeverityMedium.String(): counts[infra.SeverityMedium],
+			infra.SeverityHigh.String():   counts[infra.SeverityHigh],
+		}
+		total := counts[infra.SeverityLow] + counts[infra.SeverityMedium] + counts[infra.SeverityHigh]
+		topo.Nodes = append(topo.Nodes, NodeSummary{
+			ID:         n.ID,
+			Name:       n.Name,
+			Type:       n.Type,
+			Networks:   n.Networks,
+			Alarms:     alarms,
+			AlarmTotal: total,
+			RIoCs:      len(s.RIoCsForNode(n.ID)),
+		})
+		for _, net := range n.Networks {
+			networkSet[net] = true
+		}
+	}
+	for net := range networkSet {
+		topo.Networks = append(topo.Networks, net)
+	}
+	sort.Strings(topo.Networks)
+	return topo
+}
+
+// RenderTopology prints the Fig. 2 view as text: one line per node with
+// the alarm circle (● counts by colour) and the rIoC star (★ count).
+func (s *Server) RenderTopology() string {
+	topo := s.BuildTopology()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %-10s %-28s %s\n", "NODE", "NAME", "ALARMS ●(g/y/r)", "rIoCs ★")
+	for _, n := range topo.Nodes {
+		fmt.Fprintf(&sb, "%-8s %-10s g:%-3d y:%-3d r:%-3d (tot %-3d)  ★ %d\n",
+			n.ID, n.Name,
+			n.Alarms["green"], n.Alarms["yellow"], n.Alarms["red"],
+			n.AlarmTotal, n.RIoCs)
+	}
+	fmt.Fprintf(&sb, "networks: %s\n", strings.Join(topo.Networks, ", "))
+	return sb.String()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = w.Write([]byte(indexHTML))
+}
+
+func (s *Server) handleTopology(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.BuildTopology())
+}
+
+func (s *Server) handleNode(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	node := s.collector.Inventory().Node(id)
+	if node == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown node " + id})
+		return
+	}
+	detail := NodeDetail{
+		Node:   *node,
+		Alarms: s.collector.AlarmsForNode(id),
+		RIoCs:  s.RIoCsForNode(id),
+	}
+	writeJSON(w, http.StatusOK, detail)
+}
+
+func (s *Server) handleAlarms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.collector.Alarms())
+}
+
+func (s *Server) handleRIoCs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.RIoCs())
+}
+
+// RIoCDetail is the on-demand drill-down view of one rIoC: the reduced
+// fields plus the per-criterion breakdown of its threat score (§VI future
+// work: "detailed information about each single criterion used in the
+// evaluation of the score itself … properly displayed through the
+// dashboard").
+type RIoCDetail struct {
+	RIoC      heuristic.RIoC            `json:"rioc"`
+	Breakdown []heuristic.FeatureResult `json:"breakdown"`
+}
+
+func (s *Server) handleRIoCDetail(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, rioc := range s.riocs {
+		if rioc.ID == id {
+			writeJSON(w, http.StatusOK, RIoCDetail{RIoC: rioc, Breakdown: rioc.Breakdown})
+			return
+		}
+	}
+	writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown rIoC " + id})
+}
+
+func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	conn, err := wsock.Accept(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.hub.Add(conn)
+	// Reader loop: answers pings, detects close, evicts on error.
+	go func() {
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				s.hub.Remove(conn)
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+}
+
+func (s *Server) broadcast(ev Event) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	s.hub.Broadcast(data)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}

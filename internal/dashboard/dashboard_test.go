@@ -1,0 +1,455 @@
+package dashboard
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/sessions"
+	"github.com/caisplatform/caisp/internal/wsock"
+)
+
+var now = time.Date(2019, 6, 24, 12, 0, 0, 0, time.UTC)
+
+func testServer(t *testing.T) (*Server, *infra.Collector, *httptest.Server) {
+	t.Helper()
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(collector)
+	srv := httptest.NewServer(s)
+	t.Cleanup(func() {
+		s.Close()
+		srv.Close()
+	})
+	return s, collector, srv
+}
+
+func sampleRIoC(nodeIDs []string, allNodes bool) heuristic.RIoC {
+	return heuristic.RIoC{
+		ID:          "rioc--test",
+		EIoCRef:     "vulnerability--00000000-0000-4000-8000-000000000000",
+		SDOType:     "vulnerability",
+		CVE:         "CVE-2017-9805",
+		Title:       "CVE-2017-9805",
+		Description: "Apache Struts RCE",
+		ThreatScore: 2.7407,
+		Priority:    "medium",
+		Application: "apache",
+		NodeIDs:     nodeIDs,
+		AllNodes:    allNodes,
+		GeneratedAt: now,
+	}
+}
+
+func TestTopologyFig2(t *testing.T) {
+	s, collector, srv := testServer(t)
+	// One red alarm on node1, one yellow on node4, an rIoC on node4.
+	if _, err := collector.AddAlarm(infra.Alarm{NodeID: "node1", Severity: infra.SeverityHigh, Description: "x", At: now}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := collector.AddAlarm(infra.Alarm{NodeID: "node4", Severity: infra.SeverityMedium, Description: "y", At: now}); err != nil {
+		t.Fatal(err)
+	}
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+
+	resp, err := http.Get(srv.URL + "/api/topology")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var topo Topology
+	if err := json.NewDecoder(resp.Body).Decode(&topo); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 4 {
+		t.Fatalf("topology has %d nodes", len(topo.Nodes))
+	}
+	byID := make(map[string]NodeSummary)
+	for _, n := range topo.Nodes {
+		byID[n.ID] = n
+	}
+	if byID["node1"].Alarms["red"] != 1 || byID["node1"].AlarmTotal != 1 {
+		t.Fatalf("node1 alarms = %+v", byID["node1"])
+	}
+	if byID["node4"].Alarms["yellow"] != 1 || byID["node4"].RIoCs != 1 {
+		t.Fatalf("node4 = %+v", byID["node4"])
+	}
+	if byID["node2"].AlarmTotal != 0 || byID["node2"].RIoCs != 0 {
+		t.Fatalf("node2 = %+v", byID["node2"])
+	}
+	if len(topo.Networks) != 2 { // LAN, WAN
+		t.Fatalf("networks = %v", topo.Networks)
+	}
+}
+
+func TestNodeDetailFig3(t *testing.T) {
+	s, collector, srv := testServer(t)
+	if _, err := collector.AddAlarm(infra.Alarm{
+		NodeID: "node4", Severity: infra.SeverityHigh,
+		SrcIP: "198.51.100.9", DstIP: "10.0.0.14",
+		Description: "struts probe", Application: "apache", At: now,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+
+	resp, err := http.Get(srv.URL + "/api/nodes/node4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var detail NodeDetail
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if detail.Node.Name != "XL-SIEM" || detail.Node.OS != "debian" {
+		t.Fatalf("node = %+v", detail.Node)
+	}
+	if len(detail.Node.IPs) == 0 || len(detail.Node.Networks) == 0 {
+		t.Fatalf("fig 3 fields missing: %+v", detail.Node)
+	}
+	if len(detail.Alarms) != 1 || detail.Alarms[0].SrcIP != "198.51.100.9" {
+		t.Fatalf("alarms = %+v", detail.Alarms)
+	}
+	if len(detail.RIoCs) != 1 || detail.RIoCs[0].CVE != "CVE-2017-9805" {
+		t.Fatalf("riocs = %+v", detail.RIoCs)
+	}
+
+	// Unknown node → 404.
+	resp2, err := http.Get(srv.URL + "/api/nodes/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost node status = %d", resp2.StatusCode)
+	}
+}
+
+func TestRIoCListFig4(t *testing.T) {
+	s, _, srv := testServer(t)
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+	resp, err := http.Get(srv.URL + "/api/riocs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var riocs []heuristic.RIoC
+	if err := json.NewDecoder(resp.Body).Decode(&riocs); err != nil {
+		t.Fatal(err)
+	}
+	if len(riocs) != 1 {
+		t.Fatalf("riocs = %d", len(riocs))
+	}
+	r := riocs[0]
+	// Fig. 4 fields: CVE, description, affected infrastructure, TS.
+	if r.CVE == "" || r.Description == "" || len(r.NodeIDs) == 0 || r.ThreatScore == 0 {
+		t.Fatalf("fig 4 fields missing: %+v", r)
+	}
+}
+
+func TestAllNodesRIoCCountsEverywhere(t *testing.T) {
+	s, _, _ := testServer(t)
+	s.PushRIoC(sampleRIoC([]string{"node1", "node2", "node3", "node4"}, true))
+	topo := s.BuildTopology()
+	for _, n := range topo.Nodes {
+		if n.RIoCs != 1 {
+			t.Fatalf("node %s riocs = %d, want 1 (all-nodes rIoC)", n.ID, n.RIoCs)
+		}
+	}
+}
+
+func TestWebSocketPush(t *testing.T) {
+	s, collector, srv := testServer(t)
+	wsURL := "ws" + strings.TrimPrefix(srv.URL, "http") + "/ws"
+	conn, err := wsock.Dial(wsURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	waitFor(t, func() bool { return s.ClientCount() == 1 })
+
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+	_, payload, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ev Event
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "rioc" || ev.RIoC == nil || ev.RIoC.CVE != "CVE-2017-9805" {
+		t.Fatalf("event = %+v", ev)
+	}
+
+	alarm, err := collector.AddAlarm(infra.Alarm{NodeID: "node1", Severity: infra.SeverityHigh, Description: "live", At: now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PushAlarm(alarm)
+	_, payload, err = conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(payload, &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Kind != "alarm" || ev.Alarm == nil || ev.Alarm.Description != "live" {
+		t.Fatalf("alarm event = %+v", ev)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	_, _, srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("index status = %d", resp.StatusCode)
+	}
+	buf := make([]byte, 1024)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "CAISP Dashboard") {
+		t.Fatal("index page content unexpected")
+	}
+	// Unknown paths under / are 404s, not the index.
+	resp2, err := http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestRenderTopology(t *testing.T) {
+	s, collector, _ := testServer(t)
+	if _, err := collector.AddAlarm(infra.Alarm{NodeID: "node4", Severity: infra.SeverityHigh, Description: "x", At: now}); err != nil {
+		t.Fatal(err)
+	}
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+	text := s.RenderTopology()
+	if !strings.Contains(text, "node4") || !strings.Contains(text, "★ 1") {
+		t.Fatalf("rendering missing node4 star:\n%s", text)
+	}
+	if !strings.Contains(text, "networks: LAN, WAN") {
+		t.Fatalf("rendering missing networks:\n%s", text)
+	}
+}
+
+func TestAlarmsEndpoint(t *testing.T) {
+	_, collector, srv := testServer(t)
+	if _, err := collector.AddAlarm(infra.Alarm{NodeID: "node2", Severity: infra.SeverityLow, Description: "scan", At: now}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(srv.URL + "/api/alarms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var alarms []infra.Alarm
+	if err := json.NewDecoder(resp.Body).Decode(&alarms); err != nil {
+		t.Fatal(err)
+	}
+	if len(alarms) != 1 || alarms[0].NodeID != "node2" {
+		t.Fatalf("alarms = %+v", alarms)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRIoCDetailBreakdown(t *testing.T) {
+	s, _, srv := testServer(t)
+	r := sampleRIoC([]string{"node4"}, false)
+	r.Breakdown = []heuristic.FeatureResult{
+		{Name: "cve", Value: 4, Weight: 17.0 / 84, Present: true},
+		{Name: "valid_until", Present: false},
+	}
+	s.PushRIoC(r)
+
+	resp, err := http.Get(srv.URL + "/api/riocs/" + r.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detail status = %d", resp.StatusCode)
+	}
+	var detail RIoCDetail
+	if err := json.NewDecoder(resp.Body).Decode(&detail); err != nil {
+		t.Fatal(err)
+	}
+	if len(detail.Breakdown) != 2 || detail.Breakdown[0].Name != "cve" {
+		t.Fatalf("breakdown = %+v", detail.Breakdown)
+	}
+	if detail.RIoC.CVE != "CVE-2017-9805" {
+		t.Fatalf("rioc = %+v", detail.RIoC)
+	}
+
+	// The breakdown must NOT ride on the reduced wire form.
+	wire, err := r.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(wire), "breakdown") {
+		t.Fatalf("wire rIoC leaks the breakdown: %s", wire)
+	}
+
+	resp2, err := http.Get(srv.URL + "/api/riocs/ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("ghost rIoC status = %d", resp2.StatusCode)
+	}
+}
+
+func TestSessionEndpoints(t *testing.T) {
+	s, _, srv := testServer(t)
+	// Not enabled yet → 404.
+	resp, err := http.Get(srv.URL + "/api/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("disabled sessions status = %d", resp.StatusCode)
+	}
+
+	analyzer := sessions.NewAnalyzer()
+	mk := func(id string, actions ...string) sessions.Session {
+		ses := sessions.Session{ID: id, User: "u-" + id}
+		for i, name := range actions {
+			ses.Actions = append(ses.Actions, sessions.Action{Name: name, At: now.Add(time.Duration(i) * time.Minute)})
+		}
+		return ses
+	}
+	for i := 0; i < 5; i++ {
+		if err := analyzer.Add(mk(fmt.Sprintf("s%d", i), "login", "browse", "logout")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := analyzer.Add(mk("odd", "login", "sudo", "exfiltrate")); err != nil {
+		t.Fatal(err)
+	}
+	s.SetSessionAnalyzer(analyzer)
+
+	resp2, err := http.Get(srv.URL + "/api/sessions?top=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var summary sessions.Summary
+	if err := json.NewDecoder(resp2.Body).Decode(&summary); err != nil {
+		t.Fatal(err)
+	}
+	if summary.Sessions != 6 || len(summary.Abnormal) == 0 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if summary.Abnormal[0].SessionID != "odd" {
+		t.Fatalf("most abnormal = %+v", summary.Abnormal[0])
+	}
+
+	resp3, err := http.Get(srv.URL + "/api/sessions/compare?a=s0&b=odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var cmp sessions.Comparison
+	if err := json.NewDecoder(resp3.Body).Decode(&cmp); err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.OnlyB) == 0 {
+		t.Fatalf("comparison = %+v", cmp)
+	}
+	resp4, err := http.Get(srv.URL + "/api/sessions/compare?a=s0&b=ghost")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad compare status = %d", resp4.StatusCode)
+	}
+}
+
+func TestTimeline(t *testing.T) {
+	s, collector, srv := testServer(t)
+	r1 := sampleRIoC([]string{"node4"}, false)
+	r1.GeneratedAt = now
+	s.PushRIoC(r1)
+	r2 := sampleRIoC([]string{"node4"}, false)
+	r2.ID = "rioc--second"
+	r2.GeneratedAt = now.Add(30 * time.Second) // same minute
+	s.PushRIoC(r2)
+	alarm, err := collector.AddAlarm(infra.Alarm{
+		NodeID: "node1", Severity: infra.SeverityHigh, Description: "x",
+		At: now.Add(3 * time.Minute),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.PushAlarm(alarm)
+
+	buckets := s.Timeline()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %+v", buckets)
+	}
+	if buckets[0].RIoCs != 2 || buckets[0].Alarms != 0 {
+		t.Fatalf("first bucket = %+v", buckets[0])
+	}
+	if buckets[1].Alarms != 1 || buckets[1].RIoCs != 0 {
+		t.Fatalf("second bucket = %+v", buckets[1])
+	}
+	if !buckets[0].Minute.Before(buckets[1].Minute) {
+		t.Fatal("buckets not sorted")
+	}
+
+	resp, err := http.Get(srv.URL + "/api/timeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var viaHTTP []TimelineBucket
+	if err := json.NewDecoder(resp.Body).Decode(&viaHTTP); err != nil {
+		t.Fatal(err)
+	}
+	if len(viaHTTP) != 2 {
+		t.Fatalf("http buckets = %d", len(viaHTTP))
+	}
+}
+
+func TestTimelineBufferBounded(t *testing.T) {
+	s, _, _ := testServer(t)
+	for i := 0; i < 10010; i++ {
+		r := sampleRIoC([]string{"node4"}, false)
+		r.GeneratedAt = now.Add(time.Duration(i) * time.Second)
+		s.PushRIoC(r)
+	}
+	s.mu.RLock()
+	n := len(s.marks)
+	s.mu.RUnlock()
+	if n > 10000 {
+		t.Fatalf("marks = %d, buffer unbounded", n)
+	}
+}

@@ -1,0 +1,125 @@
+package dashboard
+
+// indexHTML is the single-page dashboard: it renders the topology with
+// alarm circles and rIoC stars per node (Fig. 2), a node detail pane
+// (Fig. 3), an rIoC detail list with per-criterion drill-down (Fig. 4 plus
+// the §VI future-work breakdown), and a streaming timeline (§II-B),
+// refreshed live over the WebSocket.
+const indexHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>CAISP Dashboard</title>
+<style>
+  body { font-family: system-ui, sans-serif; margin: 1.5rem; background: #10141a; color: #e6e6e6; }
+  h1 { font-size: 1.3rem; } h2 { font-size: 1.05rem; margin-top: 1.5rem; }
+  .nodes { display: flex; flex-wrap: wrap; gap: 1rem; }
+  .node { border: 1px solid #3a4352; border-radius: 8px; padding: .8rem 1rem; min-width: 11rem;
+          position: relative; background: #1a2230; cursor: pointer; }
+  .node .badges { display: flex; justify-content: space-between; margin-bottom: .4rem; }
+  .circle { border-radius: 50%; padding: .05rem .45rem; font-size: .8rem; font-weight: 600; }
+  .green { background: #1d7a3d; } .yellow { background: #a07f1a; } .red { background: #a02626; }
+  .star { color: #ffd75e; font-weight: 600; }
+  table { border-collapse: collapse; width: 100%; margin-top: .5rem; }
+  th, td { border-bottom: 1px solid #2b3442; text-align: left; padding: .3rem .5rem; font-size: .85rem; }
+  .score { font-weight: 700; }
+  tr.rioc { cursor: pointer; }
+  #detail, #breakdown { white-space: pre-wrap; background: #1a2230; padding: .8rem;
+                        border-radius: 8px; font-size: .85rem; }
+  #timeline { display: flex; align-items: flex-end; gap: 2px; height: 80px;
+              background: #1a2230; padding: .5rem; border-radius: 8px; }
+  #timeline .bar { width: 14px; display: flex; flex-direction: column-reverse; }
+  #timeline .seg-r { background: #ffd75e; }
+  #timeline .seg-a { background: #a02626; }
+</style>
+</head>
+<body>
+<h1>Context-Aware OSINT Platform — Dashboard</h1>
+<div class="nodes" id="nodes"></div>
+<h2>Activity timeline (per minute: <span class="star">rIoCs</span> / <span style="color:#e06666">alarms</span>)</h2>
+<div id="timeline"></div>
+<h2>Node detail</h2>
+<div id="detail">select a node…</div>
+<h2>Reduced IoCs <small>(click a row for the per-criterion breakdown)</small></h2>
+<table id="riocs"><thead>
+<tr><th>CVE</th><th>Description</th><th>Affected</th><th class="score">Threat score</th><th>Priority</th></tr>
+</thead><tbody></tbody></table>
+<h2>Score breakdown</h2>
+<div id="breakdown">select an rIoC…</div>
+<script>
+async function refresh() {
+  const topo = await (await fetch('/api/topology')).json();
+  const wrap = document.getElementById('nodes');
+  wrap.innerHTML = '';
+  for (const n of topo.nodes) {
+    const el = document.createElement('div');
+    el.className = 'node';
+    el.innerHTML =
+      '<div class="badges">' +
+      '<span>' +
+      '<span class="circle green">' + n.alarms.green + '</span> ' +
+      '<span class="circle yellow">' + n.alarms.yellow + '</span> ' +
+      '<span class="circle red">' + n.alarms.red + '</span>' +
+      '</span>' +
+      '<span class="star">★ ' + n.riocs + '</span></div>' +
+      '<strong>' + n.name + '</strong><br><small>' + n.id +
+      ' · ' + (n.networks || []).join('/') + '</small>';
+    el.onclick = () => showNode(n.id);
+    wrap.appendChild(el);
+  }
+  const riocs = await (await fetch('/api/riocs')).json();
+  const tbody = document.querySelector('#riocs tbody');
+  tbody.innerHTML = '';
+  for (const r of riocs || []) {
+    const tr = document.createElement('tr');
+    tr.className = 'rioc';
+    const affected = r.all_nodes ? 'all nodes' : (r.node_ids || []).join(', ');
+    tr.innerHTML = '<td>' + (r.cve || r.title) + '</td><td>' + (r.description || '') +
+      '</td><td>' + affected + '</td><td class="score">' + r.threat_score.toFixed(4) +
+      '</td><td>' + r.priority + '</td>';
+    tr.onclick = () => showBreakdown(r.id);
+    tbody.appendChild(tr);
+  }
+  renderTimeline(await (await fetch('/api/timeline')).json());
+}
+function renderTimeline(buckets) {
+  const wrap = document.getElementById('timeline');
+  wrap.innerHTML = '';
+  let max = 1;
+  for (const b of buckets || []) max = Math.max(max, b.riocs + b.alarms);
+  for (const b of buckets || []) {
+    const bar = document.createElement('div');
+    bar.className = 'bar';
+    bar.title = b.minute + ': ' + b.riocs + ' rIoCs, ' + b.alarms + ' alarms';
+    const segR = document.createElement('div');
+    segR.className = 'seg-r';
+    segR.style.height = (b.riocs / max * 70) + 'px';
+    const segA = document.createElement('div');
+    segA.className = 'seg-a';
+    segA.style.height = (b.alarms / max * 70) + 'px';
+    bar.appendChild(segR);
+    bar.appendChild(segA);
+    wrap.appendChild(bar);
+  }
+}
+async function showNode(id) {
+  const d = await (await fetch('/api/nodes/' + id)).json();
+  document.getElementById('detail').textContent = JSON.stringify(d, null, 2);
+}
+async function showBreakdown(id) {
+  const d = await (await fetch('/api/riocs/' + id)).json();
+  let text = 'rIoC ' + id + '\n';
+  for (const f of d.breakdown || []) {
+    text += (f.present ? '  ' : '  (empty) ') + f.name +
+      ': value ' + f.value + ', weight ' + f.weight.toFixed(4) + '\n';
+  }
+  document.getElementById('breakdown').textContent = text || 'no breakdown';
+}
+refresh();
+const ws = new WebSocket((location.protocol === 'https:' ? 'wss://' : 'ws://') + location.host + '/ws');
+ws.onmessage = refresh;
+setInterval(refresh, 15000);
+</script>
+</body>
+</html>
+`

@@ -1,0 +1,85 @@
+// Package dedup implements the deduplication stage of the OSINT Data
+// Collector: "the component resorts of a deduplicator mechanism that
+// compares the data received with the data already stored …, looking for
+// security events equal to the received ones, and erases the duplicated
+// ones" (paper §III-A1). A Bloom filter answers the common "definitely new"
+// case without touching the exact-set index; the exact set confirms
+// candidate duplicates and folds their observation windows together.
+package dedup
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+)
+
+// Bloom is a fixed-size Bloom filter over string keys. It is not safe for
+// concurrent use; the Deduper serializes access.
+type Bloom struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	added  int
+}
+
+// NewBloom sizes a filter for the expected number of items at the target
+// false-positive probability.
+func NewBloom(expectedItems int, falsePositiveRate float64) *Bloom {
+	if expectedItems < 1 {
+		expectedItems = 1
+	}
+	if falsePositiveRate <= 0 || falsePositiveRate >= 1 {
+		falsePositiveRate = 0.01
+	}
+	nbits := uint64(math.Ceil(-float64(expectedItems) * math.Log(falsePositiveRate) / (math.Ln2 * math.Ln2)))
+	if nbits < 64 {
+		nbits = 64
+	}
+	hashes := int(math.Round(float64(nbits) / float64(expectedItems) * math.Ln2))
+	if hashes < 1 {
+		hashes = 1
+	}
+	return &Bloom{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: hashes,
+	}
+}
+
+// Add inserts key into the filter.
+func (b *Bloom) Add(key string) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+	b.added++
+}
+
+// MayContain reports whether key might be in the filter. False positives
+// are possible; false negatives are not.
+func (b *Bloom) MayContain(key string) bool {
+	h1, h2 := hashPair(key)
+	for i := 0; i < b.hashes; i++ {
+		pos := (h1 + uint64(i)*h2) % b.nbits
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Len returns the number of Add calls.
+func (b *Bloom) Len() int { return b.added }
+
+// hashPair derives two independent 64-bit hashes for double hashing.
+func hashPair(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], h1)
+	h.Write(buf[:])
+	h2 := h.Sum64() | 1 // odd so it is coprime with power-of-two moduli
+	return h1, h2
+}

@@ -1,0 +1,168 @@
+package dedup
+
+import (
+	"sync"
+
+	"github.com/caisplatform/caisp/internal/normalize"
+)
+
+// Stats counts the deduper's decisions.
+type Stats struct {
+	// Seen is the total number of events offered.
+	Seen int `json:"seen"`
+	// Unique is the number of events admitted as new.
+	Unique int `json:"unique"`
+	// Duplicates is the number of events folded into existing ones.
+	Duplicates int `json:"duplicates"`
+	// BloomNegatives counts fast-path admissions (filter said "new").
+	BloomNegatives int `json:"bloom_negatives"`
+	// BloomFalsePositives counts filter hits that the exact set refuted.
+	BloomFalsePositives int `json:"bloom_false_positives"`
+}
+
+// ReductionRatio is the fraction of offered events dropped as duplicates.
+func (s Stats) ReductionRatio() float64 {
+	if s.Seen == 0 {
+		return 0
+	}
+	return float64(s.Duplicates) / float64(s.Seen)
+}
+
+// Option configures a Deduper.
+type Option interface {
+	apply(*options)
+}
+
+type options struct {
+	expectedItems int
+	fpRate        float64
+	useBloom      bool
+}
+
+type expectedItemsOption int
+
+func (o expectedItemsOption) apply(opts *options) { opts.expectedItems = int(o) }
+
+// WithExpectedItems sizes the Bloom filter for n items.
+func WithExpectedItems(n int) Option { return expectedItemsOption(n) }
+
+type fpRateOption float64
+
+func (o fpRateOption) apply(opts *options) { opts.fpRate = float64(o) }
+
+// WithFalsePositiveRate sets the Bloom filter's target false-positive rate.
+func WithFalsePositiveRate(rate float64) Option { return fpRateOption(rate) }
+
+type bloomOption bool
+
+func (o bloomOption) apply(opts *options) { opts.useBloom = bool(o) }
+
+// WithBloom toggles the Bloom-filter fast path (used by the ablation bench).
+func WithBloom(enabled bool) Option { return bloomOption(enabled) }
+
+// Deduper drops events whose deterministic ID was already admitted and
+// merges the duplicate's observation window and context into the retained
+// event. Safe for concurrent use.
+type Deduper struct {
+	mu     sync.Mutex
+	bloom  *Bloom
+	byID   map[string]*normalize.Event
+	stats  Stats
+	useBlm bool
+}
+
+// New constructs a Deduper.
+func New(opts ...Option) *Deduper {
+	cfg := options{expectedItems: 100000, fpRate: 0.001, useBloom: true}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	d := &Deduper{
+		byID:   make(map[string]*normalize.Event),
+		useBlm: cfg.useBloom,
+	}
+	if cfg.useBloom {
+		d.bloom = NewBloom(cfg.expectedItems, cfg.fpRate)
+	}
+	return d
+}
+
+// Offer submits an event. It returns (event, true) when the event is new —
+// the returned copy is the stored one — and (stored, false) when it was a
+// duplicate that has been merged into the previously stored event.
+func (d *Deduper) Offer(e normalize.Event) (normalize.Event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Seen++
+
+	if d.useBlm && !d.bloom.MayContain(e.ID) {
+		// Definitely new.
+		d.stats.BloomNegatives++
+		d.admit(e)
+		return e, true
+	}
+	if existing, ok := d.byID[e.ID]; ok {
+		d.stats.Duplicates++
+		// Merge cannot fail here: IDs are equal by construction.
+		_ = normalize.Merge(existing, e)
+		return *existing, false
+	}
+	if d.useBlm {
+		d.stats.BloomFalsePositives++
+	}
+	d.admit(e)
+	return e, true
+}
+
+// Contains reports whether an event with the given ID has been admitted.
+func (d *Deduper) Contains(id string) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, ok := d.byID[id]
+	return ok
+}
+
+// Get returns the stored event for id, if any.
+func (d *Deduper) Get(id string) (normalize.Event, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	e, ok := d.byID[id]
+	if !ok {
+		return normalize.Event{}, false
+	}
+	return *e, true
+}
+
+// Len returns the number of unique events admitted.
+func (d *Deduper) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.byID)
+}
+
+// Stats returns a snapshot of the decision counters.
+func (d *Deduper) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Events returns a snapshot of all unique events, in unspecified order.
+func (d *Deduper) Events() []normalize.Event {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]normalize.Event, 0, len(d.byID))
+	for _, e := range d.byID {
+		out = append(out, *e)
+	}
+	return out
+}
+
+func (d *Deduper) admit(e normalize.Event) {
+	stored := e
+	d.byID[e.ID] = &stored
+	if d.useBlm {
+		d.bloom.Add(e.ID)
+	}
+	d.stats.Unique++
+}

@@ -1,0 +1,140 @@
+package detecteval
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/caisplatform/caisp/internal/cvss"
+	"github.com/caisplatform/caisp/internal/infra"
+)
+
+func TestGenerateDeterministicAndLabelled(t *testing.T) {
+	a, err := Generate(7, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(7, 200, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Samples) != 200 || len(b.Samples) != 200 {
+		t.Fatalf("sizes %d/%d", len(a.Samples), len(b.Samples))
+	}
+	for i := range a.Samples {
+		if a.Samples[i].IoC.Name != b.Samples[i].IoC.Name ||
+			a.Samples[i].Actionable != b.Samples[i].Actionable {
+			t.Fatalf("sample %d differs across equal seeds", i)
+		}
+	}
+	// Ground truth must be consistent with its definition.
+	actionable := 0
+	for _, s := range a.Samples {
+		if s.Actionable != (s.Applicable && s.Severity >= cvss.SeverityHigh) {
+			t.Fatalf("label inconsistent: %+v", s)
+		}
+		if s.Actionable {
+			actionable++
+		}
+	}
+	if actionable == 0 || actionable == len(a.Samples) {
+		t.Fatalf("degenerate corpus: %d/%d actionable", actionable, len(a.Samples))
+	}
+}
+
+func TestGenerateRejectsInvalidInventory(t *testing.T) {
+	bad := &infra.Inventory{Nodes: []infra.Node{{ID: ""}}}
+	if _, err := Generate(1, 10, bad); err == nil {
+		t.Fatal("invalid inventory accepted")
+	}
+}
+
+func TestCVSSBaselineHasPerfectRecallButPoorPrecision(t *testing.T) {
+	ds, err := Generate(11, 400, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Run(ds, CVSSOnlyStrategy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every actionable sample is ≥ high severity by construction, so the
+	// static rule misses nothing …
+	if m.DetectionRate != 1.0 || m.FNRate != 0 {
+		t.Fatalf("baseline recall = %+v", m)
+	}
+	// … but it also raises every non-applicable high/critical advisory.
+	if m.FP == 0 || m.FPRate < 0.2 {
+		t.Fatalf("baseline FP rate suspiciously low: %+v", m)
+	}
+}
+
+func TestContextAwareBeatsBaselinePrecision(t *testing.T) {
+	metrics, err := Compare(11, 400, 2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 3 {
+		t.Fatalf("metrics = %d", len(metrics))
+	}
+	contextAware, noContext, baseline := metrics[0], metrics[1], metrics[2]
+
+	if contextAware.Precision <= baseline.Precision {
+		t.Fatalf("context-aware precision %.3f not above baseline %.3f",
+			contextAware.Precision, baseline.Precision)
+	}
+	if contextAware.FPRate >= baseline.FPRate {
+		t.Fatalf("context-aware FP rate %.3f not below baseline %.3f",
+			contextAware.FPRate, baseline.FPRate)
+	}
+	// The ablation shows the context matters: without infrastructure the
+	// score cannot separate applicable from non-applicable advisories as
+	// well.
+	if contextAware.Precision <= noContext.Precision {
+		t.Fatalf("context-aware precision %.3f not above no-context %.3f",
+			contextAware.Precision, noContext.Precision)
+	}
+	// Detection must stay useful.
+	if contextAware.DetectionRate < 0.8 {
+		t.Fatalf("context-aware detection %.3f too low", contextAware.DetectionRate)
+	}
+}
+
+func TestThresholdSweepTradeoff(t *testing.T) {
+	metrics, err := ThresholdSweep(11, 300, []float64{1.0, 2.0, 3.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metrics) != 3 {
+		t.Fatalf("metrics = %d", len(metrics))
+	}
+	// Raising the threshold must not increase detection or FP rate.
+	for i := 1; i < len(metrics); i++ {
+		if metrics[i].DetectionRate > metrics[i-1].DetectionRate+1e-9 {
+			t.Fatalf("detection not monotone: %+v", metrics)
+		}
+		if metrics[i].FPRate > metrics[i-1].FPRate+1e-9 {
+			t.Fatalf("FP rate not monotone: %+v", metrics)
+		}
+	}
+}
+
+func TestMetricsFinalizeEdgeCases(t *testing.T) {
+	m := Metrics{TP: 0, FP: 0, TN: 0, FN: 0}
+	m.finalize()
+	if m.DetectionRate != 0 || m.FPRate != 0 || m.Precision != 0 {
+		t.Fatalf("zero confusion matrix produced rates: %+v", m)
+	}
+}
+
+func TestRender(t *testing.T) {
+	metrics, err := Compare(3, 100, 2.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Render("X3 — detection comparison", metrics)
+	for _, want := range []string{"context-aware", "no-context", "static CVSS", "detection", "precision"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows, err := TableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"H1": 3.15, "H2": 1.92, "H3": 1.90}
+	for _, r := range rows {
+		if math.Abs(r.TS-want[r.Name]) > 1e-9 {
+			t.Errorf("%s: TS = %v, want %v", r.Name, r.TS, want[r.Name])
+		}
+	}
+	text, err := RenderTableI()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(text, "MISMATCH") {
+		t.Fatalf("Table I rendering reports mismatch:\n%s", text)
+	}
+}
+
+func TestTableIIListsSixHeuristics(t *testing.T) {
+	text := RenderTableII()
+	for _, typ := range []string{
+		"attack-pattern", "identity", "indicator", "malware", "tool", "vulnerability",
+	} {
+		if !strings.Contains(text, typ) {
+			t.Errorf("Table II missing %s:\n%s", typ, text)
+		}
+	}
+}
+
+func TestTableIIIMatchesPaperInventory(t *testing.T) {
+	text := RenderTableIII()
+	for _, want := range []string{"OwnCloud", "GitLab", "XL-SIEM", "apache storm", "linux"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table III missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestTableVMatchesPaper(t *testing.T) {
+	res, err := TableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != 2.7407 {
+		t.Fatalf("TS = %v, want 2.7407 (paper: 2.7406 with rounded Pi)", res.Score)
+	}
+	if math.Abs(res.Completeness-8.0/9.0) > 1e-9 {
+		t.Fatalf("Cp = %v, want 8/9", res.Completeness)
+	}
+	text, err := RenderTableV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2.7406", "2.7407", "Cp = 8/9"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Table V rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestScenarioReproducesUseCaseEndToEnd(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	riocs := s.Platform.Dashboard().RIoCs()
+	if len(riocs) != 1 {
+		t.Fatalf("riocs = %d, want 1", len(riocs))
+	}
+	r := riocs[0]
+	if r.CVE != "CVE-2017-9805" {
+		t.Fatalf("cve = %q", r.CVE)
+	}
+	// The pipeline-computed score equals the paper's use-case score: the
+	// advisory supplies the same features the paper extracted by hand.
+	if r.ThreatScore != 2.7407 {
+		t.Fatalf("pipeline TS = %v, want 2.7407", r.ThreatScore)
+	}
+	if len(r.NodeIDs) != 1 || r.NodeIDs[0] != "node4" {
+		t.Fatalf("affected nodes = %v, want [node4]", r.NodeIDs)
+	}
+}
+
+func TestFigureRenderings(t *testing.T) {
+	s, err := NewScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	fig2 := s.RenderFig2()
+	// node1 has 1 red + 1 green alarm; node4 has the rIoC star.
+	if !strings.Contains(fig2, "node1") || !strings.Contains(fig2, "★ 1") {
+		t.Fatalf("fig 2 unexpected:\n%s", fig2)
+	}
+	fig3, err := s.RenderFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"debian", "LAN, WAN", "riocs:    1"} {
+		if !strings.Contains(fig3, want) {
+			t.Errorf("fig 3 missing %q:\n%s", want, fig3)
+		}
+	}
+	fig4, err := s.RenderFig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"CVE-2017-9805", "node4", "2.7407", "medium"} {
+		if !strings.Contains(fig4, want) {
+			t.Errorf("fig 4 missing %q:\n%s", want, fig4)
+		}
+	}
+}
+
+func TestDedupSweepMonotone(t *testing.T) {
+	points, err := DedupSweep([]float64{0, 0.25, 0.5}, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Reduction must increase with the duplication rate.
+	if !(points[0].Reduction < points[1].Reduction && points[1].Reduction < points[2].Reduction) {
+		t.Fatalf("reduction not monotone: %+v", points)
+	}
+	if points[2].Reduction < 0.25 {
+		t.Fatalf("50%% duplication gave only %.2f reduction", points[2].Reduction)
+	}
+}
+
+func TestSizeReduction(t *testing.T) {
+	size, err := MeasureSizeReduction()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size.RIoCBytes >= size.EIoCBytes {
+		t.Fatalf("rIoC (%d B) not smaller than eIoC (%d B)", size.RIoCBytes, size.EIoCBytes)
+	}
+	if size.ByteReduction <= 0 {
+		t.Fatalf("byte reduction = %v", size.ByteReduction)
+	}
+}
+
+func TestRenderAll(t *testing.T) {
+	text, err := RenderAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV", "Table V", "Fig. 2", "Fig. 3", "Fig. 4", "X1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("RenderAll missing %q", want)
+		}
+	}
+}
+
+func TestRenderDetection(t *testing.T) {
+	text, err := RenderDetection()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"X3", "context-aware", "static CVSS", "threshold sweep"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("detection rendering missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+)
+
+// Fetcher retrieves one feed document.
+type Fetcher interface {
+	// Fetch returns the document, or notModified=true when the source is
+	// unchanged since the previous fetch.
+	Fetch(ctx context.Context) (data []byte, notModified bool, err error)
+}
+
+// HTTPFetcher retrieves a feed over HTTP with conditional requests: it
+// remembers ETag and Last-Modified validators and sends If-None-Match /
+// If-Modified-Since on subsequent fetches.
+type HTTPFetcher struct {
+	// URL is the feed document location.
+	URL string
+	// Client is the HTTP client; http.DefaultClient if nil.
+	Client *http.Client
+	// MaxBytes caps the response size (16 MiB if zero).
+	MaxBytes int64
+
+	mu           sync.Mutex
+	etag         string
+	lastModified string
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPFetcher) Fetch(ctx context.Context) ([]byte, bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.URL, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: build request: %w", err)
+	}
+	f.mu.Lock()
+	if f.etag != "" {
+		req.Header.Set("If-None-Match", f.etag)
+	}
+	if f.lastModified != "" {
+		req.Header.Set("If-Modified-Since", f.lastModified)
+	}
+	f.mu.Unlock()
+
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: fetch %s: %w", f.URL, err)
+	}
+	defer resp.Body.Close()
+
+	switch {
+	case resp.StatusCode == http.StatusNotModified:
+		return nil, true, nil
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, fmt.Errorf("feed: fetch %s: status %s", f.URL, resp.Status)
+	}
+	limit := f.MaxBytes
+	if limit <= 0 {
+		limit = 16 << 20
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: read %s: %w", f.URL, err)
+	}
+	if int64(len(data)) > limit {
+		return nil, false, fmt.Errorf("feed: %s exceeds %d bytes", f.URL, limit)
+	}
+	f.mu.Lock()
+	f.etag = resp.Header.Get("ETag")
+	f.lastModified = resp.Header.Get("Last-Modified")
+	f.mu.Unlock()
+	return data, false, nil
+}
+
+// FileFetcher reads a feed document from disk, reporting notModified when
+// the file's mtime has not advanced since the previous fetch.
+type FileFetcher struct {
+	// Path is the feed file location.
+	Path string
+
+	mu      sync.Mutex
+	lastMod time.Time
+}
+
+// Fetch implements Fetcher.
+func (f *FileFetcher) Fetch(_ context.Context) ([]byte, bool, error) {
+	info, err := os.Stat(f.Path)
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: stat %s: %w", f.Path, err)
+	}
+	f.mu.Lock()
+	unchanged := !f.lastMod.IsZero() && !info.ModTime().After(f.lastMod)
+	f.mu.Unlock()
+	if unchanged {
+		return nil, true, nil
+	}
+	data, err := os.ReadFile(f.Path)
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: read %s: %w", f.Path, err)
+	}
+	f.mu.Lock()
+	f.lastMod = info.ModTime()
+	f.mu.Unlock()
+	return data, false, nil
+}
+
+// StaticFetcher serves a fixed document once and notModified afterwards;
+// used in tests and examples.
+type StaticFetcher struct {
+	// Data is the document to serve.
+	Data []byte
+
+	mu      sync.Mutex
+	fetched bool
+}
+
+// Fetch implements Fetcher.
+func (f *StaticFetcher) Fetch(_ context.Context) ([]byte, bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fetched {
+		return nil, true, nil
+	}
+	f.fetched = true
+	return f.Data, false, nil
+}

@@ -1,0 +1,224 @@
+// Package feed implements the OSINT feed framework of the Input Module:
+// configured feeds are fetched on a schedule, parsed from their native
+// format (plaintext lists, CSV, MISP feed JSON, CVE advisory JSON), and the
+// records handed to the normalization stage. The paper motivates exactly
+// this heterogeneity: "Normalization is required since OSINT data comes in
+// various formats, such as plaintext and csv" (§III-A1).
+package feed
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+// Record is one raw datum extracted from a feed document.
+type Record struct {
+	// Value is the indicator value as the feed published it (possibly
+	// defanged — normalization refangs it).
+	Value string
+	// Category optionally overrides the feed's default threat category.
+	Category string
+	// Context carries additional columns/fields from the feed.
+	Context map[string]string
+}
+
+// Parser turns one fetched feed document into records.
+type Parser interface {
+	// Parse extracts records from a feed document.
+	Parse(data []byte) ([]Record, error)
+}
+
+// PlaintextParser parses one-indicator-per-line lists. Lines starting with
+// '#' or ';' and blank lines are skipped; inline comments after whitespace+#
+// are stripped.
+type PlaintextParser struct{}
+
+// Parse implements Parser.
+func (PlaintextParser) Parse(data []byte) ([]Record, error) {
+	var out []Record
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if i := strings.Index(line, " #"); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		out = append(out, Record{Value: line})
+	}
+	return out, nil
+}
+
+// CSVParser parses delimited feeds. The value is taken from ValueColumn;
+// all other columns land in Context keyed by header name (or "col<N>"
+// without a header row).
+type CSVParser struct {
+	// Comma is the field delimiter; ',' if zero.
+	Comma rune
+	// ValueColumn is the zero-based index of the indicator column.
+	ValueColumn int
+	// HasHeader indicates the first row names the columns.
+	HasHeader bool
+	// Comment, if non-zero, starts a skipped line.
+	Comment rune
+}
+
+// Parse implements Parser.
+func (p CSVParser) Parse(data []byte) ([]Record, error) {
+	r := csv.NewReader(strings.NewReader(string(data)))
+	if p.Comma != 0 {
+		r.Comma = p.Comma
+	}
+	if p.Comment != 0 {
+		r.Comment = p.Comment
+	}
+	r.FieldsPerRecord = -1
+	rows, err := r.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("feed: parse csv: %w", err)
+	}
+	var header []string
+	if p.HasHeader && len(rows) > 0 {
+		header = rows[0]
+		rows = rows[1:]
+	}
+	var out []Record
+	for _, row := range rows {
+		if p.ValueColumn >= len(row) {
+			continue
+		}
+		value := strings.TrimSpace(row[p.ValueColumn])
+		if value == "" {
+			continue
+		}
+		rec := Record{Value: value}
+		for i, field := range row {
+			if i == p.ValueColumn || strings.TrimSpace(field) == "" {
+				continue
+			}
+			key := fmt.Sprintf("col%d", i)
+			if i < len(header) && strings.TrimSpace(header[i]) != "" {
+				key = strings.TrimSpace(header[i])
+			}
+			if rec.Context == nil {
+				rec.Context = make(map[string]string)
+			}
+			rec.Context[key] = strings.TrimSpace(field)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// MISPFeedParser parses a MISP-format feed document: either a single
+// wrapped event or an array of wrapped events. Attribute values become
+// records with the attribute type and event info as context.
+type MISPFeedParser struct{}
+
+// Parse implements Parser.
+func (MISPFeedParser) Parse(data []byte) ([]Record, error) {
+	events, err := decodeMISPDocument(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, e := range events {
+		for _, a := range e.Attributes {
+			rec := Record{
+				Value: a.Value,
+				Context: map[string]string{
+					"misp_type":  a.Type,
+					"event_info": e.Info,
+				},
+			}
+			if a.Comment != "" {
+				rec.Context["description"] = a.Comment
+			}
+			out = append(out, rec)
+		}
+	}
+	return out, nil
+}
+
+func decodeMISPDocument(data []byte) ([]*misp.Event, error) {
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		var wrapped []misp.Wrapped
+		if err := json.Unmarshal(data, &wrapped); err != nil {
+			return nil, fmt.Errorf("feed: parse misp feed array: %w", err)
+		}
+		events := make([]*misp.Event, 0, len(wrapped))
+		for _, w := range wrapped {
+			if w.Event != nil {
+				events = append(events, w.Event)
+			}
+		}
+		return events, nil
+	}
+	e, err := misp.UnmarshalWrapped(data)
+	if err != nil {
+		return nil, fmt.Errorf("feed: parse misp feed: %w", err)
+	}
+	return []*misp.Event{e}, nil
+}
+
+// Advisory is one entry of a CVE advisory feed.
+type Advisory struct {
+	CVE         string   `json:"cve"`
+	Description string   `json:"description,omitempty"`
+	CVSS3       string   `json:"cvss3,omitempty"`
+	CVSS2       string   `json:"cvss2,omitempty"`
+	Products    []string `json:"products,omitempty"`
+	OS          string   `json:"os,omitempty"`
+	Published   string   `json:"published,omitempty"`
+	References  []string `json:"references,omitempty"`
+}
+
+// AdvisoryParser parses JSON arrays of vulnerability advisories, the shape
+// the synthetic feed generator emits for "vulnerability exploitation"
+// feeds.
+type AdvisoryParser struct{}
+
+// Parse implements Parser.
+func (AdvisoryParser) Parse(data []byte) ([]Record, error) {
+	var advisories []Advisory
+	if err := json.Unmarshal(data, &advisories); err != nil {
+		return nil, fmt.Errorf("feed: parse advisories: %w", err)
+	}
+	var out []Record
+	for _, a := range advisories {
+		if a.CVE == "" {
+			continue
+		}
+		rec := Record{Value: a.CVE, Context: make(map[string]string, 6)}
+		if a.Description != "" {
+			rec.Context["description"] = a.Description
+		}
+		if a.CVSS3 != "" {
+			rec.Context["cvss-vector"] = a.CVSS3
+		} else if a.CVSS2 != "" {
+			rec.Context["cvss2-vector"] = a.CVSS2
+		}
+		if len(a.Products) > 0 {
+			rec.Context["products"] = strings.Join(a.Products, ",")
+		}
+		if a.OS != "" {
+			rec.Context["os"] = a.OS
+		}
+		if a.Published != "" {
+			rec.Context["published"] = a.Published
+		}
+		if len(a.References) > 0 {
+			rec.Context["references"] = strings.Join(a.References, ",")
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package feed
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/clock"
+	"github.com/caisplatform/caisp/internal/normalize"
+)
+
+// Feed couples a named source with its fetcher, parser and schedule.
+type Feed struct {
+	// Name identifies the feed in event provenance and stats.
+	Name string
+	// Category is the default threat category for the feed's records.
+	Category string
+	// Fetcher retrieves the feed document.
+	Fetcher Fetcher
+	// Parser extracts records from the document.
+	Parser Parser
+	// Interval is the polling period (schedulers reject <= 0).
+	Interval time.Duration
+}
+
+// Stats counts one feed's activity.
+type Stats struct {
+	Fetches     int `json:"fetches"`
+	NotModified int `json:"not_modified"`
+	Errors      int `json:"errors"`
+	Records     int `json:"records"`
+	Malformed   int `json:"malformed"`
+}
+
+// Scheduler polls a set of feeds and emits normalized events to a sink.
+type Scheduler struct {
+	clk    clock.Clock
+	sink   func(normalize.Event)
+	logger *slog.Logger
+
+	mu      sync.Mutex
+	feeds   []Feed
+	stats   map[string]*Stats
+	started bool
+	cancel  context.CancelFunc
+	done    sync.WaitGroup
+}
+
+// Option configures a Scheduler.
+type Option interface{ apply(*Scheduler) }
+
+type clockOption struct{ clk clock.Clock }
+
+func (o clockOption) apply(s *Scheduler) { s.clk = o.clk }
+
+// WithClock substitutes the scheduler's clock (tests use a fake).
+func WithClock(clk clock.Clock) Option { return clockOption{clk: clk} }
+
+type loggerOption struct{ logger *slog.Logger }
+
+func (o loggerOption) apply(s *Scheduler) { s.logger = o.logger }
+
+// WithLogger sets the scheduler's logger.
+func WithLogger(logger *slog.Logger) Option { return loggerOption{logger: logger} }
+
+// NewScheduler builds a scheduler delivering normalized events to sink.
+func NewScheduler(sink func(normalize.Event), opts ...Option) *Scheduler {
+	s := &Scheduler{
+		clk:    clock.Real(),
+		sink:   sink,
+		logger: slog.Default(),
+		stats:  make(map[string]*Stats),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// Add registers a feed. It returns an error after Start, or for an invalid
+// feed definition.
+func (s *Scheduler) Add(f Feed) error {
+	if f.Name == "" || f.Fetcher == nil || f.Parser == nil {
+		return fmt.Errorf("feed: incomplete feed definition %q", f.Name)
+	}
+	if f.Interval <= 0 {
+		return fmt.Errorf("feed: feed %q has non-positive interval", f.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("feed: scheduler already started")
+	}
+	for _, existing := range s.feeds {
+		if existing.Name == f.Name {
+			return fmt.Errorf("feed: duplicate feed name %q", f.Name)
+		}
+	}
+	s.feeds = append(s.feeds, f)
+	s.stats[f.Name] = &Stats{}
+	return nil
+}
+
+// Start launches one polling goroutine per feed. Each feed is fetched
+// immediately and then every Interval. Stop (or ctx cancellation) ends
+// polling.
+func (s *Scheduler) Start(ctx context.Context) error {
+	s.mu.Lock()
+	if s.started {
+		s.mu.Unlock()
+		return fmt.Errorf("feed: scheduler already started")
+	}
+	s.started = true
+	ctx, s.cancel = context.WithCancel(ctx)
+	feeds := make([]Feed, len(s.feeds))
+	copy(feeds, s.feeds)
+	s.mu.Unlock()
+
+	for _, f := range feeds {
+		f := f
+		s.done.Add(1)
+		go func() {
+			defer s.done.Done()
+			s.pollLoop(ctx, f)
+		}()
+	}
+	return nil
+}
+
+// Stop cancels polling and waits for the workers to exit.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	s.done.Wait()
+}
+
+// PollOnce synchronously fetches every registered feed a single time —
+// batch mode for examples and the experiment harness.
+func (s *Scheduler) PollOnce(ctx context.Context) {
+	s.mu.Lock()
+	feeds := make([]Feed, len(s.feeds))
+	copy(feeds, s.feeds)
+	s.mu.Unlock()
+	for _, f := range feeds {
+		s.pollFeed(ctx, f)
+	}
+}
+
+// Stats returns a snapshot of per-feed counters.
+func (s *Scheduler) Stats() map[string]Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]Stats, len(s.stats))
+	for name, st := range s.stats {
+		out[name] = *st
+	}
+	return out
+}
+
+// FeedNames lists registered feeds, sorted.
+func (s *Scheduler) FeedNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.feeds))
+	for _, f := range s.feeds {
+		names = append(names, f.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (s *Scheduler) pollLoop(ctx context.Context, f Feed) {
+	consecutiveErrors := 0
+	if !s.pollFeed(ctx, f) {
+		consecutiveErrors = 1
+	}
+	for {
+		// Consecutive failures back the feed off exponentially (capped at
+		// 8× the interval) so a dead source does not burn its poll budget.
+		wait := f.Interval
+		if consecutiveErrors > 0 {
+			shift := consecutiveErrors
+			if shift > 3 {
+				shift = 3
+			}
+			wait = f.Interval << shift
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-s.clk.After(wait):
+			if s.pollFeed(ctx, f) {
+				consecutiveErrors = 0
+			} else {
+				consecutiveErrors++
+			}
+		}
+	}
+}
+
+// pollFeed fetches and processes one feed once; it reports success (a
+// not-modified response counts as success).
+func (s *Scheduler) pollFeed(ctx context.Context, f Feed) bool {
+	data, notModified, err := f.Fetcher.Fetch(ctx)
+	s.mu.Lock()
+	st := s.stats[f.Name]
+	st.Fetches++
+	s.mu.Unlock()
+
+	if err != nil {
+		s.bumpErrors(f.Name)
+		s.logger.Warn("feed fetch failed", "feed", f.Name, "error", err)
+		return false
+	}
+	if notModified {
+		s.mu.Lock()
+		st.NotModified++
+		s.mu.Unlock()
+		return true
+	}
+	records, err := f.Parser.Parse(data)
+	if err != nil {
+		s.bumpErrors(f.Name)
+		s.logger.Warn("feed parse failed", "feed", f.Name, "error", err)
+		return false
+	}
+	now := s.clk.Now()
+	for _, rec := range records {
+		category := f.Category
+		if rec.Category != "" {
+			category = rec.Category
+		}
+		event, err := normalize.New(rec.Value, category, f.Name, normalize.SourceOSINT, now)
+		if err != nil {
+			s.mu.Lock()
+			st.Malformed++
+			s.mu.Unlock()
+			continue
+		}
+		if len(rec.Context) > 0 {
+			event.Context = make(map[string]string, len(rec.Context))
+			for k, v := range rec.Context {
+				event.Context[k] = v
+			}
+		}
+		s.mu.Lock()
+		st.Records++
+		s.mu.Unlock()
+		s.sink(event)
+	}
+	return true
+}
+
+func (s *Scheduler) bumpErrors(name string) {
+	s.mu.Lock()
+	s.stats[name].Errors++
+	s.mu.Unlock()
+}

@@ -1,0 +1,160 @@
+package feed
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/stix"
+	"github.com/caisplatform/caisp/internal/stixpattern"
+	"github.com/caisplatform/caisp/internal/taxii"
+)
+
+// TAXIIFetcher polls a TAXII 2.1 collection and emits the objects it has
+// not delivered before as a STIX bundle document — organizations consume
+// each other's shared intelligence exactly this way (§II-A pairs STIX with
+// TAXII for automated sharing). Pair it with STIXBundleParser.
+type TAXIIFetcher struct {
+	// Client talks to the TAXII server.
+	Client *taxii.Client
+	// APIRoot and CollectionID select the collection.
+	APIRoot      string
+	CollectionID string
+
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+// Fetch implements Fetcher: it returns a bundle of not-yet-delivered
+// objects, or notModified when the collection holds nothing new.
+func (f *TAXIIFetcher) Fetch(_ context.Context) ([]byte, bool, error) {
+	if f.Client == nil {
+		return nil, false, fmt.Errorf("feed: taxii fetcher has no client")
+	}
+	objs, err := f.Client.AllObjects(f.APIRoot, f.CollectionID, timeZero)
+	if err != nil {
+		return nil, false, err
+	}
+	f.mu.Lock()
+	if f.seen == nil {
+		f.seen = make(map[string]bool)
+	}
+	var fresh []stix.Object
+	for _, o := range objs {
+		id := o.GetCommon().ID
+		if f.seen[id] {
+			continue
+		}
+		f.seen[id] = true
+		fresh = append(fresh, o)
+	}
+	f.mu.Unlock()
+	if len(fresh) == 0 {
+		return nil, true, nil
+	}
+	bundle := stix.NewBundle(fresh...)
+	data, err := json.Marshal(bundle)
+	if err != nil {
+		return nil, false, fmt.Errorf("feed: encode taxii bundle: %w", err)
+	}
+	return data, false, nil
+}
+
+// STIXBundleParser extracts records from a STIX 2.0 bundle: vulnerability
+// SDOs yield their CVE name with description/CVSS context, and indicator
+// SDOs yield every equality-compared value of their pattern.
+type STIXBundleParser struct{}
+
+// Parse implements Parser.
+func (STIXBundleParser) Parse(data []byte) ([]Record, error) {
+	bundle, err := stix.ParseBundle(data)
+	if err != nil {
+		return nil, err
+	}
+	var out []Record
+	for _, obj := range bundle.Objects {
+		switch o := obj.(type) {
+		case *stix.Vulnerability:
+			rec := Record{Value: o.Name, Context: map[string]string{}}
+			if o.Description != "" {
+				rec.Context["description"] = o.Description
+			}
+			if vec, ok := o.ExtraString("x_caisp_cvss_vector"); ok {
+				rec.Context["cvss-vector"] = vec
+			}
+			if osName, ok := o.ExtraString("x_caisp_os"); ok {
+				rec.Context["os"] = osName
+			}
+			if products, ok := o.ExtraString("x_caisp_products"); ok {
+				rec.Context["products"] = products
+			}
+			if refs := referenceURLs(o.ExternalReferences); refs != "" {
+				rec.Context["references"] = refs
+			}
+			out = append(out, rec)
+		case *stix.Indicator:
+			for _, value := range equalityValues(o.Pattern) {
+				rec := Record{Value: value}
+				if o.Description != "" {
+					rec.Context = map[string]string{"description": o.Description}
+				}
+				out = append(out, rec)
+			}
+		}
+	}
+	return out, nil
+}
+
+// equalityValues collects the literal values of every `path = 'value'`
+// comparison in a STIX pattern.
+func equalityValues(pattern string) []string {
+	p, err := stixpattern.Parse(pattern)
+	if err != nil {
+		return nil
+	}
+	var out []string
+	var walkObs func(stixpattern.ObservationExpr)
+	var walkCmp func(stixpattern.CompareExpr)
+	walkCmp = func(e stixpattern.CompareExpr) {
+		switch c := e.(type) {
+		case stixpattern.BoolCombine:
+			walkCmp(c.Left)
+			walkCmp(c.Right)
+		case stixpattern.Comparison:
+			if c.Op == stixpattern.OpEq && !c.Negated && len(c.Values) == 1 &&
+				c.Values[0].Kind == stixpattern.LitString {
+				out = append(out, c.Values[0].Str)
+			}
+		}
+	}
+	walkObs = func(e stixpattern.ObservationExpr) {
+		switch o := e.(type) {
+		case stixpattern.ObsTest:
+			walkCmp(o.Expr)
+		case stixpattern.ObsCombine:
+			walkObs(o.Left)
+			walkObs(o.Right)
+		case stixpattern.ObsQualified:
+			walkObs(o.Expr)
+		}
+	}
+	walkObs(p.Root)
+	return out
+}
+
+func referenceURLs(refs []stix.ExternalReference) string {
+	var urls []string
+	for _, r := range refs {
+		if r.URL != "" {
+			urls = append(urls, r.URL)
+		}
+	}
+	return strings.Join(urls, ",")
+}
+
+// timeZero is the zero instant used for unfiltered TAXII polls; the
+// fetcher's own seen-set provides the incremental semantics.
+var timeZero = time.Time{}

@@ -1,0 +1,283 @@
+// Package heuristic implements the paper's core contribution: the heuristic
+// engine of the Operational Module (§III-B2). It evaluates a set of
+// features per STIX Domain Object type and produces a Threat Score
+//
+//	TS = Cp × Σ Xi·Pi,   0 ≤ TS ≤ 5
+//
+// where Xi is the value of feature i (Table IV), Pi its weight and Cp the
+// completeness (non-empty features over total features).
+//
+// Weights follow the paper's §IV-B construction: each feature carries
+// expert points on four criteria — Relevance, Accuracy, Timeliness,
+// Variety — and Pi is that feature's point total over the point total of
+// all *evaluated* (non-empty) features: the paper discards the empty
+// valid_until feature "from our analysis", computing the remaining eight
+// Pi over 84 points, while completeness still counts it (Cp = 8/9).
+// StaticScore reproduces the fixed-weight variant of Table I.
+package heuristic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/stix"
+)
+
+// MaxScore is the upper bound of feature values and threat scores.
+const MaxScore = 5.0
+
+// CriteriaPoints is the expert point assignment of one feature over the
+// four weighting criteria of §III-B2b.
+type CriteriaPoints struct {
+	Relevance  int `json:"relevance"`
+	Accuracy   int `json:"accuracy"`
+	Timeliness int `json:"timeliness"`
+	Variety    int `json:"variety"`
+}
+
+// Total sums the four criteria.
+func (c CriteriaPoints) Total() int {
+	return c.Relevance + c.Accuracy + c.Timeliness + c.Variety
+}
+
+// Context is everything an evaluator may consult.
+type Context struct {
+	// Now is the evaluation instant (timeliness buckets).
+	Now time.Time
+	// Infra is the infrastructure collector; nil means no infrastructure
+	// knowledge (accuracy-style features then evaluate as empty or their
+	// no-information attribute).
+	Infra *infra.Collector
+}
+
+// Evaluator produces a feature value for one STIX object. present=false
+// marks the feature empty: it contributes nothing and lowers completeness.
+type Evaluator func(ctx *Context, obj stix.Object) (value float64, present bool)
+
+// FeatureSpec declares one feature of a heuristic.
+type FeatureSpec struct {
+	// Name is the feature identifier used in Tables II/IV/V.
+	Name string
+	// Description documents what the feature measures.
+	Description string
+	// Points carries the expert criteria points; Pi derives from them.
+	Points CriteriaPoints
+	// Evaluate extracts the feature value.
+	Evaluate Evaluator
+}
+
+// Heuristic is a named feature set for one SDO type (Table II row).
+type Heuristic struct {
+	// SDOType is the STIX object type the heuristic applies to.
+	SDOType string
+	// Features is the ordered feature list.
+	Features []FeatureSpec
+}
+
+// FeatureResult is the evaluation of one feature.
+type FeatureResult struct {
+	Name    string         `json:"name"`
+	Value   float64        `json:"value"`  // Xi
+	Weight  float64        `json:"weight"` // Pi (0 when discarded as empty)
+	Points  CriteriaPoints `json:"points"`
+	Present bool           `json:"present"`
+}
+
+// Result is the full outcome of a threat-score evaluation.
+type Result struct {
+	// SDOType names the heuristic applied.
+	SDOType string `json:"sdo_type"`
+	// Features lists per-feature values and weights in heuristic order.
+	Features []FeatureResult `json:"features"`
+	// Completeness is Cp = present / total.
+	Completeness float64 `json:"completeness"`
+	// WeightedSum is Σ Xi·Pi over present features.
+	WeightedSum float64 `json:"weighted_sum"`
+	// Score is the final TS.
+	Score float64 `json:"score"`
+	// EvaluatedAt is the Context.Now used.
+	EvaluatedAt time.Time `json:"evaluated_at"`
+}
+
+// PresentCount returns the number of non-empty features.
+func (r *Result) PresentCount() int {
+	n := 0
+	for _, f := range r.Features {
+		if f.Present {
+			n++
+		}
+	}
+	return n
+}
+
+// Priority buckets the score for analysts: low < 1.7, medium < 3.3,
+// high ≥ 3.3 (even thirds of the 0–5 range).
+func (r *Result) Priority() string {
+	switch {
+	case r.Score < MaxScore/3:
+		return "low"
+	case r.Score < 2*MaxScore/3:
+		return "medium"
+	default:
+		return "high"
+	}
+}
+
+// Engine evaluates STIX objects against a heuristic registry.
+type Engine struct {
+	registry map[string]*Heuristic
+	infra    *infra.Collector
+	now      func() time.Time
+}
+
+// Option configures an Engine.
+type Option interface{ apply(*Engine) }
+
+type infraOption struct{ c *infra.Collector }
+
+func (o infraOption) apply(e *Engine) { e.infra = o.c }
+
+// WithInfrastructure supplies the infrastructure collector used by
+// accuracy-style features.
+func WithInfrastructure(c *infra.Collector) Option { return infraOption{c: c} }
+
+type nowOption struct{ now func() time.Time }
+
+func (o nowOption) apply(e *Engine) { e.now = o.now }
+
+// WithNow fixes the evaluation clock (tests and experiment reproduction).
+func WithNow(now func() time.Time) Option { return nowOption{now: now} }
+
+type heuristicOption struct{ h *Heuristic }
+
+func (o heuristicOption) apply(e *Engine) { e.registry[o.h.SDOType] = o.h }
+
+// WithHeuristic overrides or adds a heuristic for one SDO type.
+func WithHeuristic(h *Heuristic) Option { return heuristicOption{h: h} }
+
+// NewEngine builds an engine with the default registry (the six SDO
+// heuristics of Table II).
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		registry: make(map[string]*Heuristic, 6),
+		now:      time.Now,
+	}
+	for _, h := range DefaultHeuristics() {
+		e.registry[h.SDOType] = h
+	}
+	for _, o := range opts {
+		o.apply(e)
+	}
+	return e
+}
+
+// SupportedTypes lists SDO types with a registered heuristic, sorted.
+func (e *Engine) SupportedTypes() []string {
+	out := make([]string, 0, len(e.registry))
+	for typ := range e.registry {
+		out = append(out, typ)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Heuristic returns the registered heuristic for an SDO type, or nil.
+func (e *Engine) Heuristic(sdoType string) *Heuristic {
+	return e.registry[sdoType]
+}
+
+// Evaluate computes the threat score of a STIX object using the heuristic
+// registered for its type.
+func (e *Engine) Evaluate(obj stix.Object) (*Result, error) {
+	typ := obj.GetCommon().Type
+	h, ok := e.registry[typ]
+	if !ok {
+		return nil, fmt.Errorf("heuristic: no heuristic registered for SDO type %q", typ)
+	}
+	ctx := &Context{Now: e.now().UTC(), Infra: e.infra}
+	return evaluate(h, ctx, obj), nil
+}
+
+// evaluate runs every feature, derives Pi over the present features'
+// points, and assembles the score.
+func evaluate(h *Heuristic, ctx *Context, obj stix.Object) *Result {
+	res := &Result{
+		SDOType:     h.SDOType,
+		Features:    make([]FeatureResult, 0, len(h.Features)),
+		EvaluatedAt: ctx.Now,
+	}
+	presentPoints := 0
+	for _, spec := range h.Features {
+		value, present := spec.Evaluate(ctx, obj)
+		if value < 0 {
+			value = 0
+		}
+		if value > MaxScore {
+			value = MaxScore
+		}
+		res.Features = append(res.Features, FeatureResult{
+			Name:    spec.Name,
+			Value:   value,
+			Points:  spec.Points,
+			Present: present,
+		})
+		if present {
+			presentPoints += spec.Points.Total()
+		}
+	}
+	total := len(h.Features)
+	if total == 0 {
+		return res
+	}
+	present := res.PresentCount()
+	res.Completeness = float64(present) / float64(total)
+	if presentPoints == 0 {
+		return res
+	}
+	for i := range res.Features {
+		f := &res.Features[i]
+		if !f.Present {
+			continue
+		}
+		f.Weight = float64(f.Points.Total()) / float64(presentPoints)
+		res.WeightedSum += f.Value * f.Weight
+	}
+	res.Score = roundTo(res.Completeness*res.WeightedSum, 4)
+	return res
+}
+
+// StaticScore reproduces the Table I computation: fixed weights, features
+// with value zero counted as empty for completeness but keeping their
+// weight in the sum (their contribution is zero anyway).
+func StaticScore(values, weights []float64) (float64, error) {
+	if len(values) != len(weights) {
+		return 0, fmt.Errorf("heuristic: %d values vs %d weights", len(values), len(weights))
+	}
+	if len(values) == 0 {
+		return 0, fmt.Errorf("heuristic: empty feature vector")
+	}
+	var sum float64
+	present := 0
+	for i, v := range values {
+		if v < 0 || v > MaxScore {
+			return 0, fmt.Errorf("heuristic: feature value %g out of [0, %g]", v, MaxScore)
+		}
+		if weights[i] < 0 {
+			return 0, fmt.Errorf("heuristic: negative weight %g", weights[i])
+		}
+		if v > 0 {
+			present++
+		}
+		sum += v * weights[i]
+	}
+	cp := float64(present) / float64(len(values))
+	return roundTo(cp*sum, 4), nil
+}
+
+func roundTo(v float64, decimals int) float64 {
+	scale := math.Pow(10, float64(decimals))
+	return math.Round(v*scale) / scale
+}

@@ -1,0 +1,86 @@
+package heuristic
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// WeightsConfig overrides the expert criteria points of features — the
+// paper assigns Pi "based on expert knowledge" (§IV-B), which differs per
+// organization; this lets deployments tune weights from configuration
+// without recompiling. The outer key is the SDO type, the inner key the
+// feature name.
+type WeightsConfig map[string]map[string]CriteriaPoints
+
+// ParseWeights decodes a weights configuration from JSON of the shape
+//
+//	{"vulnerability": {"cve": {"relevance": 10, "accuracy": 5,
+//	                           "timeliness": 1, "variety": 1}}}
+func ParseWeights(data []byte) (WeightsConfig, error) {
+	var cfg WeightsConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("heuristic: decode weights: %w", err)
+	}
+	for sdoType, features := range cfg {
+		for name, points := range features {
+			if points.Total() <= 0 {
+				return nil, fmt.Errorf("heuristic: %s.%s has non-positive point total", sdoType, name)
+			}
+			if points.Relevance < 0 || points.Accuracy < 0 ||
+				points.Timeliness < 0 || points.Variety < 0 {
+				return nil, fmt.Errorf("heuristic: %s.%s has negative criteria points", sdoType, name)
+			}
+		}
+	}
+	return cfg, nil
+}
+
+// WithWeights returns an engine option applying the overrides. Unknown SDO
+// types or feature names are reported as an error at engine construction
+// via the returned option's application — since options cannot fail, the
+// config is validated against the default registry here first.
+func WithWeights(cfg WeightsConfig) (Option, error) {
+	known := make(map[string]map[string]bool)
+	for _, h := range DefaultHeuristics() {
+		features := make(map[string]bool, len(h.Features))
+		for _, f := range h.Features {
+			features[f.Name] = true
+		}
+		known[h.SDOType] = features
+	}
+	for sdoType, features := range cfg {
+		names, ok := known[sdoType]
+		if !ok {
+			return nil, fmt.Errorf("heuristic: weights reference unknown SDO type %q", sdoType)
+		}
+		for name := range features {
+			if !names[name] {
+				return nil, fmt.Errorf("heuristic: weights reference unknown feature %s.%s", sdoType, name)
+			}
+		}
+	}
+	return weightsOption(cfg), nil
+}
+
+type weightsOption WeightsConfig
+
+func (o weightsOption) apply(e *Engine) {
+	for sdoType, features := range o {
+		h, ok := e.registry[sdoType]
+		if !ok {
+			continue
+		}
+		// Heuristics in the registry are shared defaults: copy before
+		// mutating so other engines keep the stock weights.
+		clone := &Heuristic{
+			SDOType:  h.SDOType,
+			Features: append([]FeatureSpec(nil), h.Features...),
+		}
+		for i := range clone.Features {
+			if points, ok := features[clone.Features[i].Name]; ok {
+				clone.Features[i].Points = points
+			}
+		}
+		e.registry[sdoType] = clone
+	}
+}

@@ -1,0 +1,98 @@
+package infra
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// alarmLineRE matches the snort-style syslog alert lines emitted by the
+// paper's monitoring devices (snort/suricata on the Table III nodes):
+//
+//	Jun 24 12:00:01 node4 snort[1234]: [1:2019401:3] ET WEB Apache Struts
+//	RCE attempt {TCP} 198.51.100.9:4444 -> 10.0.0.14:8080 [Priority: 1]
+//
+// Capture groups: timestamp, host, program, signature ids, message, proto,
+// source ip:port, destination ip:port, priority.
+var alarmLineRE = regexp.MustCompile(
+	`^(\w{3} {1,2}\d{1,2} \d{2}:\d{2}:\d{2}) (\S+) (\w+)(?:\[\d+\])?: ` +
+		`\[([\d:]+)\] (.*?) \{(\w+)\} ` +
+		`(\d{1,3}(?:\.\d{1,3}){3})(?::\d+)? -> (\d{1,3}(?:\.\d{1,3}){3})(?::\d+)?` +
+		`(?: \[Priority: (\d)\])?\s*$`)
+
+// ParseAlarmLine parses one snort-style syslog alert line into an Alarm.
+// Priorities map 1 → red, 2 → yellow, anything else → green; a missing
+// priority defaults to yellow. The year (absent from syslog timestamps) is
+// taken from refTime, as is the location.
+func ParseAlarmLine(line string, refTime time.Time) (Alarm, error) {
+	m := alarmLineRE.FindStringSubmatch(strings.TrimSpace(line))
+	if m == nil {
+		return Alarm{}, fmt.Errorf("infra: unparsable alarm line %q", line)
+	}
+	ts, err := time.ParseInLocation("Jan 2 15:04:05", squeezeSpaces(m[1]), refTime.Location())
+	if err != nil {
+		return Alarm{}, fmt.Errorf("infra: bad alarm timestamp %q: %w", m[1], err)
+	}
+	ts = ts.AddDate(refTime.Year(), 0, 0)
+	if ts.After(refTime.AddDate(0, 0, 1)) {
+		// A December line read in January belongs to the previous year.
+		ts = ts.AddDate(-1, 0, 0)
+	}
+
+	severity := SeverityMedium
+	if m[9] != "" {
+		prio, err := strconv.Atoi(m[9])
+		if err == nil {
+			switch prio {
+			case 1:
+				severity = SeverityHigh
+			case 2:
+				severity = SeverityMedium
+			default:
+				severity = SeverityLow
+			}
+		}
+	}
+	return Alarm{
+		NodeID:      m[2],
+		Severity:    severity,
+		SrcIP:       m[7],
+		DstIP:       m[8],
+		Description: fmt.Sprintf("%s [%s] %s", m[3], m[4], m[5]),
+		At:          ts,
+	}, nil
+}
+
+// IngestAlarmLines parses a batch of alert lines and records each alarm
+// whose node exists in the inventory, returning the stored alarms and the
+// lines that failed (unparsable or unknown node) keyed by line number.
+func (c *Collector) IngestAlarmLines(lines []string, refTime time.Time) ([]Alarm, map[int]error) {
+	var stored []Alarm
+	failed := make(map[int]error)
+	for i, line := range lines {
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		alarm, err := ParseAlarmLine(line, refTime)
+		if err != nil {
+			failed[i] = err
+			continue
+		}
+		saved, err := c.AddAlarm(alarm)
+		if err != nil {
+			failed[i] = err
+			continue
+		}
+		stored = append(stored, saved)
+	}
+	if len(failed) == 0 {
+		return stored, nil
+	}
+	return stored, failed
+}
+
+func squeezeSpaces(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,134 @@
+package infra
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+var refTime = time.Date(2019, 6, 24, 23, 0, 0, 0, time.UTC)
+
+func TestParseAlarmLine(t *testing.T) {
+	line := "Jun 24 12:00:01 node4 snort[1234]: [1:2019401:3] ET WEB Apache Struts RCE attempt {TCP} 198.51.100.9:4444 -> 10.0.0.14:8080 [Priority: 1]"
+	alarm, err := ParseAlarmLine(line, refTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm.NodeID != "node4" {
+		t.Fatalf("node = %q", alarm.NodeID)
+	}
+	if alarm.Severity != SeverityHigh {
+		t.Fatalf("severity = %v", alarm.Severity)
+	}
+	if alarm.SrcIP != "198.51.100.9" || alarm.DstIP != "10.0.0.14" {
+		t.Fatalf("ips = %s -> %s", alarm.SrcIP, alarm.DstIP)
+	}
+	if !strings.Contains(alarm.Description, "Apache Struts RCE attempt") ||
+		!strings.Contains(alarm.Description, "snort") {
+		t.Fatalf("description = %q", alarm.Description)
+	}
+	want := time.Date(2019, 6, 24, 12, 0, 1, 0, time.UTC)
+	if !alarm.At.Equal(want) {
+		t.Fatalf("at = %v, want %v", alarm.At, want)
+	}
+}
+
+func TestParseAlarmLineVariants(t *testing.T) {
+	tests := []struct {
+		name     string
+		line     string
+		wantSev  Severity
+		wantNode string
+		wantErr  bool
+	}{
+		{
+			name:     "priority 2 is yellow",
+			line:     "Jun  1 08:15:30 node1 suricata: [1:100:1] port scan detected {UDP} 203.0.113.5:53 -> 10.0.0.11:53 [Priority: 2]",
+			wantSev:  SeverityMedium,
+			wantNode: "node1",
+		},
+		{
+			name:     "priority 3 is green",
+			line:     "Jun  1 08:15:30 node2 snort: [1:100:1] ping sweep {ICMP} 203.0.113.5 -> 10.0.0.12 [Priority: 3]",
+			wantSev:  SeverityLow,
+			wantNode: "node2",
+		},
+		{
+			name:     "missing priority defaults to yellow",
+			line:     "Jun  1 08:15:30 node3 snort: [1:100:1] odd traffic {TCP} 203.0.113.5:1 -> 10.0.0.13:2",
+			wantSev:  SeverityMedium,
+			wantNode: "node3",
+		},
+		{
+			name:     "no ports",
+			line:     "Jun  1 08:15:30 node1 hids: [5:1:1] file integrity change {TCP} 10.0.0.11 -> 10.0.0.11 [Priority: 2]",
+			wantSev:  SeverityMedium,
+			wantNode: "node1",
+		},
+		{name: "garbage", line: "not an alarm at all", wantErr: true},
+		{name: "empty", line: "", wantErr: true},
+		{name: "missing arrow", line: "Jun  1 08:15:30 node1 snort: [1:1:1] x {TCP} 1.2.3.4", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			alarm, err := ParseAlarmLine(tt.line, refTime)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("parsed: %+v", alarm)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if alarm.Severity != tt.wantSev || alarm.NodeID != tt.wantNode {
+				t.Fatalf("alarm = %+v", alarm)
+			}
+		})
+	}
+}
+
+func TestParseAlarmLineYearWrap(t *testing.T) {
+	// A December line read on January 2nd belongs to the previous year.
+	janRef := time.Date(2020, 1, 2, 0, 0, 0, 0, time.UTC)
+	alarm, err := ParseAlarmLine(
+		"Dec 31 23:59:00 node1 snort: [1:1:1] late alert {TCP} 1.2.3.4:1 -> 5.6.7.8:2 [Priority: 1]", janRef)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alarm.At.Year() != 2019 {
+		t.Fatalf("year = %d, want 2019", alarm.At.Year())
+	}
+}
+
+func TestIngestAlarmLines(t *testing.T) {
+	c := collector(t)
+	lines := []string{
+		"Jun 24 12:00:01 node4 snort[99]: [1:2019401:3] struts RCE attempt {TCP} 198.51.100.9:4444 -> 10.0.0.14:8080 [Priority: 1]",
+		"", // blank lines skipped silently
+		"completely broken line",
+		"Jun 24 12:00:05 ghost snort: [1:1:1] unknown node {TCP} 1.2.3.4:1 -> 5.6.7.8:2 [Priority: 2]",
+		"Jun 24 12:00:09 node1 suricata: [1:100:1] scan {UDP} 203.0.113.5:53 -> 10.0.0.11:53 [Priority: 3]",
+	}
+	stored, failed := c.IngestAlarmLines(lines, refTime)
+	if len(stored) != 2 {
+		t.Fatalf("stored = %d, want 2", len(stored))
+	}
+	if len(failed) != 2 {
+		t.Fatalf("failed = %v, want 2 failures", failed)
+	}
+	if _, ok := failed[2]; !ok {
+		t.Fatal("broken line not reported")
+	}
+	if _, ok := failed[3]; !ok {
+		t.Fatal("unknown-node line not reported")
+	}
+	if got := len(c.AlarmsForNode("node4")); got != 1 {
+		t.Fatalf("node4 alarms = %d", got)
+	}
+	// All-good batch returns a nil failure map.
+	_, failed = c.IngestAlarmLines([]string{lines[0]}, refTime)
+	if failed != nil {
+		t.Fatalf("failures on clean batch: %v", failed)
+	}
+}

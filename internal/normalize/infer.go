@@ -1,0 +1,158 @@
+package normalize
+
+import (
+	"net"
+	"net/url"
+	"regexp"
+	"strings"
+)
+
+var (
+	cveRE    = regexp.MustCompile(`^CVE-\d{4}-\d{4,}$`)
+	hexRE    = regexp.MustCompile(`^[0-9a-fA-F]+$`)
+	domainRE = regexp.MustCompile(`^([a-zA-Z0-9]([a-zA-Z0-9-]{0,61}[a-zA-Z0-9])?\.)+[a-zA-Z]{2,}$`)
+	emailRE  = regexp.MustCompile(`^[^@\s]+@[^@\s]+\.[a-zA-Z]{2,}$`)
+)
+
+// InferType classifies a (refanged) indicator value.
+func InferType(value string) IoCType {
+	v := strings.TrimSpace(value)
+	switch {
+	case v == "":
+		return TypeUnknown
+	case cveRE.MatchString(strings.ToUpper(v)):
+		return TypeCVE
+	case strings.Contains(v, "://"):
+		if u, err := url.Parse(v); err == nil && u.Host != "" {
+			return TypeURL
+		}
+		return TypeUnknown
+	case strings.Contains(v, "/") && isCIDR(v):
+		return TypeCIDR
+	case net.ParseIP(v) != nil:
+		if strings.Contains(v, ":") {
+			return TypeIPv6
+		}
+		return TypeIPv4
+	case emailRE.MatchString(v):
+		return TypeEmail
+	case hexRE.MatchString(v):
+		switch len(v) {
+		case 32:
+			return TypeMD5
+		case 40:
+			return TypeSHA1
+		case 64:
+			return TypeSHA256
+		case 128:
+			return TypeSHA512
+		}
+		return TypeUnknown
+	case looksLikeFilename(v):
+		// Checked before domains: "dropper.exe" is lexically a valid
+		// domain name but a well-known executable extension wins.
+		return TypeFilename
+	case domainRE.MatchString(v):
+		return TypeDomain
+	default:
+		return TypeUnknown
+	}
+}
+
+// Refang undoes the common "defanging" conventions OSINT feeds apply to
+// neuter indicators: hxxp:// → http://, [.] and (.) → ., [@] → @,
+// [:] → : (for URLs), and surrounding angle brackets.
+func Refang(value string) string {
+	v := strings.TrimSpace(value)
+	v = strings.TrimPrefix(v, "<")
+	v = strings.TrimSuffix(v, ">")
+	replacements := []struct{ from, to string }{
+		{from: "hxxps://", to: "https://"},
+		{from: "hXXps://", to: "https://"},
+		{from: "hxxp://", to: "http://"},
+		{from: "hXXp://", to: "http://"},
+		{from: "[.]", to: "."},
+		{from: "(.)", to: "."},
+		{from: "{.}", to: "."},
+		{from: "[dot]", to: "."},
+		{from: "(dot)", to: "."},
+		{from: "[@]", to: "@"},
+		{from: "(@)", to: "@"},
+		{from: "[at]", to: "@"},
+		{from: "[://]", to: "://"},
+		{from: "[:]", to: ":"},
+	}
+	for _, r := range replacements {
+		v = strings.ReplaceAll(v, r.from, r.to)
+	}
+	return v
+}
+
+// CanonicalValue normalizes a value within its type so equal indicators
+// compare equal: domains and hashes are lowercased, URLs get lowercase
+// scheme/host and stripped default ports, CVE ids are uppercased, IPs are
+// re-rendered from their parsed form.
+func CanonicalValue(typ IoCType, value string) string {
+	v := strings.TrimSpace(value)
+	switch typ {
+	case TypeDomain:
+		return strings.ToLower(strings.TrimSuffix(v, "."))
+	case TypeMD5, TypeSHA1, TypeSHA256, TypeSHA512:
+		return strings.ToLower(v)
+	case TypeCVE:
+		return strings.ToUpper(v)
+	case TypeEmail:
+		return strings.ToLower(v)
+	case TypeIPv4, TypeIPv6:
+		if ip := net.ParseIP(v); ip != nil {
+			return ip.String()
+		}
+		return v
+	case TypeCIDR:
+		if _, ipnet, err := net.ParseCIDR(v); err == nil {
+			return ipnet.String()
+		}
+		return v
+	case TypeURL:
+		u, err := url.Parse(v)
+		if err != nil || u.Host == "" {
+			return v
+		}
+		u.Scheme = strings.ToLower(u.Scheme)
+		host := strings.ToLower(u.Host)
+		switch {
+		case u.Scheme == "http" && strings.HasSuffix(host, ":80"):
+			host = strings.TrimSuffix(host, ":80")
+		case u.Scheme == "https" && strings.HasSuffix(host, ":443"):
+			host = strings.TrimSuffix(host, ":443")
+		}
+		u.Host = host
+		u.Fragment = ""
+		return u.String()
+	default:
+		return v
+	}
+}
+
+func isCIDR(v string) bool {
+	_, _, err := net.ParseCIDR(v)
+	return err == nil
+}
+
+func looksLikeFilename(v string) bool {
+	if strings.ContainsAny(v, " \t/\\") {
+		return false
+	}
+	dot := strings.LastIndexByte(v, '.')
+	if dot <= 0 || dot == len(v)-1 {
+		return false
+	}
+	ext := v[dot+1:]
+	switch strings.ToLower(ext) {
+	case "exe", "dll", "pdf", "doc", "docx", "xls", "xlsx", "js", "vbs",
+		"bat", "ps1", "sh", "jar", "zip", "rar", "7z", "scr", "apk", "bin":
+		return true
+	default:
+		return false
+	}
+}

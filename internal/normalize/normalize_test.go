@@ -1,0 +1,286 @@
+package normalize
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var seen = time.Date(2019, 6, 24, 10, 0, 0, 0, time.UTC)
+
+func TestInferType(t *testing.T) {
+	tests := []struct {
+		give string
+		want IoCType
+	}{
+		{give: "evil.example", want: TypeDomain},
+		{give: "sub.domain.evil.example", want: TypeDomain},
+		{give: "203.0.113.7", want: TypeIPv4},
+		{give: "2001:db8::1", want: TypeIPv6},
+		{give: "10.0.0.0/8", want: TypeCIDR},
+		{give: "http://evil.example/path", want: TypeURL},
+		{give: "https://evil.example:8443/x?q=1", want: TypeURL},
+		{give: "user@evil.example", want: TypeEmail},
+		{give: strings.Repeat("a", 32), want: TypeMD5},
+		{give: strings.Repeat("b", 40), want: TypeSHA1},
+		{give: strings.Repeat("c", 64), want: TypeSHA256},
+		{give: strings.Repeat("d", 128), want: TypeSHA512},
+		{give: "CVE-2017-9805", want: TypeCVE},
+		{give: "cve-2017-9805", want: TypeCVE},
+		{give: "dropper.exe", want: TypeFilename},
+		{give: "invoice.pdf", want: TypeFilename},
+		{give: "", want: TypeUnknown},
+		{give: "just some words", want: TypeUnknown},
+		{give: strings.Repeat("e", 33), want: TypeUnknown}, // odd hex length
+		{give: "singleword", want: TypeUnknown},
+	}
+	for _, tt := range tests {
+		if got := InferType(tt.give); got != tt.want {
+			t.Errorf("InferType(%q) = %v, want %v", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRefang(t *testing.T) {
+	tests := []struct {
+		give string
+		want string
+	}{
+		{give: "hxxp://evil[.]example/x", want: "http://evil.example/x"},
+		{give: "hxxps://evil(.)example", want: "https://evil.example"},
+		{give: "evil[dot]example", want: "evil.example"},
+		{give: "user[@]evil[.]example", want: "user@evil.example"},
+		{give: "user[at]evil.example", want: "user@evil.example"},
+		{give: "<203.0.113.7>", want: "203.0.113.7"},
+		{give: "plain.example", want: "plain.example"},
+		{give: "hXXp://x[.]y", want: "http://x.y"},
+	}
+	for _, tt := range tests {
+		if got := Refang(tt.give); got != tt.want {
+			t.Errorf("Refang(%q) = %q, want %q", tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestRefangIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Refang(s)
+		return Refang(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalValue(t *testing.T) {
+	tests := []struct {
+		typ  IoCType
+		give string
+		want string
+	}{
+		{typ: TypeDomain, give: "EVIL.Example.", want: "evil.example"},
+		{typ: TypeSHA256, give: strings.ToUpper(strings.Repeat("ab", 32)), want: strings.Repeat("ab", 32)},
+		{typ: TypeCVE, give: "cve-2017-9805", want: "CVE-2017-9805"},
+		{typ: TypeEmail, give: "User@Evil.Example", want: "user@evil.example"},
+		{typ: TypeIPv4, give: "203.000.113.007", want: "203.000.113.007"}, // unparsable octal-ish left as-is
+		{typ: TypeIPv4, give: "203.0.113.7", want: "203.0.113.7"},
+		{typ: TypeIPv6, give: "2001:DB8:0:0:0:0:0:1", want: "2001:db8::1"},
+		{typ: TypeCIDR, give: "10.0.0.5/8", want: "10.0.0.0/8"},
+		{typ: TypeURL, give: "HTTP://Evil.Example:80/Path?q=1#frag", want: "http://evil.example/Path?q=1"},
+		{typ: TypeURL, give: "https://evil.example:443/", want: "https://evil.example/"},
+		{typ: TypeURL, give: "https://evil.example:8443/", want: "https://evil.example:8443/"},
+		{typ: TypeFilename, give: "dropper.exe", want: "dropper.exe"},
+	}
+	for _, tt := range tests {
+		if got := CanonicalValue(tt.typ, tt.give); got != tt.want {
+			t.Errorf("CanonicalValue(%v, %q) = %q, want %q", tt.typ, tt.give, got, tt.want)
+		}
+	}
+}
+
+func TestCanonicalValueIdempotentQuick(t *testing.T) {
+	// Canonicalization must be a projection: applying it twice equals once.
+	values := []string{
+		"EVIL.Example.", "203.0.113.7", "2001:DB8::1", "10.1.2.3/16",
+		"HTTP://Evil.Example:80/Path", "User@Evil.Example", "CVE-2017-9805",
+		strings.Repeat("AB", 32), "dropper.exe", "random text",
+	}
+	for _, v := range values {
+		typ := InferType(Refang(v))
+		once := CanonicalValue(typ, v)
+		twice := CanonicalValue(typ, once)
+		if once != twice {
+			t.Errorf("CanonicalValue not idempotent for %q: %q -> %q", v, once, twice)
+		}
+	}
+}
+
+func TestNewEventDeterministicID(t *testing.T) {
+	a, err := New("EVIL[.]example", CategoryMalwareDomain, "feed-a", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("evil.example", CategoryMalwareDomain, "feed-b", SourceOSINT, seen.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ID != b.ID {
+		t.Fatalf("same indicator, different ids: %s vs %s", a.ID, b.ID)
+	}
+	if a.Type != TypeDomain || a.Value != "evil.example" {
+		t.Fatalf("normalization wrong: %+v", a)
+	}
+	c, err := New("evil.example", CategoryPhishing, "feed-a", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.ID == a.ID {
+		t.Fatal("different categories must produce different ids")
+	}
+}
+
+func TestNewEventEmptyValue(t *testing.T) {
+	if _, err := New("   ", CategoryUnknown, "feed", SourceOSINT, seen); err == nil {
+		t.Fatal("empty value accepted")
+	}
+}
+
+func TestCanonicalizeIdempotent(t *testing.T) {
+	e, err := New("hxxp://bad[.]example/mal.exe", CategoryMalwareDomain, "feed", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := e
+	if err := Canonicalize(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.ID != before.ID || e.Value != before.Value || e.Type != before.Type {
+		t.Fatalf("Canonicalize changed an already-canonical event:\n%+v\n%+v", before, e)
+	}
+}
+
+func TestCanonicalizeRepairs(t *testing.T) {
+	e := Event{
+		Value:     "EVIL[.]Example",
+		Category:  "",
+		FirstSeen: seen.Add(time.Hour),
+		LastSeen:  seen, // reversed window
+	}
+	if err := Canonicalize(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Type != TypeDomain || e.Value != "evil.example" {
+		t.Fatalf("repair failed: %+v", e)
+	}
+	if e.Category != CategoryUnknown || e.SourceType != SourceOSINT {
+		t.Fatalf("defaults not applied: %+v", e)
+	}
+	if e.LastSeen.Before(e.FirstSeen) {
+		t.Fatalf("window not repaired: %+v", e)
+	}
+	if e.ID == "" {
+		t.Fatal("id not assigned")
+	}
+}
+
+func TestCanonicalizeEmpty(t *testing.T) {
+	e := Event{Value: "  "}
+	if err := Canonicalize(&e); err == nil {
+		t.Fatal("empty event canonicalized")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, err := New("evil.example", CategoryMalwareDomain, "feed-a", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New("evil.example", CategoryMalwareDomain, "feed-b", SourceOSINT, seen.Add(2*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Context = map[string]string{"description": "c2 host"}
+	if err := Merge(&a, b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.LastSeen.Equal(seen.Add(2 * time.Hour)) {
+		t.Fatalf("window not widened: %+v", a)
+	}
+	srcs := a.Sources()
+	if len(srcs) != 2 || srcs[0] != "feed-a" || srcs[1] != "feed-b" {
+		t.Fatalf("Sources() = %v", srcs)
+	}
+	if a.Context["description"] != "c2 host" {
+		t.Fatalf("context not merged: %+v", a.Context)
+	}
+	// Merging an unrelated event must fail.
+	c, err := New("other.example", CategoryMalwareDomain, "feed-c", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(&a, c); err == nil {
+		t.Fatal("merge of unrelated events succeeded")
+	}
+}
+
+func TestMergeIsCommutativeOnWindow(t *testing.T) {
+	early, err := New("evil.example", CategoryMalwareDomain, "a", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := New("evil.example", CategoryMalwareDomain, "b", SourceOSINT, seen.Add(time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, y := early, late
+	if err := Merge(&x, late); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(&y, early); err != nil {
+		t.Fatal(err)
+	}
+	if !x.FirstSeen.Equal(y.FirstSeen) || !x.LastSeen.Equal(y.LastSeen) {
+		t.Fatalf("merge windows differ: %+v vs %+v", x, y)
+	}
+}
+
+func TestSourcesSingle(t *testing.T) {
+	e, err := New("evil.example", CategoryMalwareDomain, "only-feed", SourceOSINT, seen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Sources(); len(got) != 1 || got[0] != "only-feed" {
+		t.Fatalf("Sources() = %v", got)
+	}
+	var empty Event
+	if got := empty.Sources(); got != nil {
+		t.Fatalf("Sources() on empty event = %v", got)
+	}
+}
+
+func TestObservationFields(t *testing.T) {
+	tests := []struct {
+		value    string
+		category string
+		wantPath string
+	}{
+		{value: "evil.example", wantPath: "domain-name:value"},
+		{value: "203.0.113.7", wantPath: "ipv4-addr:value"},
+		{value: "2001:db8::1", wantPath: "ipv6-addr:value"},
+		{value: "http://x.example/", wantPath: "url:value"},
+		{value: strings.Repeat("ab", 32), wantPath: "file:hashes.'SHA-256'"},
+		{value: "CVE-2017-9805", wantPath: "vulnerability:name"},
+		{value: "dropper.exe", wantPath: "file:name"},
+	}
+	for _, tt := range tests {
+		e, err := New(tt.value, CategoryUnknown, "f", SourceOSINT, seen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fields := e.ObservationFields()
+		if _, ok := fields[tt.wantPath]; !ok {
+			t.Errorf("ObservationFields(%q) missing path %q: %v", tt.value, tt.wantPath, fields)
+		}
+	}
+}

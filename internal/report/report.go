@@ -1,0 +1,169 @@
+// Package report renders analyst-facing summaries of the platform state —
+// the reporting module every security data analytic platform carries
+// (paper §I lists "reporting" among the SIEM building blocks). The report
+// aggregates collection, deduplication, scoring and visualization counters
+// into one Markdown document an analyst (or a ticketing system) can
+// consume.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/core"
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+)
+
+// Report is the aggregated platform summary.
+type Report struct {
+	GeneratedAt time.Time `json:"generated_at"`
+
+	Pipeline core.Stats         `json:"pipeline"`
+	Feeds    map[string]feedRow `json:"feeds"`
+	TopRIoCs []heuristic.RIoC   `json:"top_riocs"`
+	Nodes    []nodeRow          `json:"nodes"`
+	Dedup    dedupRow           `json:"dedup"`
+	Priority map[string]int     `json:"priority_histogram"`
+}
+
+type feedRow struct {
+	Fetches     int `json:"fetches"`
+	NotModified int `json:"not_modified"`
+	Records     int `json:"records"`
+	Errors      int `json:"errors"`
+}
+
+type nodeRow struct {
+	ID     string `json:"id"`
+	Name   string `json:"name"`
+	Alarms int    `json:"alarms"`
+	Red    int    `json:"red"`
+	RIoCs  int    `json:"riocs"`
+}
+
+type dedupRow struct {
+	Seen      int     `json:"seen"`
+	Unique    int     `json:"unique"`
+	Reduction float64 `json:"reduction"`
+}
+
+// Build assembles a report from a platform. topK bounds the rIoC list.
+func Build(p *core.Platform, topK int, now time.Time) *Report {
+	if topK < 1 {
+		topK = 10
+	}
+	r := &Report{
+		GeneratedAt: now.UTC(),
+		Pipeline:    p.Stats(),
+		Feeds:       make(map[string]feedRow),
+		Priority:    map[string]int{"low": 0, "medium": 0, "high": 0},
+	}
+	for name, st := range p.FeedStats() {
+		r.Feeds[name] = feedRow{
+			Fetches:     st.Fetches,
+			NotModified: st.NotModified,
+			Records:     st.Records,
+			Errors:      st.Errors,
+		}
+	}
+	ds := p.DedupStats()
+	r.Dedup = dedupRow{Seen: ds.Seen, Unique: ds.Unique, Reduction: ds.ReductionRatio()}
+
+	riocs := p.Dashboard().RIoCs()
+	for _, rioc := range riocs {
+		r.Priority[rioc.Priority]++
+	}
+	sort.Slice(riocs, func(i, j int) bool {
+		if riocs[i].ThreatScore != riocs[j].ThreatScore {
+			return riocs[i].ThreatScore > riocs[j].ThreatScore
+		}
+		return riocs[i].ID < riocs[j].ID
+	})
+	if len(riocs) > topK {
+		riocs = riocs[:topK]
+	}
+	r.TopRIoCs = riocs
+
+	collector := p.Collector()
+	for _, n := range collector.Inventory().Nodes {
+		counts := collector.SeverityCounts(n.ID)
+		total := counts[infra.SeverityLow] + counts[infra.SeverityMedium] + counts[infra.SeverityHigh]
+		r.Nodes = append(r.Nodes, nodeRow{
+			ID:     n.ID,
+			Name:   n.Name,
+			Alarms: total,
+			Red:    counts[infra.SeverityHigh],
+			RIoCs:  len(p.Dashboard().RIoCsForNode(n.ID)),
+		})
+	}
+	return r
+}
+
+// Markdown renders the report as a Markdown document.
+func (r *Report) Markdown() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# CAISP situation report — %s\n\n", r.GeneratedAt.Format(time.RFC3339))
+
+	fmt.Fprintf(&sb, "## Pipeline\n\n")
+	fmt.Fprintf(&sb, "- events collected: %d (%d unique, %d duplicates folded",
+		r.Pipeline.EventsCollected, r.Pipeline.EventsUnique, r.Pipeline.Duplicates)
+	if r.Dedup.Seen > 0 {
+		fmt.Fprintf(&sb, ", %.1f%% reduction", r.Dedup.Reduction*100)
+	}
+	sb.WriteString(")\n")
+	fmt.Fprintf(&sb, "- composed IoCs: %d, enriched: %d, reduced to dashboard: %d\n",
+		r.Pipeline.CIoCs, r.Pipeline.EIoCs, r.Pipeline.RIoCs)
+	if r.Pipeline.Classified > 0 {
+		fmt.Fprintf(&sb, "- NLP-classified events: %d\n", r.Pipeline.Classified)
+	}
+	fmt.Fprintf(&sb, "- stored events: %d\n\n", r.Pipeline.StoredEvents)
+
+	fmt.Fprintf(&sb, "## Priorities\n\n")
+	fmt.Fprintf(&sb, "| priority | rIoCs |\n|---|---|\n")
+	for _, prio := range []string{"high", "medium", "low"} {
+		fmt.Fprintf(&sb, "| %s | %d |\n", prio, r.Priority[prio])
+	}
+	sb.WriteString("\n")
+
+	if len(r.TopRIoCs) > 0 {
+		fmt.Fprintf(&sb, "## Top reduced IoCs\n\n")
+		fmt.Fprintf(&sb, "| score | cve | affected | application |\n|---|---|---|---|\n")
+		for _, rioc := range r.TopRIoCs {
+			affected := strings.Join(rioc.NodeIDs, ", ")
+			if rioc.AllNodes {
+				affected = "all nodes"
+			}
+			title := rioc.CVE
+			if title == "" {
+				title = rioc.Title
+			}
+			fmt.Fprintf(&sb, "| %.4f | %s | %s | %s |\n",
+				rioc.ThreatScore, title, affected, rioc.Application)
+		}
+		sb.WriteString("\n")
+	}
+
+	fmt.Fprintf(&sb, "## Nodes\n\n")
+	fmt.Fprintf(&sb, "| node | name | alarms | red | rIoCs |\n|---|---|---|---|---|\n")
+	for _, n := range r.Nodes {
+		fmt.Fprintf(&sb, "| %s | %s | %d | %d | %d |\n", n.ID, n.Name, n.Alarms, n.Red, n.RIoCs)
+	}
+	sb.WriteString("\n")
+
+	fmt.Fprintf(&sb, "## Feeds\n\n")
+	fmt.Fprintf(&sb, "| feed | fetches | 304s | records | errors |\n|---|---|---|---|---|\n")
+	names := make([]string, 0, len(r.Feeds))
+	for name := range r.Feeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		row := r.Feeds[name]
+		fmt.Fprintf(&sb, "| %s | %d | %d | %d | %d |\n",
+			name, row.Fetches, row.NotModified, row.Records, row.Errors)
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/clock"
+	"github.com/caisplatform/caisp/internal/core"
+	"github.com/caisplatform/caisp/internal/feed"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/normalize"
+)
+
+var now = time.Date(2018, 6, 1, 12, 0, 0, 0, time.UTC)
+
+func runPlatform(t *testing.T) *core.Platform {
+	t.Helper()
+	const advisory = `[
+	  {"cve":"CVE-2017-9805","description":"Apache Struts RCE",
+	   "cvss3":"CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+	   "products":["apache struts","apache"],"os":"debian","published":"2017-09-13",
+	   "references":["https://capec.mitre.example/248","https://cve.mitre.example/CVE-2017-9805"]},
+	  {"cve":"CVE-2016-5195","description":"Dirty COW",
+	   "cvss3":"CVSS:3.1/AV:L/AC:L/PR:L/UI:N/S:U/C:H/I:H/A:H",
+	   "products":["linux"],"os":"linux","published":"2016-10-20"}
+	]`
+	p, err := core.New(core.Config{
+		Clock: clock.NewFake(now),
+		Feeds: []feed.Feed{{
+			Name:     "advisories",
+			Category: normalize.CategoryVulnExploit,
+			Fetcher:  &feed.StaticFetcher{Data: []byte(advisory)},
+			Parser:   feed.AdvisoryParser{},
+			Interval: time.Hour,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { p.Close() })
+	if _, err := p.ReportAlarm(infra.Alarm{
+		NodeID: "node4", Severity: infra.SeverityHigh, Description: "struts probe", Application: "apache",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunBatch(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBuildAggregates(t *testing.T) {
+	p := runPlatform(t)
+	r := Build(p, 5, now)
+	if r.Pipeline.EIoCs != 2 || r.Pipeline.RIoCs != 2 {
+		t.Fatalf("pipeline = %+v", r.Pipeline)
+	}
+	if len(r.TopRIoCs) != 2 {
+		t.Fatalf("top riocs = %d", len(r.TopRIoCs))
+	}
+	// Sorted by descending score.
+	if r.TopRIoCs[0].ThreatScore < r.TopRIoCs[1].ThreatScore {
+		t.Fatalf("riocs not sorted: %v", r.TopRIoCs)
+	}
+	if len(r.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(r.Nodes))
+	}
+	var node4 nodeRow
+	for _, n := range r.Nodes {
+		if n.ID == "node4" {
+			node4 = n
+		}
+	}
+	if node4.Alarms != 1 || node4.Red != 1 || node4.RIoCs < 1 {
+		t.Fatalf("node4 row = %+v", node4)
+	}
+	if r.Feeds["advisories"].Records != 2 {
+		t.Fatalf("feed row = %+v", r.Feeds["advisories"])
+	}
+	total := 0
+	for _, n := range r.Priority {
+		total += n
+	}
+	if total != 2 {
+		t.Fatalf("priority histogram = %+v", r.Priority)
+	}
+}
+
+func TestBuildTopKBounds(t *testing.T) {
+	p := runPlatform(t)
+	r := Build(p, 1, now)
+	if len(r.TopRIoCs) != 1 {
+		t.Fatalf("topK not applied: %d", len(r.TopRIoCs))
+	}
+	// Degenerate topK falls back.
+	r2 := Build(p, 0, now)
+	if len(r2.TopRIoCs) != 2 {
+		t.Fatalf("fallback topK = %d", len(r2.TopRIoCs))
+	}
+}
+
+func TestMarkdownRendering(t *testing.T) {
+	p := runPlatform(t)
+	text := Build(p, 5, now).Markdown()
+	for _, want := range []string{
+		"# CAISP situation report",
+		"## Pipeline", "## Priorities", "## Top reduced IoCs",
+		"## Nodes", "## Feeds",
+		"CVE-2017-9805", "all nodes", "node4", "advisories",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("markdown missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package sessions implements the visualization enhancement of §II-B:
+// "a visual summary of user activities that reveals common/abnormal
+// patterns in a large set of user sessions, compares multiple sessions of
+// interest, and investigates in depth of individual sessions."
+//
+// Sessions are sequences of named actions. The analyzer profiles action
+// bigrams across the whole corpus; common patterns are the most frequent
+// bigrams, and a session's abnormality is the mean rarity (negative log
+// relative frequency) of its bigrams — sessions made of transitions nobody
+// else performs rank highest.
+package sessions
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Action is one step of a session.
+type Action struct {
+	// Name identifies the activity ("login", "download", "sudo", …).
+	Name string `json:"name"`
+	// At is when the action happened.
+	At time.Time `json:"at"`
+}
+
+// Session is one user's activity sequence.
+type Session struct {
+	// ID identifies the session.
+	ID string `json:"id"`
+	// User is the acting principal.
+	User string `json:"user"`
+	// Actions are the ordered steps.
+	Actions []Action `json:"actions"`
+}
+
+// Start returns the first action's time (zero for empty sessions).
+func (s *Session) Start() time.Time {
+	if len(s.Actions) == 0 {
+		return time.Time{}
+	}
+	return s.Actions[0].At
+}
+
+// bigrams enumerates consecutive action-name pairs; single-action sessions
+// yield a start-anchored pseudo-bigram so they still profile.
+func (s *Session) bigrams() []string {
+	if len(s.Actions) == 0 {
+		return nil
+	}
+	if len(s.Actions) == 1 {
+		return []string{"^ → " + s.Actions[0].Name}
+	}
+	out := make([]string, 0, len(s.Actions)-1)
+	for i := 1; i < len(s.Actions); i++ {
+		out = append(out, s.Actions[i-1].Name+" → "+s.Actions[i].Name)
+	}
+	return out
+}
+
+// PatternCount is one bigram with its corpus frequency.
+type PatternCount struct {
+	Pattern string `json:"pattern"`
+	Count   int    `json:"count"`
+}
+
+// Score ranks one session's abnormality.
+type Score struct {
+	SessionID string  `json:"session_id"`
+	User      string  `json:"user"`
+	Value     float64 `json:"value"`
+	// RarePatterns lists the session's rarest transitions, rarest first.
+	RarePatterns []string `json:"rare_patterns,omitempty"`
+}
+
+// Summary is the §II-B visual summary.
+type Summary struct {
+	Sessions int `json:"sessions"`
+	Users    int `json:"users"`
+	// Common are the most frequent transitions across the corpus.
+	Common []PatternCount `json:"common"`
+	// Abnormal ranks sessions by descending abnormality.
+	Abnormal []Score `json:"abnormal"`
+}
+
+// Analyzer accumulates sessions and profiles them. Safe for concurrent
+// use.
+type Analyzer struct {
+	mu       sync.RWMutex
+	sessions []Session
+	counts   map[string]int
+	total    int
+}
+
+// NewAnalyzer builds an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{counts: make(map[string]int)}
+}
+
+// Add records a session. Sessions without actions are rejected.
+func (a *Analyzer) Add(s Session) error {
+	if s.ID == "" || s.User == "" {
+		return fmt.Errorf("sessions: session needs id and user")
+	}
+	if len(s.Actions) == 0 {
+		return fmt.Errorf("sessions: session %s has no actions", s.ID)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sessions = append(a.sessions, s)
+	for _, bg := range s.bigrams() {
+		a.counts[bg]++
+		a.total++
+	}
+	return nil
+}
+
+// Len reports the number of recorded sessions.
+func (a *Analyzer) Len() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.sessions)
+}
+
+// Session returns a stored session by id.
+func (a *Analyzer) Session(id string) (Session, bool) {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	for _, s := range a.sessions {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Session{}, false
+}
+
+// rarity is the negative log relative frequency of a bigram. Caller holds
+// at least a read lock.
+func (a *Analyzer) rarity(bigram string) float64 {
+	count := a.counts[bigram]
+	if count == 0 || a.total == 0 {
+		count = 1 // unseen patterns are maximally rare
+	}
+	return -math.Log(float64(count) / float64(a.total))
+}
+
+// ScoreSession computes a session's abnormality against the corpus
+// profile: the mean rarity of its transitions.
+func (a *Analyzer) ScoreSession(s Session) Score {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return a.scoreLocked(s)
+}
+
+func (a *Analyzer) scoreLocked(s Session) Score {
+	bgs := s.bigrams()
+	score := Score{SessionID: s.ID, User: s.User}
+	if len(bgs) == 0 || a.total == 0 {
+		return score
+	}
+	type rated struct {
+		pattern string
+		rarity  float64
+	}
+	var sum float64
+	ratings := make([]rated, 0, len(bgs))
+	for _, bg := range bgs {
+		r := a.rarity(bg)
+		sum += r
+		ratings = append(ratings, rated{pattern: bg, rarity: r})
+	}
+	score.Value = sum / float64(len(bgs))
+	sort.Slice(ratings, func(i, j int) bool {
+		if ratings[i].rarity != ratings[j].rarity {
+			return ratings[i].rarity > ratings[j].rarity
+		}
+		return ratings[i].pattern < ratings[j].pattern
+	})
+	for i := 0; i < len(ratings) && i < 3; i++ {
+		score.RarePatterns = append(score.RarePatterns, ratings[i].pattern)
+	}
+	return score
+}
+
+// Summarize builds the visual summary: the topK most common transitions
+// and the topK most abnormal sessions.
+func (a *Analyzer) Summarize(topK int) Summary {
+	if topK < 1 {
+		topK = 5
+	}
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	users := make(map[string]bool)
+	for _, s := range a.sessions {
+		users[s.User] = true
+	}
+	summary := Summary{Sessions: len(a.sessions), Users: len(users)}
+
+	common := make([]PatternCount, 0, len(a.counts))
+	for p, c := range a.counts {
+		common = append(common, PatternCount{Pattern: p, Count: c})
+	}
+	sort.Slice(common, func(i, j int) bool {
+		if common[i].Count != common[j].Count {
+			return common[i].Count > common[j].Count
+		}
+		return common[i].Pattern < common[j].Pattern
+	})
+	if len(common) > topK {
+		common = common[:topK]
+	}
+	summary.Common = common
+
+	scores := make([]Score, 0, len(a.sessions))
+	for _, s := range a.sessions {
+		scores = append(scores, a.scoreLocked(s))
+	}
+	sort.Slice(scores, func(i, j int) bool {
+		if scores[i].Value != scores[j].Value {
+			return scores[i].Value > scores[j].Value
+		}
+		return scores[i].SessionID < scores[j].SessionID
+	})
+	if len(scores) > topK {
+		scores = scores[:topK]
+	}
+	summary.Abnormal = scores
+	return summary
+}
+
+// Comparison contrasts two sessions of interest (§II-B: "compares multiple
+// sessions of interest").
+type Comparison struct {
+	OnlyA  []string `json:"only_a"`
+	OnlyB  []string `json:"only_b"`
+	Shared []string `json:"shared"`
+	ScoreA float64  `json:"score_a"`
+	ScoreB float64  `json:"score_b"`
+}
+
+// Compare diffs the transition sets of two stored sessions.
+func (a *Analyzer) Compare(idA, idB string) (Comparison, error) {
+	sa, okA := a.Session(idA)
+	sb, okB := a.Session(idB)
+	if !okA || !okB {
+		return Comparison{}, fmt.Errorf("sessions: unknown session (%s: %v, %s: %v)", idA, okA, idB, okB)
+	}
+	setA := toSet(sa.bigrams())
+	setB := toSet(sb.bigrams())
+	var cmp Comparison
+	for p := range setA {
+		if setB[p] {
+			cmp.Shared = append(cmp.Shared, p)
+		} else {
+			cmp.OnlyA = append(cmp.OnlyA, p)
+		}
+	}
+	for p := range setB {
+		if !setA[p] {
+			cmp.OnlyB = append(cmp.OnlyB, p)
+		}
+	}
+	sort.Strings(cmp.OnlyA)
+	sort.Strings(cmp.OnlyB)
+	sort.Strings(cmp.Shared)
+	cmp.ScoreA = a.ScoreSession(sa).Value
+	cmp.ScoreB = a.ScoreSession(sb).Value
+	return cmp, nil
+}
+
+// Render prints the summary as text.
+func (s Summary) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "User-activity summary: %d sessions, %d users\n\n", s.Sessions, s.Users)
+	sb.WriteString("Most common transitions:\n")
+	for _, p := range s.Common {
+		fmt.Fprintf(&sb, "  %-40s ×%d\n", p.Pattern, p.Count)
+	}
+	sb.WriteString("\nMost abnormal sessions:\n")
+	for _, sc := range s.Abnormal {
+		fmt.Fprintf(&sb, "  %-12s user=%-10s score=%.2f rare: %s\n",
+			sc.SessionID, sc.User, sc.Value, strings.Join(sc.RarePatterns, "; "))
+	}
+	return sb.String()
+}
+
+func toSet(items []string) map[string]bool {
+	out := make(map[string]bool, len(items))
+	for _, it := range items {
+		out[it] = true
+	}
+	return out
+}

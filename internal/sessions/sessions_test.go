@@ -1,0 +1,194 @@
+package sessions
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2019, 6, 24, 9, 0, 0, 0, time.UTC)
+
+func mkSession(id, user string, actions ...string) Session {
+	s := Session{ID: id, User: user}
+	for i, name := range actions {
+		s.Actions = append(s.Actions, Action{Name: name, At: t0.Add(time.Duration(i) * time.Minute)})
+	}
+	return s
+}
+
+// corpus builds a population of ordinary sessions plus one clearly
+// anomalous one.
+func corpus(t *testing.T) *Analyzer {
+	t.Helper()
+	a := NewAnalyzer()
+	for i := 0; i < 20; i++ {
+		user := fmt.Sprintf("user%d", i%5)
+		if err := a.Add(mkSession(fmt.Sprintf("s%02d", i), user,
+			"login", "read-mail", "browse", "logout")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The attacker blends in at first (shared login→read-mail transition)
+	// before the unusual steps.
+	if err := a.Add(mkSession("s-evil", "mallory",
+		"login", "read-mail", "sudo", "dump-database", "exfiltrate", "clear-logs")); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAddValidation(t *testing.T) {
+	a := NewAnalyzer()
+	if err := a.Add(Session{ID: "", User: "u", Actions: []Action{{Name: "x"}}}); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if err := a.Add(Session{ID: "s", User: "", Actions: []Action{{Name: "x"}}}); err == nil {
+		t.Fatal("empty user accepted")
+	}
+	if err := a.Add(Session{ID: "s", User: "u"}); err == nil {
+		t.Fatal("empty session accepted")
+	}
+}
+
+func TestCommonPatterns(t *testing.T) {
+	a := corpus(t)
+	summary := a.Summarize(3)
+	if summary.Sessions != 21 || summary.Users != 6 {
+		t.Fatalf("summary header = %+v", summary)
+	}
+	if len(summary.Common) != 3 {
+		t.Fatalf("common = %d", len(summary.Common))
+	}
+	// The routine transitions dominate.
+	top := summary.Common[0]
+	if !strings.Contains(top.Pattern, "→") || top.Count < 20 {
+		t.Fatalf("top pattern = %+v", top)
+	}
+}
+
+func TestAbnormalSessionRanksFirst(t *testing.T) {
+	a := corpus(t)
+	summary := a.Summarize(5)
+	if len(summary.Abnormal) == 0 {
+		t.Fatal("no abnormal ranking")
+	}
+	if summary.Abnormal[0].SessionID != "s-evil" {
+		t.Fatalf("most abnormal = %+v, want s-evil", summary.Abnormal[0])
+	}
+	if summary.Abnormal[0].Value <= summary.Abnormal[1].Value {
+		t.Fatal("anomalous session does not stand out")
+	}
+	if len(summary.Abnormal[0].RarePatterns) == 0 {
+		t.Fatal("no rare patterns reported")
+	}
+	found := false
+	for _, p := range summary.Abnormal[0].RarePatterns {
+		if strings.Contains(p, "exfiltrate") || strings.Contains(p, "dump-database") || strings.Contains(p, "sudo") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("rare patterns miss the attack steps: %v", summary.Abnormal[0].RarePatterns)
+	}
+}
+
+func TestScoreUnseenSession(t *testing.T) {
+	a := corpus(t)
+	fresh := mkSession("probe", "eve", "never-seen", "also-never-seen")
+	score := a.ScoreSession(fresh)
+	baseline := a.ScoreSession(mkSession("routine", "alice", "login", "read-mail", "browse", "logout"))
+	if score.Value <= baseline.Value {
+		t.Fatalf("unseen transitions score %.2f not above routine %.2f", score.Value, baseline.Value)
+	}
+}
+
+func TestSingleActionSession(t *testing.T) {
+	a := NewAnalyzer()
+	if err := a.Add(mkSession("s1", "u", "login")); err != nil {
+		t.Fatal(err)
+	}
+	summary := a.Summarize(5)
+	if summary.Sessions != 1 || len(summary.Common) != 1 {
+		t.Fatalf("summary = %+v", summary)
+	}
+	if !strings.HasPrefix(summary.Common[0].Pattern, "^ →") {
+		t.Fatalf("pseudo-bigram missing: %+v", summary.Common[0])
+	}
+}
+
+func TestCompare(t *testing.T) {
+	a := corpus(t)
+	cmp, err := a.Compare("s00", "s-evil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmp.Shared) == 0 {
+		t.Fatal("no shared transitions (both start with login)")
+	}
+	if len(cmp.OnlyB) == 0 {
+		t.Fatal("attack transitions not reported as unique")
+	}
+	if cmp.ScoreB <= cmp.ScoreA {
+		t.Fatalf("scores not ordered: %.2f vs %.2f", cmp.ScoreA, cmp.ScoreB)
+	}
+	if _, err := a.Compare("s00", "ghost"); err == nil {
+		t.Fatal("unknown session accepted")
+	}
+}
+
+func TestSessionLookup(t *testing.T) {
+	a := corpus(t)
+	if _, ok := a.Session("s00"); !ok {
+		t.Fatal("stored session not found")
+	}
+	if _, ok := a.Session("ghost"); ok {
+		t.Fatal("phantom session found")
+	}
+	if a.Len() != 21 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}
+
+func TestRender(t *testing.T) {
+	a := corpus(t)
+	text := a.Summarize(3).Render()
+	for _, want := range []string{"21 sessions", "6 users", "s-evil", "Most common transitions"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("rendering missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSummarizeDegenerateTopK(t *testing.T) {
+	a := corpus(t)
+	summary := a.Summarize(0) // falls back to 5
+	if len(summary.Common) == 0 {
+		t.Fatal("topK fallback broken")
+	}
+	empty := NewAnalyzer()
+	es := empty.Summarize(5)
+	if es.Sessions != 0 || len(es.Common) != 0 || len(es.Abnormal) != 0 {
+		t.Fatalf("empty summary = %+v", es)
+	}
+}
+
+func TestConcurrentAddAndSummarize(t *testing.T) {
+	a := NewAnalyzer()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = a.Add(mkSession(fmt.Sprintf("g%d-%d", g, i), "u", "login", "work", "logout"))
+				a.Summarize(3)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if a.Len() != 100 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+}

@@ -1,0 +1,149 @@
+package stix
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Marshal encodes a STIX object to JSON, merging any custom properties held
+// in Common.Extra. Declared struct fields take precedence over Extra keys on
+// collision. Output keys are sorted for determinism.
+func Marshal(obj Object) ([]byte, error) {
+	base, err := structToMap(obj)
+	if err != nil {
+		return nil, err
+	}
+	extra := obj.GetCommon().Extra
+	for k, v := range extra {
+		if _, exists := base[k]; !exists {
+			base[k] = v
+		}
+	}
+	return encodeSorted(base)
+}
+
+// Unmarshal decodes a single STIX object, dispatching on its "type"
+// property. Unrecognized properties are preserved in Common.Extra.
+func Unmarshal(data []byte) (Object, error) {
+	var head struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return nil, fmt.Errorf("stix: decode object header: %w", err)
+	}
+	obj := New(head.Type)
+	if obj == nil {
+		return nil, fmt.Errorf("stix: unknown object type %q", head.Type)
+	}
+	if err := decodeInto(data, obj); err != nil {
+		return nil, err
+	}
+	return obj, nil
+}
+
+// decodeInto fills obj from data and collects unknown keys into Extra.
+func decodeInto(data []byte, obj Object) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(obj); err != nil {
+		return fmt.Errorf("stix: decode %T: %w", obj, err)
+	}
+	// Determine which keys the struct itself accounts for by re-encoding
+	// the now-populated struct; everything else is a custom property.
+	known, err := structToMap(obj)
+	if err != nil {
+		return err
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("stix: decode raw object: %w", err)
+	}
+	var extra map[string]any
+	for k, v := range raw {
+		if _, ok := known[k]; ok {
+			continue
+		}
+		if isDeclaredField(k) {
+			// A declared field that encoded as empty (omitempty) — keep the
+			// struct's view, do not duplicate it as a custom property.
+			continue
+		}
+		if extra == nil {
+			extra = make(map[string]any)
+		}
+		extra[k] = v
+	}
+	obj.GetCommon().Extra = extra
+	return nil
+}
+
+// declaredFields is the union of all JSON property names declared by any
+// object struct in this package. Used to avoid misclassifying an omitted
+// (zero-valued) declared field as a custom property during decode.
+var declaredFields = map[string]bool{
+	"type": true, "id": true, "created_by_ref": true, "created": true,
+	"modified": true, "revoked": true, "labels": true,
+	"external_references": true, "object_marking_refs": true,
+	"name": true, "description": true, "kill_chain_phases": true,
+	"aliases": true, "first_seen": true, "last_seen": true,
+	"objective": true, "identity_class": true, "sectors": true,
+	"contact_information": true, "pattern": true, "valid_from": true,
+	"valid_until": true, "goals": true, "resource_level": true,
+	"primary_motivation": true, "secondary_motivations": true,
+	"first_observed": true, "last_observed": true, "number_observed": true,
+	"objects": true, "published": true, "object_refs": true, "roles": true,
+	"sophistication": true, "tool_version": true, "relationship_type": true,
+	"source_ref": true, "target_ref": true, "sighting_of_ref": true,
+	"observed_data_refs": true, "where_sighted_refs": true, "count": true,
+}
+
+func isDeclaredField(key string) bool { return declaredFields[key] }
+
+func structToMap(obj Object) (map[string]any, error) {
+	b, err := json.Marshal(obj)
+	if err != nil {
+		return nil, fmt.Errorf("stix: encode %T: %w", obj, err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("stix: re-decode %T: %w", obj, err)
+	}
+	// Timestamps that are zero marshal as null; strip them so optional
+	// timestamp fields behave like omitempty.
+	for k, v := range m {
+		if v == nil {
+			delete(m, k)
+		}
+	}
+	return m, nil
+}
+
+// encodeSorted writes a map as JSON with lexically sorted keys.
+func encodeSorted(m map[string]any) ([]byte, error) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf bytes.Buffer
+	buf.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		kb, err := json.Marshal(k)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(kb)
+		buf.WriteByte(':')
+		vb, err := json.Marshal(m[k])
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(vb)
+	}
+	buf.WriteByte('}')
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,175 @@
+package stix
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ValidationError aggregates the problems found in one object.
+type ValidationError struct {
+	ID       string
+	Problems []string
+}
+
+// Error lists every problem on one line.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("stix: object %s invalid: %s", e.ID, strings.Join(e.Problems, "; "))
+}
+
+// identityClasses is the STIX 2.0 identity-class open vocabulary.
+var identityClasses = map[string]bool{
+	"individual": true, "group": true, "organization": true,
+	"class": true, "unknown": true,
+}
+
+// Validate checks an object's required properties, identifier shape and
+// basic vocabulary conformance. It returns nil or a *ValidationError.
+func Validate(obj Object) error {
+	c := obj.GetCommon()
+	var problems []string
+	add := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if c.Type == "" {
+		add("missing type")
+	}
+	if !ValidID(c.ID) {
+		add("malformed id %q", c.ID)
+	} else if IDType(c.ID) != c.Type {
+		add("id type %q does not match object type %q", IDType(c.ID), c.Type)
+	}
+	if c.Created.IsZero() {
+		add("missing created timestamp")
+	}
+	if c.Modified.IsZero() {
+		add("missing modified timestamp")
+	}
+	if !c.Created.IsZero() && !c.Modified.IsZero() && c.Modified.Before(c.Created.Time) {
+		add("modified (%s) precedes created (%s)", c.Modified.Format("2006-01-02"), c.Created.Format("2006-01-02"))
+	}
+	for _, ref := range c.ExternalReferences {
+		if ref.SourceName == "" {
+			add("external reference missing source_name")
+		}
+	}
+
+	switch o := obj.(type) {
+	case *AttackPattern:
+		requireName(o.Name, add)
+	case *Campaign:
+		requireName(o.Name, add)
+	case *CourseOfAction:
+		requireName(o.Name, add)
+	case *Identity:
+		requireName(o.Name, add)
+		if o.IdentityClass == "" {
+			add("identity missing identity_class")
+		} else if !identityClasses[o.IdentityClass] {
+			add("identity_class %q not in open vocabulary", o.IdentityClass)
+		}
+	case *Indicator:
+		if o.Pattern == "" {
+			add("indicator missing pattern")
+		}
+		if o.ValidFrom.IsZero() {
+			add("indicator missing valid_from")
+		}
+		if len(o.Labels) == 0 {
+			add("indicator missing labels")
+		}
+		if !o.ValidUntil.IsZero() && !o.ValidFrom.IsZero() && !o.ValidUntil.After(o.ValidFrom.Time) {
+			add("valid_until must be after valid_from")
+		}
+	case *IntrusionSet:
+		requireName(o.Name, add)
+	case *Malware:
+		requireName(o.Name, add)
+		if len(o.Labels) == 0 {
+			add("malware missing labels")
+		}
+	case *ObservedData:
+		if o.NumberObserved < 1 {
+			add("observed-data number_observed must be ≥ 1")
+		}
+		if o.FirstObserved.IsZero() || o.LastObserved.IsZero() {
+			add("observed-data missing observation window")
+		}
+		if len(o.Objects) == 0 {
+			add("observed-data missing objects")
+		}
+	case *Report:
+		requireName(o.Name, add)
+		if o.Published.IsZero() {
+			add("report missing published")
+		}
+		if len(o.ObjectRefs) == 0 {
+			add("report missing object_refs")
+		}
+	case *ThreatActor:
+		requireName(o.Name, add)
+		if len(o.Labels) == 0 {
+			add("threat-actor missing labels")
+		}
+	case *Tool:
+		requireName(o.Name, add)
+		if len(o.Labels) == 0 {
+			add("tool missing labels")
+		}
+	case *Vulnerability:
+		requireName(o.Name, add)
+	case *Relationship:
+		if o.RelationshipType == "" {
+			add("relationship missing relationship_type")
+		}
+		if !ValidID(o.SourceRef) {
+			add("relationship malformed source_ref %q", o.SourceRef)
+		}
+		if !ValidID(o.TargetRef) {
+			add("relationship malformed target_ref %q", o.TargetRef)
+		}
+	case *Sighting:
+		if !ValidID(o.SightingOfRef) {
+			add("sighting malformed sighting_of_ref %q", o.SightingOfRef)
+		}
+		if o.Count < 0 {
+			add("sighting count must be non-negative")
+		}
+	}
+
+	if len(problems) == 0 {
+		return nil
+	}
+	return &ValidationError{ID: c.ID, Problems: problems}
+}
+
+// ValidateBundle validates every object in the bundle and the bundle header
+// itself, returning a joined error or nil.
+func ValidateBundle(b *Bundle) error {
+	var errs []error
+	if b.Type != TypeBundle {
+		errs = append(errs, fmt.Errorf("stix: bundle has type %q", b.Type))
+	}
+	if !ValidID(b.ID) {
+		errs = append(errs, fmt.Errorf("stix: bundle has malformed id %q", b.ID))
+	}
+	seen := make(map[string]bool, len(b.Objects))
+	for _, o := range b.Objects {
+		if err := Validate(o); err != nil {
+			errs = append(errs, err)
+		}
+		id := o.GetCommon().ID
+		if seen[id] {
+			errs = append(errs, fmt.Errorf("stix: duplicate object id %s in bundle", id))
+		}
+		seen[id] = true
+	}
+	return errors.Join(errs...)
+}
+
+func requireName(name string, add func(string, ...any)) {
+	if name == "" {
+		add("missing name")
+	}
+}

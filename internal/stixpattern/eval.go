@@ -1,0 +1,344 @@
+package stixpattern
+
+import (
+	"fmt"
+	"net"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Match evaluates the pattern against a time-ordered sequence of
+// observations. A bracketed test matches if any single observation
+// satisfies it; AND requires both operands to match (possibly on different
+// observations); OR requires either; FOLLOWEDBY requires the right operand
+// to match on an observation strictly later in the sequence than one
+// matching the left operand. Qualifiers constrain the matching
+// observations' timestamps (WITHIN, START-STOP) or multiplicity (REPEATS).
+func (p *Pattern) Match(observations []Observation) (bool, error) {
+	idx, err := evalObs(p.Root, observations)
+	if err != nil {
+		return false, err
+	}
+	return len(idx) > 0, nil
+}
+
+// MatchOne is a convenience for matching a single observation.
+func (p *Pattern) MatchOne(obs Observation) (bool, error) {
+	return p.Match([]Observation{obs})
+}
+
+// evalObs returns the sorted indexes of observations that participate in a
+// match of expr, or an empty slice if expr does not match.
+func evalObs(expr ObservationExpr, observations []Observation) ([]int, error) {
+	switch e := expr.(type) {
+	case ObsTest:
+		var idx []int
+		for i, obs := range observations {
+			ok, err := evalBool(e.Expr, obs)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				idx = append(idx, i)
+			}
+		}
+		return idx, nil
+	case ObsCombine:
+		left, err := evalObs(e.Left, observations)
+		if err != nil {
+			return nil, err
+		}
+		right, err := evalObs(e.Right, observations)
+		if err != nil {
+			return nil, err
+		}
+		switch e.Op {
+		case "AND":
+			if len(left) > 0 && len(right) > 0 {
+				return union(left, right), nil
+			}
+			return nil, nil
+		case "OR":
+			if len(left) > 0 || len(right) > 0 {
+				return union(left, right), nil
+			}
+			return nil, nil
+		case "FOLLOWEDBY":
+			if len(left) == 0 || len(right) == 0 {
+				return nil, nil
+			}
+			// The earliest left match must be strictly before some right
+			// match.
+			first := left[0]
+			for _, r := range right {
+				if r > first {
+					return union(left, right), nil
+				}
+			}
+			return nil, nil
+		default:
+			return nil, fmt.Errorf("stixpattern: unknown observation operator %q", e.Op)
+		}
+	case ObsQualified:
+		idx, err := evalObs(e.Expr, observations)
+		if err != nil {
+			return nil, err
+		}
+		if len(idx) == 0 {
+			return nil, nil
+		}
+		q := e.Qualifier
+		switch q.Kind {
+		case "REPEATS":
+			if len(idx) >= q.Times {
+				return idx, nil
+			}
+			return nil, nil
+		case "WITHIN":
+			minAt, maxAt := observations[idx[0]].At, observations[idx[0]].At
+			for _, i := range idx[1:] {
+				at := observations[i].At
+				if at.Before(minAt) {
+					minAt = at
+				}
+				if at.After(maxAt) {
+					maxAt = at
+				}
+			}
+			if maxAt.Sub(minAt).Seconds() <= q.Seconds {
+				return idx, nil
+			}
+			return nil, nil
+		case "START-STOP":
+			var kept []int
+			for _, i := range idx {
+				at := observations[i].At
+				if !at.Before(q.Start) && at.Before(q.Stop) {
+					kept = append(kept, i)
+				}
+			}
+			return kept, nil
+		default:
+			return nil, fmt.Errorf("stixpattern: unknown qualifier %q", q.Kind)
+		}
+	default:
+		return nil, fmt.Errorf("stixpattern: unknown observation expression %T", expr)
+	}
+}
+
+func evalBool(expr CompareExpr, obs Observation) (bool, error) {
+	switch e := expr.(type) {
+	case BoolCombine:
+		left, err := evalBool(e.Left, obs)
+		if err != nil {
+			return false, err
+		}
+		// Short-circuit.
+		if e.Op == "AND" && !left {
+			return false, nil
+		}
+		if e.Op == "OR" && left {
+			return true, nil
+		}
+		return evalBool(e.Right, obs)
+	case Comparison:
+		return evalComparison(e, obs)
+	default:
+		return false, fmt.Errorf("stixpattern: unknown comparison expression %T", expr)
+	}
+}
+
+func evalComparison(cmp Comparison, obs Observation) (bool, error) {
+	values, present := lookup(obs, cmp.Path)
+	if !present || len(values) == 0 {
+		// Absent object path: the comparison (and its negation) is false,
+		// per the STIX patterning semantics for non-existent objects.
+		return false, nil
+	}
+	for _, v := range values {
+		ok, err := compareValue(v, cmp.Op, cmp.Values)
+		if err != nil {
+			return false, err
+		}
+		if ok != cmp.Negated { // ok && !negated, or !ok && negated
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// lookup fetches the values for an object path. A trailing [*] or [N] index
+// selector on the pattern path selects within the value list of the base
+// path.
+func lookup(obs Observation, path string) ([]string, bool) {
+	if vals, ok := obs.Fields[path]; ok {
+		return vals, true
+	}
+	// Try index-selector handling: base[N] or base[*].
+	if i := strings.LastIndexByte(path, '['); i > 0 && strings.HasSuffix(path, "]") {
+		base := path[:i]
+		sel := path[i+1 : len(path)-1]
+		vals, ok := obs.Fields[base]
+		if !ok {
+			return nil, false
+		}
+		if sel == "*" {
+			return vals, true
+		}
+		n, err := strconv.Atoi(sel)
+		if err != nil || n < 0 || n >= len(vals) {
+			return nil, false
+		}
+		return vals[n : n+1], true
+	}
+	return nil, false
+}
+
+func compareValue(value, op string, literals []Literal) (bool, error) {
+	switch op {
+	case OpEq:
+		return equalValue(value, literals[0]), nil
+	case OpNeq:
+		return !equalValue(value, literals[0]), nil
+	case OpLt, OpGt, OpLe, OpGe:
+		return compareOrdered(value, op, literals[0])
+	case OpIn:
+		for _, lit := range literals {
+			if equalValue(value, lit) {
+				return true, nil
+			}
+		}
+		return false, nil
+	case OpLike:
+		return likeMatch(value, literals[0].text()), nil
+	case OpMatches:
+		re, err := regexp.Compile(literals[0].text())
+		if err != nil {
+			return false, fmt.Errorf("stixpattern: bad MATCHES regexp: %w", err)
+		}
+		return re.MatchString(value), nil
+	case OpIsSubset:
+		return cidrContains(literals[0].text(), value)
+	case OpIsSuperset:
+		return cidrContains(value, literals[0].text())
+	default:
+		return false, fmt.Errorf("stixpattern: unknown operator %q", op)
+	}
+}
+
+func equalValue(value string, lit Literal) bool {
+	if lit.Kind == LitNumber {
+		n, err := strconv.ParseFloat(value, 64)
+		if err == nil {
+			return n == lit.Num
+		}
+	}
+	return value == lit.text()
+}
+
+func compareOrdered(value, op string, lit Literal) (bool, error) {
+	var c int
+	if lit.Kind == LitNumber {
+		n, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return false, nil // non-numeric observed value never orders against a number
+		}
+		switch {
+		case n < lit.Num:
+			c = -1
+		case n > lit.Num:
+			c = 1
+		}
+	} else {
+		c = strings.Compare(value, lit.text())
+	}
+	switch op {
+	case OpLt:
+		return c < 0, nil
+	case OpGt:
+		return c > 0, nil
+	case OpLe:
+		return c <= 0, nil
+	default: // OpGe
+		return c >= 0, nil
+	}
+}
+
+// likeMatch implements the STIX LIKE operator: '%' matches any run of
+// characters, '_' matches exactly one.
+func likeMatch(value, pattern string) bool {
+	var re strings.Builder
+	re.WriteString("^(?s)")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			re.WriteString(".*")
+		case '_':
+			re.WriteString(".")
+		default:
+			re.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	re.WriteString("$")
+	matched, err := regexp.MatchString(re.String(), value)
+	return err == nil && matched
+}
+
+// cidrContains reports whether the network `outer` (CIDR or single IP)
+// contains `inner` (CIDR or single IP).
+func cidrContains(outer, inner string) (bool, error) {
+	_, outerNet, err := parseCIDRish(outer)
+	if err != nil {
+		return false, err
+	}
+	innerIP, innerNet, err := parseCIDRish(inner)
+	if err != nil {
+		return false, err
+	}
+	if !outerNet.Contains(innerIP) {
+		return false, nil
+	}
+	outerOnes, _ := outerNet.Mask.Size()
+	innerOnes, _ := innerNet.Mask.Size()
+	return innerOnes >= outerOnes, nil
+}
+
+func parseCIDRish(s string) (net.IP, *net.IPNet, error) {
+	if strings.ContainsRune(s, '/') {
+		ip, ipnet, err := net.ParseCIDR(s)
+		if err != nil {
+			return nil, nil, fmt.Errorf("stixpattern: bad CIDR %q: %w", s, err)
+		}
+		return ip, ipnet, nil
+	}
+	ip := net.ParseIP(s)
+	if ip == nil {
+		return nil, nil, fmt.Errorf("stixpattern: bad IP %q", s)
+	}
+	bits := 32
+	if ip.To4() == nil {
+		bits = 128
+	}
+	return ip, &net.IPNet{IP: ip, Mask: net.CIDRMask(bits, bits)}, nil
+}
+
+func union(a, b []int) []int {
+	seen := make(map[int]bool, len(a)+len(b))
+	var out []int
+	for _, lists := range [][]int{a, b} {
+		for _, i := range lists {
+			if !seen[i] {
+				seen[i] = true
+				out = append(out, i)
+			}
+		}
+	}
+	// Keep ascending order for deterministic qualifier evaluation.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

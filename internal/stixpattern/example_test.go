@@ -1,0 +1,30 @@
+package stixpattern_test
+
+import (
+	"fmt"
+
+	"github.com/caisplatform/caisp/internal/stixpattern"
+)
+
+// ExampleParse matches an OSINT indicator pattern against an observation
+// reported by the monitored infrastructure.
+func ExampleParse() {
+	pattern, err := stixpattern.Parse(
+		"[domain-name:value = 'evil.example' OR ipv4-addr:value = '203.0.113.7']")
+	if err != nil {
+		fmt.Println("parse error:", err)
+		return
+	}
+	observation := stixpattern.Observation{
+		Fields: map[string][]string{
+			"ipv4-addr:value": {"203.0.113.7"},
+		},
+	}
+	matched, err := pattern.MatchOne(observation)
+	if err != nil {
+		fmt.Println("match error:", err)
+		return
+	}
+	fmt.Println("matched:", matched)
+	// Output: matched: true
+}

@@ -1,0 +1,76 @@
+package stixpattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestParseNeverPanics feeds the parser random garbage: it must return an
+// error or an AST, never panic, and every accepted AST must render to a
+// canonical form that reparses.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(input string) bool {
+		p, err := Parse(input)
+		if err != nil {
+			return true
+		}
+		canon := p.String()
+		p2, err := Parse(canon)
+		return err == nil && p2.String() == canon
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestParseStructuredFuzz builds random-ish pattern strings from valid
+// fragments, which reach much deeper into the grammar than raw random
+// bytes.
+func TestParseStructuredFuzz(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	paths := []string{"a:b", "domain-name:value", "file:hashes.'SHA-256'", "process:arguments[0]"}
+	ops := []string{"=", "!=", "<", ">", "<=", ">=", "LIKE", "MATCHES", "ISSUBSET", "IN"}
+	literals := []string{"'x'", "'evil.example'", "5", "2.5", "('a', 'b')", "t'2019-06-24T00:00:00Z'"}
+	joins := []string{" AND ", " OR ", " FOLLOWEDBY "}
+	quals := []string{"", " WITHIN 30 SECONDS", " REPEATS 2 TIMES"}
+
+	obs := Observation{At: time.Unix(0, 0), Fields: map[string][]string{
+		"a:b": {"x"}, "domain-name:value": {"evil.example"},
+	}}
+	for i := 0; i < 500; i++ {
+		var sb []byte
+		terms := 1 + r.Intn(3)
+		for j := 0; j < terms; j++ {
+			if j > 0 {
+				sb = append(sb, joins[r.Intn(len(joins))]...)
+			}
+			op := ops[r.Intn(len(ops))]
+			lit := literals[r.Intn(len(literals))]
+			if op == "IN" && lit[0] != '(' {
+				lit = "(" + lit + ")"
+			}
+			sb = append(sb, '[')
+			sb = append(sb, paths[r.Intn(len(paths))]...)
+			sb = append(sb, ' ')
+			sb = append(sb, op...)
+			sb = append(sb, ' ')
+			sb = append(sb, lit...)
+			sb = append(sb, ']')
+		}
+		sb = append(sb, quals[r.Intn(len(quals))]...)
+		src := string(sb)
+		p, err := Parse(src)
+		if err != nil {
+			continue // some combinations are legitimately invalid (e.g. IN (t'…'))
+		}
+		// Matching must not panic either; MATCHES with non-regexp literals
+		// may error, which is fine.
+		_, _ = p.Match([]Observation{obs})
+		canon := p.String()
+		if _, err := Parse(canon); err != nil {
+			t.Fatalf("canonical form of %q does not reparse: %q: %v", src, canon, err)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+// Package stixpattern implements the STIX 2.0 patterning language: a lexer,
+// a recursive-descent parser producing an AST, and an evaluator that matches
+// patterns against observations. Indicators collected from OSINT carry
+// patterns such as
+//
+//	[domain-name:value = 'evil.example' OR ipv4-addr:value = '203.0.113.7']
+//
+// and the platform evaluates them against observations reported by the
+// monitored infrastructure when computing accuracy/timeliness criteria.
+package stixpattern
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota + 1
+	tokLBracket
+	tokRBracket
+	tokLParen
+	tokRParen
+	tokAnd
+	tokOr
+	tokNot
+	tokIn
+	tokLike
+	tokMatches
+	tokIsSubset
+	tokIsSuperset
+	tokFollowedBy
+	tokWithin
+	tokRepeats
+	tokTimes
+	tokSeconds
+	tokStart
+	tokStop
+	tokEq
+	tokNeq
+	tokLt
+	tokGt
+	tokLe
+	tokGe
+	tokComma
+	tokString     // 'single quoted'
+	tokNumber     // integer or float literal
+	tokPath       // object path like file:hashes.'SHA-256'
+	tokTimestampT // t'2017-...' timestamp literal
+)
+
+func (k tokenKind) String() string {
+	names := map[tokenKind]string{
+		tokEOF: "EOF", tokLBracket: "[", tokRBracket: "]",
+		tokLParen: "(", tokRParen: ")", tokAnd: "AND", tokOr: "OR",
+		tokNot: "NOT", tokIn: "IN", tokLike: "LIKE", tokMatches: "MATCHES",
+		tokIsSubset: "ISSUBSET", tokIsSuperset: "ISSUPERSET",
+		tokFollowedBy: "FOLLOWEDBY", tokWithin: "WITHIN",
+		tokRepeats: "REPEATS", tokTimes: "TIMES", tokSeconds: "SECONDS",
+		tokStart: "START", tokStop: "STOP",
+		tokEq: "=", tokNeq: "!=", tokLt: "<", tokGt: ">", tokLe: "<=",
+		tokGe: ">=", tokComma: ",", tokString: "string",
+		tokNumber: "number", tokPath: "path", tokTimestampT: "timestamp",
+	}
+	if n, ok := names[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("tokenKind(%d)", int(k))
+}
+
+// token is a single lexical unit with its source position.
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+var keywords = map[string]tokenKind{
+	"AND": tokAnd, "OR": tokOr, "NOT": tokNot, "IN": tokIn,
+	"LIKE": tokLike, "MATCHES": tokMatches, "ISSUBSET": tokIsSubset,
+	"ISSUPERSET": tokIsSuperset, "FOLLOWEDBY": tokFollowedBy,
+	"WITHIN": tokWithin, "REPEATS": tokRepeats, "TIMES": tokTimes,
+	"SECONDS": tokSeconds, "START": tokStart, "STOP": tokStop,
+}
+
+// lexer turns a pattern string into tokens.
+type lexer struct {
+	input string
+	pos   int
+}
+
+// SyntaxError describes a lexical or parse failure with its position.
+type SyntaxError struct {
+	Pos     int
+	Message string
+}
+
+// Error formats the failure with its byte offset.
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("stixpattern: %s at offset %d", e.Message, e.Pos)
+}
+
+func syntaxErrf(pos int, format string, args ...any) error {
+	return &SyntaxError{Pos: pos, Message: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.input) && isSpace(l.input[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.input) {
+		return token{kind: tokEOF, pos: start}, nil
+	}
+	c := l.input[l.pos]
+	switch c {
+	case '[':
+		l.pos++
+		return token{kind: tokLBracket, text: "[", pos: start}, nil
+	case ']':
+		l.pos++
+		return token{kind: tokRBracket, text: "]", pos: start}, nil
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case '=':
+		l.pos++
+		return token{kind: tokEq, text: "=", pos: start}, nil
+	case '!':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokNeq, text: "!=", pos: start}, nil
+		}
+		return token{}, syntaxErrf(start, "unexpected %q", "!")
+	case '<':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokLe, text: "<=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokLt, text: "<", pos: start}, nil
+	case '>':
+		if l.peekAt(1) == '=' {
+			l.pos += 2
+			return token{kind: tokGe, text: ">=", pos: start}, nil
+		}
+		l.pos++
+		return token{kind: tokGt, text: ">", pos: start}, nil
+	case '\'':
+		return l.lexString()
+	}
+	if c == 't' && l.peekAt(1) == '\'' {
+		// Timestamp literal t'...'.
+		l.pos++
+		tok, err := l.lexString()
+		if err != nil {
+			return token{}, err
+		}
+		tok.kind = tokTimestampT
+		tok.pos = start
+		return tok, nil
+	}
+	if isDigit(c) || (c == '-' && isDigit(l.peekAt(1))) {
+		return l.lexNumber()
+	}
+	if isPathStart(c) {
+		return l.lexPathOrKeyword()
+	}
+	return token{}, syntaxErrf(start, "unexpected character %q", string(c))
+}
+
+func (l *lexer) lexString() (token, error) {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		if c == '\\' && l.pos+1 < len(l.input) {
+			nxt := l.input[l.pos+1]
+			if nxt == '\'' || nxt == '\\' {
+				sb.WriteByte(nxt)
+				l.pos += 2
+				continue
+			}
+		}
+		if c == '\'' {
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, syntaxErrf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	if l.input[l.pos] == '-' {
+		l.pos++
+	}
+	for l.pos < len(l.input) && (isDigit(l.input[l.pos]) || l.input[l.pos] == '.') {
+		l.pos++
+	}
+	return token{kind: tokNumber, text: l.input[start:l.pos], pos: start}, nil
+}
+
+// lexPathOrKeyword consumes an identifier-ish run. Object paths may contain
+// colons, dots, dashes, underscores, indexes like [0] or [*], and quoted
+// path components such as hashes.'SHA-256'.
+func (l *lexer) lexPathOrKeyword() (token, error) {
+	start := l.pos
+	var sb strings.Builder
+	for l.pos < len(l.input) {
+		c := l.input[l.pos]
+		switch {
+		case isPathChar(c):
+			sb.WriteByte(c)
+			l.pos++
+		case c == '\'':
+			// Quoted path component; keep the quotes in the canonical path.
+			tok, err := l.lexString()
+			if err != nil {
+				return token{}, err
+			}
+			sb.WriteString("'" + tok.text + "'")
+		case c == '[':
+			// List index selector [0] or [*] — only valid mid-path (after a
+			// property name), which is exactly when sb is non-empty and the
+			// previous char was not an operator.
+			end := strings.IndexByte(l.input[l.pos:], ']')
+			if end < 0 {
+				return token{}, syntaxErrf(l.pos, "unterminated index selector")
+			}
+			sel := l.input[l.pos : l.pos+end+1]
+			if !isIndexSelector(sel) {
+				// Not an index: this '[' starts a new observation
+				// expression; stop the path here.
+				goto done
+			}
+			sb.WriteString(sel)
+			l.pos += end + 1
+		default:
+			goto done
+		}
+	}
+done:
+	text := sb.String()
+	upper := strings.ToUpper(text)
+	if kind, ok := keywords[upper]; ok {
+		return token{kind: kind, text: upper, pos: start}, nil
+	}
+	return token{kind: tokPath, text: text, pos: start}, nil
+}
+
+func (l *lexer) peekAt(offset int) byte {
+	if l.pos+offset < len(l.input) {
+		return l.input[l.pos+offset]
+	}
+	return 0
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isPathStart(c byte) bool {
+	return unicode.IsLetter(rune(c)) || c == '_'
+}
+
+func isPathChar(c byte) bool {
+	return unicode.IsLetter(rune(c)) || isDigit(c) || c == '_' || c == '-' ||
+		c == ':' || c == '.'
+}
+
+// isIndexSelector reports whether sel (including brackets) is [N] or [*].
+func isIndexSelector(sel string) bool {
+	inner := strings.TrimSuffix(strings.TrimPrefix(sel, "["), "]")
+	if inner == "*" {
+		return true
+	}
+	if inner == "" {
+		return false
+	}
+	for i := 0; i < len(inner); i++ {
+		if !isDigit(inner[i]) {
+			return false
+		}
+	}
+	return true
+}

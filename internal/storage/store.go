@@ -1,0 +1,543 @@
+// Package storage implements the embedded event store backing the
+// operational module — the stand-in for the relational database of the
+// paper's MISP instance. Events are MISP events keyed by UUID; writes go
+// through an append-only JSON-lines write-ahead log, reads are served from
+// in-memory maps with secondary indexes over attribute values, attribute
+// types and tags (MISP's "correlation" lookups). Snapshots bound recovery
+// time; a truncated or corrupted WAL tail is tolerated on replay.
+package storage
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+const (
+	walFile      = "events.wal"
+	snapshotFile = "snapshot.json"
+)
+
+// ErrNotFound is returned when the requested event does not exist.
+var ErrNotFound = errors.New("storage: event not found")
+
+// Store is a concurrency-safe embedded event store. Construct with Open.
+type Store struct {
+	mu sync.RWMutex
+
+	dir  string
+	wal  *os.File
+	walW *bufio.Writer
+	seq  uint64
+	sync bool
+
+	events   map[string]*misp.Event // by event UUID
+	byValue  map[string][]string    // attribute value -> event UUIDs
+	byType   map[string][]string    // attribute type  -> event UUIDs
+	byTag    map[string][]string    // tag name        -> event UUIDs
+	walOps   int                    // operations appended since last snapshot
+	indexing bool
+}
+
+// Option configures Open.
+type Option interface{ apply(*Store) }
+
+type syncOption bool
+
+func (o syncOption) apply(s *Store) { s.sync = bool(o) }
+
+// WithSync forces an fsync after every WAL append (durable but slow).
+// Default is buffered writes flushed on every append without fsync.
+func WithSync(enabled bool) Option { return syncOption(enabled) }
+
+type indexOption bool
+
+func (o indexOption) apply(s *Store) { s.indexing = bool(o) }
+
+// WithIndexes toggles secondary-index maintenance (ablation benchmarks
+// disable it to measure the cost of full scans). Default on.
+func WithIndexes(enabled bool) Option { return indexOption(enabled) }
+
+// walRecord is one WAL entry.
+type walRecord struct {
+	Seq   uint64      `json:"seq"`
+	Op    string      `json:"op"` // "put" or "delete"
+	UUID  string      `json:"uuid,omitempty"`
+	Event *misp.Event `json:"event,omitempty"`
+}
+
+// snapshot is the persisted full state.
+type snapshot struct {
+	Seq    uint64        `json:"seq"`
+	Events []*misp.Event `json:"events"`
+}
+
+// Open loads (or creates) a store in dir. An empty dir opens a memory-only
+// store with no durability.
+func Open(dir string, opts ...Option) (*Store, error) {
+	s := &Store{
+		dir:      dir,
+		events:   make(map[string]*misp.Event),
+		byValue:  make(map[string][]string),
+		byType:   make(map[string][]string),
+		byTag:    make(map[string][]string),
+		indexing: true,
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: create dir: %w", err)
+	}
+	if err := s.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open wal: %w", err)
+	}
+	s.wal = wal
+	s.walW = bufio.NewWriter(wal)
+	return s, nil
+}
+
+// Put stores (or replaces) an event.
+func (s *Store) Put(e *misp.Event) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	cp, err := deepCopy(e)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	if err := s.appendWAL(walRecord{Seq: s.seq, Op: "put", Event: cp}); err != nil {
+		return err
+	}
+	s.apply(cp)
+	return nil
+}
+
+// Get returns a copy of the event with the given UUID.
+func (s *Store) Get(uuid string) (*misp.Event, error) {
+	s.mu.RLock()
+	e, ok := s.events[uuid]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, uuid)
+	}
+	return deepCopy(e)
+}
+
+// Delete removes the event with the given UUID.
+func (s *Store) Delete(uuid string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.events[uuid]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotFound, uuid)
+	}
+	s.seq++
+	if err := s.appendWAL(walRecord{Seq: s.seq, Op: "delete", UUID: uuid}); err != nil {
+		return err
+	}
+	s.applyDelete(uuid)
+	return nil
+}
+
+// Len returns the number of stored events.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.events)
+}
+
+// All returns copies of every event, sorted by UUID.
+func (s *Store) All() ([]*misp.Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*misp.Event, 0, len(s.events))
+	for _, e := range s.events {
+		cp, err := deepCopy(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	return out, nil
+}
+
+// SearchValue returns events carrying an attribute with exactly this value.
+func (s *Store) SearchValue(value string) ([]*misp.Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexing {
+		return s.copyAll(s.byValue[value])
+	}
+	return s.scan(func(e *misp.Event) bool {
+		for _, a := range allAttributes(e) {
+			if a.Value == value {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// SearchType returns events carrying at least one attribute of this type.
+func (s *Store) SearchType(attrType string) ([]*misp.Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexing {
+		return s.copyAll(s.byType[attrType])
+	}
+	return s.scan(func(e *misp.Event) bool {
+		for _, a := range allAttributes(e) {
+			if a.Type == attrType {
+				return true
+			}
+		}
+		return false
+	})
+}
+
+// SearchTag returns events carrying the given tag.
+func (s *Store) SearchTag(tag string) ([]*misp.Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.indexing {
+		return s.copyAll(s.byTag[tag])
+	}
+	return s.scan(func(e *misp.Event) bool { return e.HasTag(tag) })
+}
+
+// UpdatedSince returns events whose timestamp is at or after t.
+func (s *Store) UpdatedSince(t time.Time) ([]*misp.Event, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.scan(func(e *misp.Event) bool { return !e.Timestamp.Before(t) })
+}
+
+// Correlated returns the UUIDs of events sharing at least one attribute
+// value with the given event — MISP's automatic correlation.
+func (s *Store) Correlated(e *misp.Event) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	seen := make(map[string]bool)
+	var out []string
+	for _, a := range allAttributes(e) {
+		var candidates []string
+		if s.indexing {
+			candidates = s.byValue[a.Value]
+		} else {
+			for uuid, other := range s.events {
+				for _, oa := range allAttributes(other) {
+					if oa.Value == a.Value {
+						candidates = append(candidates, uuid)
+						break
+					}
+				}
+			}
+		}
+		for _, uuid := range candidates {
+			if uuid != e.UUID && !seen[uuid] {
+				seen[uuid] = true
+				out = append(out, uuid)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact writes a snapshot of the current state and truncates the WAL.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	snap := snapshot{Seq: s.seq}
+	for _, e := range s.events {
+		snap.Events = append(snap.Events, e)
+	}
+	sort.Slice(snap.Events, func(i, j int) bool { return snap.Events[i].UUID < snap.Events[j].UUID })
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return fmt.Errorf("storage: encode snapshot: %w", err)
+	}
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	// Truncate the WAL now that the snapshot covers it.
+	if s.wal != nil {
+		if err := s.walW.Flush(); err != nil {
+			return err
+		}
+		if err := s.wal.Close(); err != nil {
+			return err
+		}
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("storage: reopen wal: %w", err)
+	}
+	s.wal = wal
+	s.walW = bufio.NewWriter(wal)
+	s.walOps = 0
+	return nil
+}
+
+// WALOps reports operations appended since the last snapshot (compaction
+// policy input).
+func (s *Store) WALOps() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.walOps
+}
+
+// Close flushes and closes the WAL.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	if err := s.walW.Flush(); err != nil {
+		return err
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}
+
+func (s *Store) appendWAL(rec walRecord) error {
+	s.walOps++
+	if s.walW == nil {
+		return nil // memory-only store
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("storage: encode wal record: %w", err)
+	}
+	if _, err := s.walW.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("storage: append wal: %w", err)
+	}
+	if err := s.walW.Flush(); err != nil {
+		return fmt.Errorf("storage: flush wal: %w", err)
+	}
+	if s.sync {
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("storage: sync wal: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply installs a put into memory state. Caller holds the write lock.
+func (s *Store) apply(e *misp.Event) {
+	if old, ok := s.events[e.UUID]; ok {
+		s.unindex(old)
+	}
+	s.events[e.UUID] = e
+	s.index(e)
+}
+
+func (s *Store) applyDelete(uuid string) {
+	if old, ok := s.events[uuid]; ok {
+		s.unindex(old)
+		delete(s.events, uuid)
+	}
+}
+
+func (s *Store) index(e *misp.Event) {
+	if !s.indexing {
+		return
+	}
+	for _, a := range allAttributes(e) {
+		s.byValue[a.Value] = appendUnique(s.byValue[a.Value], e.UUID)
+		s.byType[a.Type] = appendUnique(s.byType[a.Type], e.UUID)
+	}
+	for _, t := range e.Tags {
+		s.byTag[t.Name] = appendUnique(s.byTag[t.Name], e.UUID)
+	}
+}
+
+func (s *Store) unindex(e *misp.Event) {
+	if !s.indexing {
+		return
+	}
+	for _, a := range allAttributes(e) {
+		s.byValue[a.Value] = remove(s.byValue[a.Value], e.UUID)
+		s.byType[a.Type] = remove(s.byType[a.Type], e.UUID)
+	}
+	for _, t := range e.Tags {
+		s.byTag[t.Name] = remove(s.byTag[t.Name], e.UUID)
+	}
+}
+
+// allAttributes enumerates loose and object-grouped attributes alike.
+func allAttributes(e *misp.Event) []misp.Attribute {
+	if len(e.Objects) == 0 {
+		return e.Attributes
+	}
+	out := make([]misp.Attribute, 0, len(e.Attributes)+8)
+	out = append(out, e.Attributes...)
+	for _, o := range e.Objects {
+		out = append(out, o.Attributes...)
+	}
+	return out
+}
+
+func (s *Store) loadSnapshot() error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("storage: decode snapshot: %w", err)
+	}
+	s.seq = snap.Seq
+	for _, e := range snap.Events {
+		s.apply(e)
+	}
+	return nil
+}
+
+// replayWAL applies WAL records past the snapshot sequence. A corrupted or
+// truncated trailing record ends the replay without error (torn final
+// write); corruption mid-file is reported.
+func (s *Store) replayWAL() error {
+	f, err := os.Open(filepath.Join(s.dir, walFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var pendingError error
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(strings.TrimSpace(string(line))) == 0 {
+			continue
+		}
+		if pendingError != nil {
+			// A bad record followed by a good one is real corruption, not a
+			// torn tail.
+			return pendingError
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingError = fmt.Errorf("storage: corrupt wal record: %w", err)
+			continue
+		}
+		if rec.Seq <= s.seq {
+			continue // covered by the snapshot
+		}
+		s.seq = rec.Seq
+		switch rec.Op {
+		case "put":
+			if rec.Event != nil {
+				s.apply(rec.Event)
+			}
+		case "delete":
+			s.applyDelete(rec.UUID)
+		default:
+			pendingError = fmt.Errorf("storage: unknown wal op %q", rec.Op)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("storage: scan wal: %w", err)
+	}
+	return nil // trailing pendingError tolerated as torn write
+}
+
+func (s *Store) copyAll(uuids []string) ([]*misp.Event, error) {
+	out := make([]*misp.Event, 0, len(uuids))
+	for _, uuid := range uuids {
+		e, ok := s.events[uuid]
+		if !ok {
+			continue
+		}
+		cp, err := deepCopy(e)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, cp)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	return out, nil
+}
+
+func (s *Store) scan(match func(*misp.Event) bool) ([]*misp.Event, error) {
+	var out []*misp.Event
+	for _, e := range s.events {
+		if match(e) {
+			cp, err := deepCopy(e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	return out, nil
+}
+
+func deepCopy(e *misp.Event) (*misp.Event, error) {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return nil, fmt.Errorf("storage: copy event: %w", err)
+	}
+	var cp misp.Event
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return nil, fmt.Errorf("storage: copy event: %w", err)
+	}
+	return &cp, nil
+}
+
+func appendUnique(list []string, v string) []string {
+	for _, x := range list {
+		if x == v {
+			return list
+		}
+	}
+	return append(list, v)
+}
+
+func remove(list []string, v string) []string {
+	for i, x := range list {
+		if x == v {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,458 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+var now = time.Date(2019, 6, 24, 12, 0, 0, 0, time.UTC)
+
+func event(t testing.TB, info string, attrs ...[2]string) *misp.Event {
+	t.Helper()
+	e := misp.NewEvent(info, now)
+	for _, kv := range attrs {
+		e.AddAttribute(kv[0], "Network activity", kv[1], now)
+	}
+	return e
+}
+
+func openTemp(t *testing.T, opts ...Option) (*Store, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := Open(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, dir
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Info != "evt" || len(got.Attributes) != 1 {
+		t.Fatalf("Get = %+v", got)
+	}
+	if err := s.Delete(e.UUID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(e.UUID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after delete = %v, want ErrNotFound", err)
+	}
+	if err := s.Delete(e.UUID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestPutRejectsInvalid(t *testing.T) {
+	s, _ := openTemp(t)
+	bad := event(t, "x")
+	bad.UUID = "not-a-uuid"
+	if err := s.Put(bad); err == nil {
+		t.Fatal("invalid event stored")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Info = "mutated"
+	got.Attributes[0].Value = "mutated.example"
+	again, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Info != "evt" || again.Attributes[0].Value != "evil.example" {
+		t.Fatal("Get result aliases internal state")
+	}
+}
+
+func TestPutReplacesAndReindexes(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "old.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	e2 := event(t, "evt v2", [2]string{"domain", "new.example"})
+	e2.UUID = e.UUID
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	hits, err := s.SearchValue("old.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 0 {
+		t.Fatalf("old value still indexed: %d hits", len(hits))
+	}
+	hits, err = s.SearchValue("new.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 1 {
+		t.Fatalf("new value not indexed: %d hits", len(hits))
+	}
+}
+
+func TestSearches(t *testing.T) {
+	s, _ := openTemp(t)
+	a := event(t, "a", [2]string{"domain", "evil.example"}, [2]string{"ip-dst", "203.0.113.7"})
+	b := event(t, "b", [2]string{"domain", "other.example"})
+	b.AddTag("tlp:red")
+	for _, e := range []*misp.Event{a, b} {
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	byVal, err := s.SearchValue("evil.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byVal) != 1 || byVal[0].UUID != a.UUID {
+		t.Fatalf("SearchValue = %+v", byVal)
+	}
+	byType, err := s.SearchType("domain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byType) != 2 {
+		t.Fatalf("SearchType(domain) = %d hits, want 2", len(byType))
+	}
+	byTag, err := s.SearchTag("tlp:red")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(byTag) != 1 || byTag[0].UUID != b.UUID {
+		t.Fatalf("SearchTag = %+v", byTag)
+	}
+	since, err := s.UpdatedSince(now.Add(-time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since) != 2 {
+		t.Fatalf("UpdatedSince = %d hits, want 2", len(since))
+	}
+	since, err = s.UpdatedSince(now.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since) != 0 {
+		t.Fatalf("UpdatedSince(future) = %d hits, want 0", len(since))
+	}
+}
+
+func TestSearchesWithoutIndexes(t *testing.T) {
+	s, _ := openTemp(t, WithIndexes(false))
+	a := event(t, "a", [2]string{"domain", "evil.example"})
+	a.AddTag("tlp:amber")
+	if err := s.Put(a); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.SearchValue("evil.example")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchValue without indexes = %v, %v", hits, err)
+	}
+	hits, err = s.SearchType("domain")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchType without indexes = %v, %v", hits, err)
+	}
+	hits, err = s.SearchTag("tlp:amber")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchTag without indexes = %v, %v", hits, err)
+	}
+}
+
+func TestCorrelated(t *testing.T) {
+	s, _ := openTemp(t)
+	a := event(t, "a", [2]string{"domain", "shared.example"})
+	b := event(t, "b", [2]string{"hostname", "shared.example"})
+	c := event(t, "c", [2]string{"domain", "unrelated.example"})
+	for _, e := range []*misp.Event{a, b, c} {
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := s.Correlated(a)
+	if len(got) != 1 || got[0] != b.UUID {
+		t.Fatalf("Correlated = %v, want [%s]", got, b.UUID)
+	}
+	// Without indexes the same answer comes from a scan.
+	s2, _ := openTemp(t, WithIndexes(false))
+	for _, e := range []*misp.Event{a, b, c} {
+		if err := s2.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s2.Correlated(a); len(got) != 1 || got[0] != b.UUID {
+		t.Fatalf("Correlated (no index) = %v", got)
+	}
+}
+
+func TestReplayAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var uuids []string
+	for i := 0; i < 10; i++ {
+		e := event(t, fmt.Sprintf("evt-%d", i), [2]string{"domain", fmt.Sprintf("h%d.example", i)})
+		uuids = append(uuids, e.UUID)
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(uuids[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 9 {
+		t.Fatalf("replayed Len = %d, want 9", s2.Len())
+	}
+	if _, err := s2.Get(uuids[3]); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted event resurrected by replay")
+	}
+	hits, err := s2.SearchValue("h5.example")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("indexes not rebuilt on replay: %v, %v", hits, err)
+	}
+}
+
+func TestCompactAndReplay(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if err := s.Put(event(t, fmt.Sprintf("evt-%d", i), [2]string{"domain", fmt.Sprintf("h%d.example", i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALOps() != 0 {
+		t.Fatalf("WALOps after compact = %d", s.WALOps())
+	}
+	// Writes after the snapshot land in the fresh WAL.
+	post := event(t, "post-compact", [2]string{"domain", "late.example"})
+	if err := s.Put(post); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// WAL should be small (one record).
+	walData, err := os.ReadFile(filepath.Join(dir, walFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(string(walData), "\n"); n != 1 {
+		t.Fatalf("wal has %d records after compaction, want 1", n)
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 6 {
+		t.Fatalf("Len after snapshot+wal replay = %d, want 6", s2.Len())
+	}
+	if _, err := s2.Get(post.UUID); err != nil {
+		t.Fatalf("post-compact event lost: %v", err)
+	}
+}
+
+func TestTornWALTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a torn final write.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":2,"op":"put","event":{"uu`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s2.Len())
+	}
+}
+
+func TestCorruptWALMiddleRejected(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(event(t, "evt", [2]string{"domain", "a.example"})); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt record followed by a valid one → must fail loudly.
+	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid := event(t, "valid", [2]string{"domain", "b.example"})
+	fmt.Fprintln(f, `{"broken`)
+	fmt.Fprintf(f, `{"seq":9,"op":"put","event":{"uuid":%q,"info":"valid","date":"2019-06-24","threat_level_id":4,"analysis":0,"distribution":1,"published":false,"timestamp":"1561377600"}}`+"\n", valid.UUID)
+	f.Close()
+
+	if _, err := Open(dir); err == nil {
+		t.Fatal("mid-file corruption accepted")
+	}
+}
+
+func TestMemoryOnlyStore(t *testing.T) {
+	s, err := Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatalf("Compact on memory store: %v", err)
+	}
+}
+
+func TestWithSync(t *testing.T) {
+	s, _ := openTemp(t, WithSync(true))
+	if err := s.Put(event(t, "evt", [2]string{"domain", "evil.example"})); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllSorted(t *testing.T) {
+	s, _ := openTemp(t)
+	for i := 0; i < 20; i++ {
+		if err := s.Put(event(t, fmt.Sprintf("evt-%d", i), [2]string{"domain", fmt.Sprintf("h%d.example", i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, err := s.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 20 {
+		t.Fatalf("All = %d events", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i-1].UUID >= all[i].UUID {
+			t.Fatal("All not sorted by UUID")
+		}
+	}
+}
+
+func TestConcurrentPutsAndReads(t *testing.T) {
+	s, _ := openTemp(t)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				e := event(t, fmt.Sprintf("g%d-%d", g, i), [2]string{"domain", fmt.Sprintf("g%d-%d.example", g, i)})
+				if err := s.Put(e); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.SearchType("domain"); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if s.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", s.Len())
+	}
+}
+
+func TestObjectAttributesIndexed(t *testing.T) {
+	s, _ := openTemp(t)
+	e := misp.NewEvent("with object", now)
+	obj := e.AddObject("vulnerability", "vulnerability")
+	obj.AddAttribute("vulnerability", "External analysis", "CVE-2021-44228", now)
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	hits, err := s.SearchValue("CVE-2021-44228")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchValue over object attrs = %d, %v", len(hits), err)
+	}
+	hits, err = s.SearchType("vulnerability")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchType over object attrs = %d, %v", len(hits), err)
+	}
+	// Correlation across loose and object attributes.
+	loose := misp.NewEvent("loose", now)
+	loose.AddAttribute("vulnerability", "External analysis", "CVE-2021-44228", now)
+	if err := s.Put(loose); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Correlated(loose); len(got) != 1 || got[0] != e.UUID {
+		t.Fatalf("Correlated = %v", got)
+	}
+}

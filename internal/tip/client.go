@@ -1,0 +1,192 @@
+package tip
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+// Client talks to a TIP instance's REST API — the role PyMISP plays in the
+// paper's information-sharing process (§IV-A).
+type Client struct {
+	baseURL string
+	apiKey  string
+	http    *http.Client
+}
+
+// NewClient builds a client for the instance at baseURL.
+func NewClient(baseURL, apiKey string) *Client {
+	return &Client{
+		baseURL: baseURL,
+		apiKey:  apiKey,
+		http:    &http.Client{Timeout: 30 * time.Second},
+	}
+}
+
+// AddEvent stores an event remotely and returns the correlated UUIDs.
+func (c *Client) AddEvent(e *misp.Event) ([]string, error) {
+	body, err := misp.MarshalWrapped(e)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		UUID       string   `json:"uuid"`
+		Correlated []string `json:"correlated"`
+	}
+	if err := c.do(http.MethodPost, "/events", body, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Correlated, nil
+}
+
+// GetEvent fetches one event by UUID.
+func (c *Client) GetEvent(uuid string) (*misp.Event, error) {
+	var wrapped misp.Wrapped
+	if err := c.do(http.MethodGet, "/events/"+url.PathEscape(uuid), nil, &wrapped); err != nil {
+		return nil, err
+	}
+	if wrapped.Event == nil {
+		return nil, fmt.Errorf("tip: empty event payload")
+	}
+	return wrapped.Event, nil
+}
+
+// DeleteEvent removes one event by UUID.
+func (c *Client) DeleteEvent(uuid string) error {
+	return c.do(http.MethodDelete, "/events/"+url.PathEscape(uuid), nil, nil)
+}
+
+// Search runs a query remotely.
+func (c *Client) Search(q SearchQuery) ([]*misp.Event, error) {
+	body, err := json.Marshal(q)
+	if err != nil {
+		return nil, err
+	}
+	var wrapped []misp.Wrapped
+	if err := c.do(http.MethodPost, "/events/search", body, &wrapped); err != nil {
+		return nil, err
+	}
+	return unwrap(wrapped), nil
+}
+
+// EventsSince lists events updated at or after t.
+func (c *Client) EventsSince(t time.Time) ([]*misp.Event, error) {
+	path := "/events"
+	if !t.IsZero() {
+		path += "?since=" + url.QueryEscape(t.UTC().Format(time.RFC3339))
+	}
+	var wrapped []misp.Wrapped
+	if err := c.do(http.MethodGet, path, nil, &wrapped); err != nil {
+		return nil, err
+	}
+	return unwrap(wrapped), nil
+}
+
+// Export retrieves one event in the requested format.
+func (c *Client) Export(uuid, format string) ([]byte, error) {
+	req, err := c.request(http.MethodGet,
+		"/events/"+url.PathEscape(uuid)+"/export?format="+url.QueryEscape(format), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("tip: export status %s: %s", resp.Status, data)
+	}
+	return data, nil
+}
+
+// ImportSTIX uploads a STIX 2.0 bundle for storage; it returns the UUID of
+// the stored event.
+func (c *Client) ImportSTIX(bundle []byte) (string, error) {
+	var resp struct {
+		UUID string `json:"uuid"`
+	}
+	if err := c.do(http.MethodPost, "/import/stix", bundle, &resp); err != nil {
+		return "", err
+	}
+	return resp.UUID, nil
+}
+
+// Stats fetches instance counters.
+func (c *Client) Stats() (Stats, error) {
+	var st Stats
+	if err := c.do(http.MethodGet, "/stats", nil, &st); err != nil {
+		return Stats{}, err
+	}
+	return st, nil
+}
+
+func (c *Client) do(method, path string, body []byte, out any) error {
+	req, err := c.request(method, path, body)
+	if err != nil {
+		return err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("tip: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
+	if err != nil {
+		return fmt.Errorf("tip: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("tip: %s %s: %s (status %d)", method, path, apiErr.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("tip: %s %s: status %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("tip: decode response: %w", err)
+	}
+	return nil
+}
+
+func (c *Client) request(method, path string, body []byte) (*http.Request, error) {
+	var reader io.Reader
+	if body != nil {
+		reader = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.baseURL+path, reader)
+	if err != nil {
+		return nil, fmt.Errorf("tip: build request: %w", err)
+	}
+	if c.apiKey != "" {
+		req.Header.Set("Authorization", c.apiKey)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return req, nil
+}
+
+func unwrap(wrapped []misp.Wrapped) []*misp.Event {
+	out := make([]*misp.Event, 0, len(wrapped))
+	for _, w := range wrapped {
+		if w.Event != nil {
+			out = append(out, w.Event)
+		}
+	}
+	return out
+}

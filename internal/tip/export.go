@@ -1,0 +1,77 @@
+package tip
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/stix"
+)
+
+// Export formats provided by the instance's export modules. MISP "comes
+// out with the possibility of exporting internal stored information" in
+// several standards (§III-C2); the converters here are the equivalents.
+const (
+	FormatMISPJSON = "misp"
+	FormatSTIX2    = "stix2"
+	FormatCSV      = "csv"
+)
+
+// ExportFormats lists supported formats.
+var ExportFormats = []string{FormatMISPJSON, FormatSTIX2, FormatCSV}
+
+// Export renders an event in the requested format.
+func Export(e *misp.Event, format string) ([]byte, string, error) {
+	switch format {
+	case FormatMISPJSON, "":
+		data, err := misp.MarshalWrapped(e)
+		return data, "application/json", err
+	case FormatSTIX2:
+		bundle, err := misp.ToSTIX(e)
+		if err != nil {
+			return nil, "", err
+		}
+		data, err := json.Marshal(bundle)
+		return data, "application/json", err
+	case FormatCSV:
+		data, err := exportCSV(e)
+		return data, "text/csv", err
+	default:
+		return nil, "", fmt.Errorf("tip: unknown export format %q", format)
+	}
+}
+
+// ImportSTIX converts a STIX 2.0 bundle into a MISP event for storage.
+func ImportSTIX(data []byte, now time.Time) (*misp.Event, error) {
+	bundle, err := stix.ParseBundle(data)
+	if err != nil {
+		return nil, err
+	}
+	return misp.FromSTIX(bundle, now)
+}
+
+func exportCSV(e *misp.Event) ([]byte, error) {
+	var buf bytes.Buffer
+	w := csv.NewWriter(&buf)
+	if err := w.Write([]string{"uuid", "type", "category", "value", "comment", "to_ids", "timestamp"}); err != nil {
+		return nil, err
+	}
+	for _, a := range e.Attributes {
+		toIDS := "0"
+		if a.ToIDS {
+			toIDS = "1"
+		}
+		row := []string{
+			a.UUID, a.Type, a.Category, a.Value, a.Comment, toIDS,
+			a.Timestamp.UTC().Format(time.RFC3339),
+		}
+		if err := w.Write(row); err != nil {
+			return nil, err
+		}
+	}
+	w.Flush()
+	return buf.Bytes(), w.Error()
+}

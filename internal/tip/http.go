@@ -1,0 +1,218 @@
+package tip
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/storage"
+)
+
+// API is the HTTP front of a Service, mirroring the MISP REST surface the
+// platform uses (PyMISP in the paper):
+//
+//	POST   /events                      store an event (wrapped or bare)
+//	GET    /events?since=RFC3339        list events
+//	GET    /events/{uuid}               fetch one event
+//	DELETE /events/{uuid}               remove one event
+//	GET    /events/{uuid}/export?format=misp|stix2|csv
+//	POST   /events/search               run a SearchQuery
+//	POST   /import/stix                 import a STIX 2.0 bundle
+//	GET    /stats                       instance counters
+//
+// Authentication follows MISP: an API key in the Authorization header.
+type API struct {
+	service *Service
+	apiKey  string
+	mux     *http.ServeMux
+}
+
+// NewAPI builds the HTTP handler. An empty apiKey disables authentication.
+func NewAPI(service *Service, apiKey string) *API {
+	a := &API{service: service, apiKey: apiKey, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /events", a.handleAddEvent)
+	a.mux.HandleFunc("GET /events", a.handleListEvents)
+	a.mux.HandleFunc("GET /events/{uuid}", a.handleGetEvent)
+	a.mux.HandleFunc("DELETE /events/{uuid}", a.handleDeleteEvent)
+	a.mux.HandleFunc("GET /events/{uuid}/export", a.handleExport)
+	a.mux.HandleFunc("POST /events/search", a.handleSearch)
+	a.mux.HandleFunc("POST /import/stix", a.handleImportSTIX)
+	a.mux.HandleFunc("GET /stats", a.handleStats)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if a.apiKey != "" && r.Header.Get("Authorization") != a.apiKey {
+		httpError(w, http.StatusUnauthorized, "invalid or missing API key")
+		return
+	}
+	a.mux.ServeHTTP(w, r)
+}
+
+func (a *API) handleAddEvent(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return
+	}
+	e, err := misp.UnmarshalWrapped(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	correlated, err := a.service.AddEvent(e)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"uuid":       e.UUID,
+		"correlated": correlated,
+	})
+}
+
+func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
+	since := time.Time{}
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		parsed, err := time.Parse(time.RFC3339, raw)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad since parameter")
+			return
+		}
+		since = parsed
+	}
+	events, err := a.service.EventsSince(since)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeEventList(w, events)
+}
+
+func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
+	e, err := a.service.GetEvent(r.PathValue("uuid"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, misp.Wrapped{Event: e})
+}
+
+func (a *API) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
+	err := a.service.DeleteEvent(r.PathValue("uuid"))
+	if errors.Is(err, storage.ErrNotFound) {
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"deleted": r.PathValue("uuid")})
+}
+
+func (a *API) handleExport(w http.ResponseWriter, r *http.Request) {
+	e, err := a.service.GetEvent(r.PathValue("uuid"))
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, storage.ErrNotFound) {
+			status = http.StatusNotFound
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	format := r.URL.Query().Get("format")
+	data, contentType, err := Export(e, format)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", contentType)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(data)
+}
+
+func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return
+	}
+	var q SearchQuery
+	if err := json.Unmarshal(body, &q); err != nil {
+		httpError(w, http.StatusBadRequest, "bad search query: "+err.Error())
+		return
+	}
+	events, err := a.service.Search(q)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeEventList(w, events)
+}
+
+func (a *API) handleImportSTIX(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return
+	}
+	e, err := ImportSTIX(body, time.Now().UTC())
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	correlated, err := a.service.AddEvent(e)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"uuid":       e.UUID,
+		"correlated": correlated,
+	})
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(MarshalStats(a.service.Stats()))
+}
+
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 32<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "read body: "+err.Error())
+		return nil, err
+	}
+	if len(strings.TrimSpace(string(body))) == 0 {
+		httpError(w, http.StatusBadRequest, "empty body")
+		return nil, fmt.Errorf("tip: empty body")
+	}
+	return body, nil
+}
+
+func writeEventList(w http.ResponseWriter, events []*misp.Event) {
+	wrapped := make([]misp.Wrapped, 0, len(events))
+	for _, e := range events {
+		wrapped = append(wrapped, misp.Wrapped{Event: e})
+	}
+	writeJSON(w, http.StatusOK, wrapped)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}

@@ -1,0 +1,273 @@
+// Package tip implements the threat-intelligence-platform instance at the
+// heart of the Operational Module — the stand-in for the paper's MISP
+// deployment. It stores MISP-format events in the embedded store, performs
+// automatic correlation on insert, publishes every stored OSINT event on
+// the message bus for the heuristic component (the paper's zeroMQ
+// mechanism, §IV-A), exposes the MISP-like REST API with export modules
+// (MISP JSON, STIX 2.0, CSV) and synchronizes events between instances.
+package tip
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/storage"
+)
+
+// Bus topics published by the service.
+const (
+	// TopicEventAdd announces newly stored events (wrapped MISP JSON).
+	TopicEventAdd = "misp.event.add"
+	// TopicEventEdit announces re-stored (updated) events.
+	TopicEventEdit = "misp.event.edit"
+)
+
+// Service is one TIP instance.
+type Service struct {
+	store  *storage.Store
+	broker *bus.Broker
+	logger *slog.Logger
+	name   string
+}
+
+// Option configures a Service.
+type Option interface{ apply(*Service) }
+
+type brokerOption struct{ b *bus.Broker }
+
+func (o brokerOption) apply(s *Service) { s.broker = o.b }
+
+// WithBroker attaches a message bus; stored events are published on it.
+func WithBroker(b *bus.Broker) Option { return brokerOption{b: b} }
+
+type loggerOption struct{ l *slog.Logger }
+
+func (o loggerOption) apply(s *Service) { s.logger = o.l }
+
+// WithLogger sets the service logger.
+func WithLogger(l *slog.Logger) Option { return loggerOption{l: l} }
+
+type nameOption string
+
+func (o nameOption) apply(s *Service) { s.name = string(o) }
+
+// WithName labels the instance (log and stats output).
+func WithName(name string) Option { return nameOption(name) }
+
+// NewService wraps a store.
+func NewService(store *storage.Store, opts ...Option) *Service {
+	s := &Service{
+		store:  store,
+		logger: slog.Default(),
+		name:   "tip",
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	return s
+}
+
+// AddEvent validates and stores an event, returning the UUIDs of already
+// stored events it correlates with (sharing at least one attribute value —
+// MISP's automatic correlation). New and updated events are announced on
+// the bus.
+func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
+	if e == nil {
+		return nil, fmt.Errorf("tip: nil event")
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	topic := TopicEventAdd
+	if _, err := s.store.Get(e.UUID); err == nil {
+		topic = TopicEventEdit
+	}
+	correlated = s.store.Correlated(e)
+	if err := s.store.Put(e); err != nil {
+		return nil, err
+	}
+	s.publish(topic, e)
+	s.logger.Debug("event stored", "instance", s.name, "uuid", e.UUID, "topic", topic, "correlated", len(correlated))
+	return correlated, nil
+}
+
+// GetEvent fetches one event by UUID.
+func (s *Service) GetEvent(uuid string) (*misp.Event, error) {
+	return s.store.Get(uuid)
+}
+
+// DeleteEvent removes one event by UUID.
+func (s *Service) DeleteEvent(uuid string) error {
+	return s.store.Delete(uuid)
+}
+
+// SearchQuery selects events; zero fields are ignored, set fields AND.
+type SearchQuery struct {
+	// Value matches an exact attribute value.
+	Value string `json:"value,omitempty"`
+	// Type matches an attribute type.
+	Type string `json:"type,omitempty"`
+	// Tag matches an event tag.
+	Tag string `json:"tag,omitempty"`
+	// Since keeps events stamped at or after this instant.
+	Since time.Time `json:"since,omitempty"`
+}
+
+// Search runs a query against the store.
+func (s *Service) Search(q SearchQuery) ([]*misp.Event, error) {
+	var (
+		candidates []*misp.Event
+		err        error
+	)
+	// The most selective indexed lookup narrows the candidate set; the
+	// remaining criteria filter below.
+	switch {
+	case q.Value != "":
+		candidates, err = s.store.SearchValue(q.Value)
+	case q.Type != "":
+		candidates, err = s.store.SearchType(q.Type)
+	case q.Tag != "":
+		candidates, err = s.store.SearchTag(q.Tag)
+	default:
+		candidates, err = s.store.All()
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []*misp.Event
+	for _, e := range candidates {
+		if q.Value != "" && !hasValue(e, q.Value) {
+			continue
+		}
+		if q.Type != "" && !hasType(e, q.Type) {
+			continue
+		}
+		if q.Tag != "" && !e.HasTag(q.Tag) {
+			continue
+		}
+		if !q.Since.IsZero() && e.Timestamp.Before(q.Since) {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	return out, nil
+}
+
+// EventsSince lists events updated at or after t.
+func (s *Service) EventsSince(t time.Time) ([]*misp.Event, error) {
+	return s.store.UpdatedSince(t)
+}
+
+// Len reports the number of stored events.
+func (s *Service) Len() int { return s.store.Len() }
+
+// Stats summarizes the instance.
+type Stats struct {
+	Name   string `json:"name"`
+	Events int    `json:"events"`
+	WALOps int    `json:"wal_ops"`
+}
+
+// Stats returns instance counters.
+func (s *Service) Stats() Stats {
+	return Stats{Name: s.name, Events: s.store.Len(), WALOps: s.store.WALOps()}
+}
+
+// SyncFrom pulls events updated since t from a remote instance and stores
+// them locally — MISP's pull synchronization. It returns how many events
+// were imported.
+func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
+	events, err := remote.EventsSince(t)
+	if err != nil {
+		return 0, fmt.Errorf("tip: sync pull: %w", err)
+	}
+	imported := 0
+	for _, e := range events {
+		if _, err := s.AddEvent(e); err != nil {
+			return imported, fmt.Errorf("tip: sync import %s: %w", e.UUID, err)
+		}
+		imported++
+	}
+	return imported, nil
+}
+
+// SyncTo pushes local events updated since t to a remote instance —
+// MISP's push synchronization, the counterpart of SyncFrom. Events marked
+// DistributionOrganisation never leave the instance (MISP's "your
+// organisation only" level). It returns how many events were exported.
+func (s *Service) SyncTo(remote *Client, t time.Time) (int, error) {
+	events, err := s.EventsSince(t)
+	if err != nil {
+		return 0, err
+	}
+	exported := 0
+	for _, e := range events {
+		if e.Distribution == misp.DistributionOrganisation {
+			continue
+		}
+		if _, err := remote.AddEvent(e); err != nil {
+			return exported, fmt.Errorf("tip: sync push %s: %w", e.UUID, err)
+		}
+		exported++
+	}
+	return exported, nil
+}
+
+func (s *Service) publish(topic string, e *misp.Event) {
+	if s.broker == nil {
+		return
+	}
+	data, err := misp.MarshalWrapped(e)
+	if err != nil {
+		s.logger.Warn("publish encode failed", "uuid", e.UUID, "error", err)
+		return
+	}
+	s.broker.Publish(topic, data)
+}
+
+func hasValue(e *misp.Event, value string) bool {
+	for _, a := range e.Attributes {
+		if a.Value == value {
+			return true
+		}
+	}
+	for _, o := range e.Objects {
+		for _, a := range o.Attributes {
+			if a.Value == value {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasType(e *misp.Event, typ string) bool {
+	for _, a := range e.Attributes {
+		if a.Type == typ {
+			return true
+		}
+	}
+	for _, o := range e.Objects {
+		for _, a := range o.Attributes {
+			if a.Type == typ {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// MarshalStats renders stats as JSON (used by the HTTP layer).
+func MarshalStats(st Stats) []byte {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return []byte(`{}`)
+	}
+	return data
+}

@@ -1,0 +1,473 @@
+package tip
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/stix"
+	"github.com/caisplatform/caisp/internal/storage"
+)
+
+var now = time.Date(2019, 6, 24, 12, 0, 0, 0, time.UTC)
+
+func newService(t *testing.T, opts ...Option) *Service {
+	t.Helper()
+	store, err := storage.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	return NewService(store, opts...)
+}
+
+func sampleEvent(t testing.TB, info, value string) *misp.Event {
+	t.Helper()
+	e := misp.NewEvent(info, now)
+	e.AddAttribute("domain", "Network activity", value, now)
+	return e
+}
+
+func TestAddGetDelete(t *testing.T) {
+	s := newService(t)
+	e := sampleEvent(t, "evt", "evil.example")
+	correlated, err := s.AddEvent(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(correlated) != 0 {
+		t.Fatalf("first event correlated with %v", correlated)
+	}
+	got, err := s.GetEvent(e.UUID)
+	if err != nil || got.Info != "evt" {
+		t.Fatalf("GetEvent = %+v, %v", got, err)
+	}
+	if err := s.DeleteEvent(e.UUID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetEvent(e.UUID); err == nil {
+		t.Fatal("deleted event still readable")
+	}
+	if _, err := s.AddEvent(nil); err == nil {
+		t.Fatal("nil event accepted")
+	}
+}
+
+func TestAutomaticCorrelation(t *testing.T) {
+	s := newService(t)
+	a := sampleEvent(t, "a", "shared.example")
+	if _, err := s.AddEvent(a); err != nil {
+		t.Fatal(err)
+	}
+	b := sampleEvent(t, "b", "shared.example")
+	correlated, err := s.AddEvent(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(correlated) != 1 || correlated[0] != a.UUID {
+		t.Fatalf("correlated = %v, want [%s]", correlated, a.UUID)
+	}
+}
+
+func TestBusPublicationOnAddAndEdit(t *testing.T) {
+	broker := bus.NewBroker()
+	defer broker.Close()
+	sub := broker.Subscribe("misp.")
+	s := newService(t, WithBroker(broker), WithName("test-instance"))
+
+	e := sampleEvent(t, "evt", "evil.example")
+	if _, err := s.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	msg := <-sub.C()
+	if msg.Topic != TopicEventAdd {
+		t.Fatalf("topic = %q", msg.Topic)
+	}
+	decoded, err := misp.UnmarshalWrapped(msg.Payload)
+	if err != nil || decoded.UUID != e.UUID {
+		t.Fatalf("payload decode = %+v, %v", decoded, err)
+	}
+	// Re-adding the same UUID is an edit.
+	e.Info = "evt v2"
+	if _, err := s.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	msg = <-sub.C()
+	if msg.Topic != TopicEventEdit {
+		t.Fatalf("edit topic = %q", msg.Topic)
+	}
+}
+
+func TestSearch(t *testing.T) {
+	s := newService(t)
+	a := sampleEvent(t, "a", "one.example")
+	a.AddTag("tlp:red")
+	b := sampleEvent(t, "b", "two.example")
+	b.AddAttribute("ip-dst", "Network activity", "203.0.113.7", now)
+	for _, e := range []*misp.Event{a, b} {
+		if _, err := s.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tests := []struct {
+		name string
+		q    SearchQuery
+		want int
+	}{
+		{name: "by value", q: SearchQuery{Value: "one.example"}, want: 1},
+		{name: "by type", q: SearchQuery{Type: "ip-dst"}, want: 1},
+		{name: "by tag", q: SearchQuery{Tag: "tlp:red"}, want: 1},
+		{name: "by since match", q: SearchQuery{Since: now.Add(-time.Hour)}, want: 2},
+		{name: "by since future", q: SearchQuery{Since: now.Add(time.Hour)}, want: 0},
+		{name: "value and tag", q: SearchQuery{Value: "one.example", Tag: "tlp:red"}, want: 1},
+		{name: "value and wrong tag", q: SearchQuery{Value: "one.example", Tag: "tlp:green"}, want: 0},
+		{name: "all", q: SearchQuery{}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := s.Search(tt.q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != tt.want {
+				t.Fatalf("got %d events, want %d", len(got), tt.want)
+			}
+		})
+	}
+}
+
+func TestExportFormats(t *testing.T) {
+	e := sampleEvent(t, "export me", "evil.example")
+	e.AddAttribute("vulnerability", "External analysis", "CVE-2017-9805", now)
+
+	mispData, ct, err := Export(e, FormatMISPJSON)
+	if err != nil || ct != "application/json" {
+		t.Fatalf("misp export: %v %q", err, ct)
+	}
+	if back, err := misp.UnmarshalWrapped(mispData); err != nil || back.UUID != e.UUID {
+		t.Fatalf("misp export round trip failed: %v", err)
+	}
+
+	stixData, _, err := Export(e, FormatSTIX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bundle, err := stix.ParseBundle(stixData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bundle.ByType(stix.TypeVulnerability)) != 1 {
+		t.Fatalf("stix export lost the vulnerability: %d objects", len(bundle.Objects))
+	}
+
+	csvData, ct, err := Export(e, FormatCSV)
+	if err != nil || ct != "text/csv" {
+		t.Fatalf("csv export: %v %q", err, ct)
+	}
+	if !strings.Contains(string(csvData), "evil.example") || !strings.Contains(string(csvData), "CVE-2017-9805") {
+		t.Fatalf("csv export missing values:\n%s", csvData)
+	}
+
+	if _, _, err := Export(e, "yaml"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestImportSTIX(t *testing.T) {
+	v := stix.NewVulnerability("CVE-2017-9805", "struts", now)
+	bundle := stix.NewBundle(v)
+	data, err := json.Marshal(bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ImportSTIX(data, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.FindAttribute("vulnerability"); got == nil || got.Value != "CVE-2017-9805" {
+		t.Fatalf("import lost the vulnerability: %+v", e.Attributes)
+	}
+	if _, err := ImportSTIX([]byte(`{"bad":`), now); err == nil {
+		t.Fatal("garbage bundle accepted")
+	}
+}
+
+func apiServer(t *testing.T, apiKey string) (*httptest.Server, *Service) {
+	t.Helper()
+	s := newService(t)
+	srv := httptest.NewServer(NewAPI(s, apiKey))
+	t.Cleanup(srv.Close)
+	return srv, s
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	srv, _ := apiServer(t, "secret-key")
+	client := NewClient(srv.URL, "secret-key")
+
+	e := sampleEvent(t, "via http", "http.example")
+	if _, err := client.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.GetEvent(e.UUID)
+	if err != nil || got.Info != "via http" {
+		t.Fatalf("GetEvent = %+v, %v", got, err)
+	}
+	results, err := client.Search(SearchQuery{Value: "http.example"})
+	if err != nil || len(results) != 1 {
+		t.Fatalf("Search = %d results, %v", len(results), err)
+	}
+	listed, err := client.EventsSince(time.Time{})
+	if err != nil || len(listed) != 1 {
+		t.Fatalf("EventsSince = %d, %v", len(listed), err)
+	}
+	exported, err := client.Export(e.UUID, FormatSTIX2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := stix.ParseBundle(exported); err != nil {
+		t.Fatalf("exported bundle invalid: %v", err)
+	}
+	st, err := client.Stats()
+	if err != nil || st.Events != 1 {
+		t.Fatalf("Stats = %+v, %v", st, err)
+	}
+	if err := client.DeleteEvent(e.UUID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.GetEvent(e.UUID); err == nil {
+		t.Fatal("deleted event still served")
+	}
+}
+
+func TestHTTPAuthentication(t *testing.T) {
+	srv, _ := apiServer(t, "secret-key")
+	bad := NewClient(srv.URL, "wrong-key")
+	if _, err := bad.Stats(); err == nil || !strings.Contains(err.Error(), "401") && !strings.Contains(err.Error(), "API key") {
+		t.Fatalf("wrong key accepted: %v", err)
+	}
+	missing := NewClient(srv.URL, "")
+	if _, err := missing.Stats(); err == nil {
+		t.Fatal("missing key accepted")
+	}
+	// Open instance (no key) accepts anonymous calls.
+	open, _ := apiServer(t, "")
+	anon := NewClient(open.URL, "")
+	if _, err := anon.Stats(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	srv, _ := apiServer(t, "")
+	client := NewClient(srv.URL, "")
+	if _, err := client.GetEvent("00000000-0000-0000-0000-000000000000"); err == nil {
+		t.Fatal("missing event served")
+	}
+	if err := client.DeleteEvent("00000000-0000-0000-0000-000000000000"); err == nil {
+		t.Fatal("missing event deleted")
+	}
+	// Bad payloads.
+	resp, err := http.Post(srv.URL+"/events", "application/json", strings.NewReader(`{"junk":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad event status = %d", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/events", "application/json", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty body status = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/events?since=not-a-time")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad since status = %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPImportSTIX(t *testing.T) {
+	srv, service := apiServer(t, "")
+	client := NewClient(srv.URL, "")
+	v := stix.NewVulnerability("CVE-2019-0001", "test vuln", now)
+	data, err := json.Marshal(stix.NewBundle(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	uuid, err := client.ImportSTIX(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uuid == "" {
+		t.Fatal("no uuid returned")
+	}
+	if service.Len() != 1 {
+		t.Fatalf("service has %d events", service.Len())
+	}
+}
+
+func TestSyncBetweenInstances(t *testing.T) {
+	srvA, serviceA := apiServer(t, "")
+	_, serviceB := apiServer(t, "")
+
+	// Instance A holds three events; B pulls them.
+	var latest time.Time
+	for i, value := range []string{"a.example", "b.example", "c.example"} {
+		e := misp.NewEvent("evt", now.Add(time.Duration(i)*time.Minute))
+		e.AddAttribute("domain", "Network activity", value, now)
+		if _, err := serviceA.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+		latest = e.Timestamp.Time
+	}
+	clientA := NewClient(srvA.URL, "")
+	imported, err := serviceB.SyncFrom(clientA, time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 3 || serviceB.Len() != 3 {
+		t.Fatalf("imported %d, B has %d", imported, serviceB.Len())
+	}
+	// Incremental sync: only events at/after the last timestamp.
+	e := misp.NewEvent("late", latest.Add(time.Hour))
+	e.AddAttribute("domain", "Network activity", "late.example", latest.Add(time.Hour))
+	if _, err := serviceA.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	imported, err = serviceB.SyncFrom(clientA, latest.Add(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imported != 1 || serviceB.Len() != 4 {
+		t.Fatalf("incremental imported %d, B has %d", imported, serviceB.Len())
+	}
+	if serviceA.Stats().Events != 4 {
+		t.Fatalf("A stats = %+v", serviceA.Stats())
+	}
+}
+
+func TestSyncToPushesEvents(t *testing.T) {
+	_, producer := apiServer(t, "")
+	srvConsumer, consumer := apiServer(t, "push-key")
+
+	for i, value := range []string{"p1.example", "p2.example"} {
+		e := misp.NewEvent("pushed", now.Add(time.Duration(i)*time.Minute))
+		e.AddAttribute("domain", "Network activity", value, now)
+		if _, err := producer.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exported, err := producer.SyncTo(NewClient(srvConsumer.URL, "push-key"), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported != 2 || consumer.Len() != 2 {
+		t.Fatalf("exported %d, consumer has %d", exported, consumer.Len())
+	}
+	// A bad key fails fast with a useful error.
+	if _, err := producer.SyncTo(NewClient(srvConsumer.URL, "wrong"), time.Time{}); err == nil {
+		t.Fatal("push with wrong key succeeded")
+	}
+}
+
+func TestSyncToRespectsDistribution(t *testing.T) {
+	_, producer := apiServer(t, "")
+	srvConsumer, consumer := apiServer(t, "")
+
+	private := misp.NewEvent("org-only intel", now)
+	private.Distribution = misp.DistributionOrganisation
+	private.AddAttribute("domain", "Network activity", "private.example", now)
+	shared := misp.NewEvent("community intel", now)
+	shared.AddAttribute("domain", "Network activity", "shared.example", now)
+	for _, e := range []*misp.Event{private, shared} {
+		if _, err := producer.AddEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exported, err := producer.SyncTo(NewClient(srvConsumer.URL, ""), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exported != 1 || consumer.Len() != 1 {
+		t.Fatalf("exported %d, consumer has %d (org-only event must stay home)", exported, consumer.Len())
+	}
+	if _, err := consumer.GetEvent(private.UUID); err == nil {
+		t.Fatal("org-only event leaked")
+	}
+}
+
+func TestHTTPExportFormatsAndErrors(t *testing.T) {
+	srv, service := apiServer(t, "")
+	e := sampleEvent(t, "exportable", "export.example")
+	if _, err := service.AddEvent(e); err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(srv.URL, "")
+	// Every supported format over HTTP.
+	for _, format := range ExportFormats {
+		data, err := client.Export(e.UUID, format)
+		if err != nil || len(data) == 0 {
+			t.Fatalf("export %s: %v", format, err)
+		}
+	}
+	if _, err := client.Export(e.UUID, "protobuf"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if _, err := client.Export("00000000-0000-0000-0000-000000000000", FormatMISPJSON); err == nil {
+		t.Fatal("missing event exported")
+	}
+}
+
+func TestHTTPSearchBadBody(t *testing.T) {
+	srv, _ := apiServer(t, "")
+	resp, err := http.Post(srv.URL+"/events/search", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad search status = %d", resp.StatusCode)
+	}
+	resp2, err := http.Post(srv.URL+"/import/stix", "application/json", strings.NewReader("{bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad import status = %d", resp2.StatusCode)
+	}
+}
+
+func TestClientConnectionErrors(t *testing.T) {
+	dead := NewClient("http://127.0.0.1:1", "")
+	if _, err := dead.Stats(); err == nil {
+		t.Fatal("dead endpoint succeeded")
+	}
+	if _, err := dead.EventsSince(time.Time{}); err == nil {
+		t.Fatal("dead list succeeded")
+	}
+	if _, err := dead.AddEvent(sampleEvent(t, "x", "x.example")); err == nil {
+		t.Fatal("dead add succeeded")
+	}
+	store, err := storage.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	local := NewService(store)
+	if _, err := local.SyncFrom(dead, time.Time{}); err == nil {
+		t.Fatal("sync from dead endpoint succeeded")
+	}
+}

@@ -1,0 +1,220 @@
+// Package worker implements the heuristic component as a standalone
+// process, matching the paper's deployment where the MISP instance and the
+// heuristic analysis run separately and communicate over zeroMQ (§IV-A):
+// the worker subscribes to a TIP's TCP publish socket, converts each
+// incoming cIoC to STIX 2.0, computes the threat score against its local
+// infrastructure knowledge, writes the enriched event back through the TIP
+// REST API, and emits rIoCs to an optional sink.
+package worker
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+// Config parameterizes a Worker.
+type Config struct {
+	// BusAddr is the TIP's TCP publish socket ("host:port").
+	BusAddr string
+	// TIP is the client for writing enriched events back.
+	TIP *tip.Client
+	// Collector supplies the infrastructure context for scoring.
+	Collector *infra.Collector
+	// RIoCSink receives reduced IoCs (nil discards them).
+	RIoCSink func(heuristic.RIoC)
+	// Now fixes the evaluation clock; nil uses time.Now.
+	Now func() time.Time
+	// Logger receives worker logs; nil uses slog.Default().
+	Logger *slog.Logger
+}
+
+// Stats counts worker activity.
+type Stats struct {
+	Received  int `json:"received"`
+	Skipped   int `json:"skipped"`
+	Enriched  int `json:"enriched"`
+	RIoCs     int `json:"riocs"`
+	Failures  int `json:"failures"`
+	Reconnect int `json:"reconnects"`
+}
+
+// Worker is a running heuristic component.
+type Worker struct {
+	cfg    Config
+	engine *heuristic.Engine
+	logger *slog.Logger
+
+	mu        sync.Mutex
+	stats     Stats
+	processed map[string]bool
+
+	client *bus.Client
+	done   chan struct{}
+}
+
+// New validates the configuration and builds a worker. The bus
+// subscription opens immediately (so nothing published while the caller
+// prepares is lost); call Run to process events and Stop — or cancel
+// Run's context — to release the connection.
+func New(cfg Config) (*Worker, error) {
+	if cfg.BusAddr == "" {
+		return nil, fmt.Errorf("worker: bus address required")
+	}
+	if cfg.TIP == nil {
+		return nil, fmt.Errorf("worker: TIP client required")
+	}
+	if cfg.Collector == nil {
+		return nil, fmt.Errorf("worker: infrastructure collector required")
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.Default()
+	}
+	return &Worker{
+		cfg: cfg,
+		engine: heuristic.NewEngine(
+			heuristic.WithInfrastructure(cfg.Collector),
+			heuristic.WithNow(cfg.Now),
+		),
+		logger:    cfg.Logger,
+		processed: make(map[string]bool),
+		client:    bus.Dial(cfg.BusAddr, tip.TopicEventAdd),
+		done:      make(chan struct{}),
+	}, nil
+}
+
+// Run processes bus events until ctx is cancelled. The subscription was
+// opened by New (the reconnecting client buffers across the gap), so no
+// event published between New and Run is lost.
+func (w *Worker) Run(ctx context.Context) {
+	defer close(w.done)
+	for {
+		select {
+		case <-ctx.Done():
+			w.client.Close()
+			return
+		case msg, ok := <-w.client.C():
+			if !ok {
+				return
+			}
+			w.handle(msg.Payload)
+		}
+	}
+}
+
+// Stop closes the bus subscription and waits for Run to exit. Only valid
+// after Run has been started.
+func (w *Worker) Stop() {
+	w.client.Close()
+	<-w.done
+}
+
+// Stats returns a snapshot of the worker counters.
+func (w *Worker) Stats() Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.stats
+	st.Reconnect = w.client.Reconnects()
+	return st
+}
+
+// handle processes one published event payload.
+func (w *Worker) handle(payload []byte) {
+	w.mu.Lock()
+	w.stats.Received++
+	w.mu.Unlock()
+
+	me, err := misp.UnmarshalWrapped(payload)
+	if err != nil {
+		w.fail("undecodable payload", err)
+		return
+	}
+	if !me.HasTag("caisp:cioc") || me.HasTag("caisp:eioc") {
+		w.mu.Lock()
+		w.stats.Skipped++
+		w.mu.Unlock()
+		return
+	}
+	w.mu.Lock()
+	if w.processed[me.UUID] {
+		w.stats.Skipped++
+		w.mu.Unlock()
+		return
+	}
+	w.processed[me.UUID] = true
+	w.mu.Unlock()
+
+	if err := w.Analyze(me); err != nil {
+		w.fail("analysis failed", err)
+	}
+}
+
+// Analyze scores one stored cIoC event, writes the eIoC back to the TIP
+// and emits rIoCs. Exported for synchronous use in tests and batch tools.
+func (w *Worker) Analyze(me *misp.Event) error {
+	bundle, err := misp.ToSTIX(me)
+	if err != nil {
+		return err
+	}
+	now := w.cfg.Now().UTC()
+	scored := 0
+	var topScore float64
+	for _, obj := range bundle.Objects {
+		res, err := w.engine.Evaluate(obj)
+		if err != nil {
+			continue // object type without a heuristic
+		}
+		scored++
+		heuristic.Enrich(obj, res)
+		if res.Score > topScore {
+			topScore = res.Score
+		}
+		rioc, err := heuristic.Reduce(obj, res, w.cfg.Collector, now)
+		if err != nil {
+			return err
+		}
+		if rioc != nil {
+			if w.cfg.RIoCSink != nil {
+				w.cfg.RIoCSink(*rioc)
+			}
+			w.mu.Lock()
+			w.stats.RIoCs++
+			w.mu.Unlock()
+		}
+	}
+	if scored == 0 {
+		w.mu.Lock()
+		w.stats.Skipped++
+		w.mu.Unlock()
+		return nil
+	}
+	me.AddAttribute("comment", "Other",
+		"threat-score:"+strconv.FormatFloat(topScore, 'f', 4, 64), now)
+	me.AddTag("caisp:eioc")
+	if _, err := w.cfg.TIP.AddEvent(me); err != nil {
+		return fmt.Errorf("worker: write back %s: %w", me.UUID, err)
+	}
+	w.mu.Lock()
+	w.stats.Enriched++
+	w.mu.Unlock()
+	return nil
+}
+
+func (w *Worker) fail(msg string, err error) {
+	w.mu.Lock()
+	w.stats.Failures++
+	w.mu.Unlock()
+	w.logger.Warn(msg, "error", err)
+}

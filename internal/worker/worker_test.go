@@ -1,0 +1,257 @@
+package worker
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/correlate"
+	"github.com/caisplatform/caisp/internal/heuristic"
+	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+var evalTime = time.Date(2018, 6, 1, 12, 0, 0, 0, time.UTC)
+
+// distributedRig wires a TIP with a TCP publish socket (the "MISP
+// instance") and a worker (the "heuristic component") as separate
+// components talking only over the network, as in the paper's deployment.
+type distributedRig struct {
+	service  *tip.Service
+	listener *bus.Listener
+	worker   *Worker
+	riocs    *riocCollector
+	cancel   context.CancelFunc
+	runDone  chan struct{}
+}
+
+type riocCollector struct {
+	mu    sync.Mutex
+	items []heuristic.RIoC
+}
+
+func (c *riocCollector) add(r heuristic.RIoC) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = append(c.items, r)
+}
+
+func (c *riocCollector) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.items)
+}
+
+func (c *riocCollector) first() heuristic.RIoC {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.items[0]
+}
+
+func newRig(t *testing.T) *distributedRig {
+	t.Helper()
+	store, err := storage.Open("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	broker := bus.NewBroker()
+	t.Cleanup(broker.Close)
+	listener, err := broker.ListenTCP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { listener.Close() })
+
+	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName("misp-instance"))
+	apiServer := httptest.NewServer(tip.NewAPI(service, "worker-key"))
+	t.Cleanup(apiServer.Close)
+
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	riocs := &riocCollector{}
+	w, err := New(Config{
+		BusAddr:   listener.Addr(),
+		TIP:       tip.NewClient(apiServer.URL, "worker-key"),
+		Collector: collector,
+		RIoCSink:  riocs.add,
+		Now:       func() time.Time { return evalTime },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		w.Run(ctx)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-runDone
+	})
+	// Pub/sub delivers only to attached subscribers: wait for the worker's
+	// TCP subscription before any test publishes.
+	waitFor(t, func() bool { return broker.TCPConns() == 1 })
+	return &distributedRig{
+		service: service, listener: listener, worker: w,
+		riocs: riocs, cancel: cancel, runDone: runDone,
+	}
+}
+
+// strutsCIoC builds the use-case cIoC as the input module would store it.
+func strutsCIoC(t *testing.T) *misp.Event {
+	t.Helper()
+	e, err := normalize.New("CVE-2017-9805", normalize.CategoryVulnExploit, "vuln-advisories", normalize.SourceOSINT,
+		time.Date(2017, 9, 13, 0, 0, 0, 0, time.UTC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Context = map[string]string{
+		"description": "Apache Struts REST plugin XStream RCE",
+		"cvss-vector": "CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H",
+		"products":    "apache struts,apache",
+		"os":          "debian",
+		"published":   "2017-09-13",
+		"references":  "https://capec.mitre.example/248,https://cve.mitre.example/CVE-2017-9805",
+	}
+	ciocs := correlate.New().Correlate([]normalize.Event{e})
+	if len(ciocs) != 1 {
+		t.Fatalf("ciocs = %d", len(ciocs))
+	}
+	me, err := correlate.ToMISP(&ciocs[0], evalTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return me
+}
+
+func TestDistributedHeuristicComponent(t *testing.T) {
+	rig := newRig(t)
+
+	// The "MISP instance" stores a cIoC; the publish socket fans it out to
+	// the remote worker, which scores it and writes the eIoC back over the
+	// REST API.
+	if _, err := rig.service.AddEvent(strutsCIoC(t)); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for rig.worker.Stats().Enriched == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("worker never enriched: %+v", rig.worker.Stats())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The rIoC reproduces the paper's use case.
+	if rig.riocs.len() != 1 {
+		t.Fatalf("riocs = %d", rig.riocs.len())
+	}
+	r := rig.riocs.first()
+	if r.CVE != "CVE-2017-9805" || r.ThreatScore != 2.7407 {
+		t.Fatalf("rIoC = %+v", r)
+	}
+	if len(r.NodeIDs) != 1 || r.NodeIDs[0] != "node4" {
+		t.Fatalf("nodes = %v", r.NodeIDs)
+	}
+
+	// The stored event became an eIoC with the threat-score attribute.
+	waitFor(t, func() bool {
+		events, err := rig.service.Search(tip.SearchQuery{Tag: "caisp:eioc"})
+		return err == nil && len(events) == 1
+	})
+	events, err := rig.service.Search(tip.SearchQuery{Tag: "caisp:eioc"})
+	if err != nil || len(events) != 1 {
+		t.Fatalf("eIoC search: %d, %v", len(events), err)
+	}
+	found := false
+	for _, a := range events[0].Attributes {
+		if strings.HasPrefix(a.Value, "threat-score:2.7407") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("threat-score attribute missing: %+v", events[0].Attributes)
+	}
+
+	// The edit publication (TopicEventEdit) must not loop back into the
+	// worker: received counts only adds.
+	st := rig.worker.Stats()
+	if st.Enriched != 1 || st.Failures != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWorkerSkipsNonCIoCs(t *testing.T) {
+	rig := newRig(t)
+	plain := misp.NewEvent("infrastructure data", evalTime)
+	plain.AddAttribute("ip-dst", "Network activity", "10.0.0.14", evalTime)
+	if _, err := rig.service.AddEvent(plain); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return rig.worker.Stats().Received >= 1 })
+	st := rig.worker.Stats()
+	if st.Skipped == 0 || st.Enriched != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestWorkerIdempotentPerUUID(t *testing.T) {
+	rig := newRig(t)
+	cioc := strutsCIoC(t)
+	if _, err := rig.service.AddEvent(cioc); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return rig.worker.Stats().Enriched == 1 })
+
+	// Analyze again directly: processed set blocks duplicates via handle,
+	// and Analyze itself is safe to re-run but the worker counts it once.
+	before := rig.worker.Stats().Enriched
+	data, err := misp.MarshalWrapped(cioc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig.worker.handle(data)
+	if rig.worker.Stats().Enriched != before {
+		t.Fatalf("duplicate enrichment: %+v", rig.worker.Stats())
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := tip.NewClient("http://127.0.0.1:1", "")
+	if _, err := New(Config{TIP: client, Collector: collector}); err == nil {
+		t.Fatal("missing bus address accepted")
+	}
+	if _, err := New(Config{BusAddr: "x", Collector: collector}); err == nil {
+		t.Fatal("missing client accepted")
+	}
+	if _, err := New(Config{BusAddr: "x", TIP: client}); err == nil {
+		t.Fatal("missing collector accepted")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

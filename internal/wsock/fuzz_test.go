@@ -1,0 +1,49 @@
+package wsock
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestReadFrameNeverPanics feeds the frame decoder random bytes: it must
+// return an error or a frame, never panic or over-allocate.
+func TestReadFrameNeverPanics(t *testing.T) {
+	f := func(raw []byte) bool {
+		_, _ = readFrame(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFrameRoundTripQuick checks write→read identity for random payloads,
+// masked and unmasked.
+func TestFrameRoundTripQuick(t *testing.T) {
+	f := func(payload []byte, mask bool) bool {
+		var buf bytes.Buffer
+		in := frame{fin: true, opcode: OpBinary, payload: payload}
+		if err := writeFrame(&buf, in, mask); err != nil {
+			return false
+		}
+		out, err := readFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return out.fin && out.opcode == OpBinary && bytes.Equal(out.payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadFrameOversizedRejected ensures length-bomb headers are refused
+// before any allocation happens.
+func TestReadFrameOversizedRejected(t *testing.T) {
+	// 127-length marker with an 8-byte length far beyond maxPayload.
+	raw := []byte{0x82, 127, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+	if _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("length bomb accepted")
+	}
+}

@@ -1,0 +1,93 @@
+package wsock
+
+import (
+	"sync"
+)
+
+// Hub fans text messages out to a set of WebSocket connections, evicting
+// any connection whose write fails. The dashboard uses one Hub to push
+// rIoCs and alarms to every connected browser session.
+type Hub struct {
+	mu    sync.Mutex
+	conns map[*Conn]bool
+	sent  int
+}
+
+// NewHub constructs an empty hub.
+func NewHub() *Hub {
+	return &Hub{conns: make(map[*Conn]bool)}
+}
+
+// Add registers a connection for broadcasts.
+func (h *Hub) Add(c *Conn) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.conns[c] = true
+}
+
+// Remove unregisters (but does not close) a connection.
+func (h *Hub) Remove(c *Conn) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.conns, c)
+}
+
+// Len reports the number of registered connections.
+func (h *Hub) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.conns)
+}
+
+// Sent reports the number of successfully delivered messages.
+func (h *Hub) Sent() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sent
+}
+
+// Broadcast sends a text payload to every connection; failed connections
+// are closed and evicted. It returns the number of successful deliveries.
+func (h *Hub) Broadcast(payload []byte) int {
+	h.mu.Lock()
+	conns := make([]*Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+
+	delivered := 0
+	var dead []*Conn
+	for _, c := range conns {
+		if err := c.WriteText(payload); err != nil {
+			dead = append(dead, c)
+			continue
+		}
+		delivered++
+	}
+
+	h.mu.Lock()
+	h.sent += delivered
+	for _, c := range dead {
+		delete(h.conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range dead {
+		c.Close()
+	}
+	return delivered
+}
+
+// CloseAll closes and evicts every connection.
+func (h *Hub) CloseAll() {
+	h.mu.Lock()
+	conns := make([]*Conn, 0, len(h.conns))
+	for c := range h.conns {
+		conns = append(conns, c)
+	}
+	h.conns = make(map[*Conn]bool)
+	h.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+}
