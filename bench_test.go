@@ -6,6 +6,7 @@ package caisp_test
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"net/http/httptest"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"github.com/caisplatform/caisp/internal/correlate"
 	"github.com/caisplatform/caisp/internal/dedup"
 	"github.com/caisplatform/caisp/internal/experiments"
+	"github.com/caisplatform/caisp/internal/feed"
 	"github.com/caisplatform/caisp/internal/feedgen"
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
@@ -401,6 +403,210 @@ func BenchmarkWorkerAnalyze(b *testing.B) {
 		}
 		if err := w.Analyze(fresh); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// --- Parallel ingestion pipeline ------------------------------------------
+
+// latencyFetcher simulates a network feed: every fetch costs a fixed
+// round-trip delay before the document is returned.
+type latencyFetcher struct {
+	data  []byte
+	delay time.Duration
+}
+
+func (f *latencyFetcher) Fetch(ctx context.Context) ([]byte, bool, error) {
+	select {
+	case <-time.After(f.delay):
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+	return f.data, false, nil
+}
+
+// latencyFeeds builds n independent OSINT feeds, each behind a simulated
+// network round trip, each carrying its own slice of indicators.
+func latencyFeeds(n, itemsPerFeed int, delay time.Duration) []feed.Feed {
+	feeds := make([]feed.Feed, 0, n)
+	for i := 0; i < n; i++ {
+		var doc []byte
+		for j := 0; j < itemsPerFeed; j++ {
+			doc = append(doc, fmt.Sprintf("bench-%d-%d.example\n", i, j)...)
+		}
+		feeds = append(feeds, feed.Feed{
+			Name:     fmt.Sprintf("bench-feed-%d", i),
+			Category: normalize.CategoryMalwareDomain,
+			Fetcher:  &latencyFetcher{data: doc, delay: delay},
+			Parser:   feed.PlaintextParser{},
+			Interval: time.Hour,
+		})
+	}
+	return feeds
+}
+
+// benchmarkPipeline measures one full collect→store→analyze pass over 16
+// feeds sitting behind a 2 ms simulated round trip each. Serial polls and
+// analyzes one at a time; parallel uses the bounded feed worker pool and
+// the analyzer pool.
+func benchmarkPipeline(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		p, err := core.New(core.Config{
+			Feeds:           latencyFeeds(16, 20, 2*time.Millisecond),
+			Clock:           clock.NewFake(experiments.EvalTime),
+			AnalyzerPool:    workers,
+			FeedConcurrency: workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := p.RunBatch(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if st := p.Stats(); st.EventsUnique != 320 || st.CIoCs == 0 {
+			b.Fatalf("pipeline accounting off: %+v", st)
+		}
+		p.Close()
+	}
+}
+
+func BenchmarkPipelineSerial(b *testing.B)   { benchmarkPipeline(b, 1) }
+func BenchmarkPipelineParallel(b *testing.B) { benchmarkPipeline(b, 8) }
+
+// --- Group-commit storage: PutBatch vs per-event Put ----------------------
+
+func storeBenchEvents(b *testing.B, n int) []*misp.Event {
+	b.Helper()
+	events := make([]*misp.Event, n)
+	for i := range events {
+		e := misp.NewEvent(fmt.Sprintf("evt-%d", i), experiments.EvalTime)
+		e.AddAttribute("domain", "Network activity", fmt.Sprintf("h%d.example", i), experiments.EvalTime)
+		e.AddTag("caisp:cioc")
+		events[i] = e
+	}
+	return events
+}
+
+// The durable (fsync-per-commit) configuration is where group commit
+// pays: Put fsyncs once per event, PutBatch once per batch.
+func BenchmarkPutSerialSync(b *testing.B) {
+	store, err := storage.Open(b.TempDir(), storage.WithSync(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	events := storeBenchEvents(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Put(events[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutBatchSync(b *testing.B) {
+	const batchSize = 64
+	store, err := storage.Open(b.TempDir(), storage.WithSync(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	events := storeBenchEvents(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for lo := 0; lo < len(events); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := store.PutBatch(events[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Memory-only variants isolate the encode/copy savings from fsync.
+func BenchmarkPutSerialMemory(b *testing.B) {
+	store, err := storage.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	events := storeBenchEvents(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := store.Put(events[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutBatchMemory(b *testing.B) {
+	const batchSize = 64
+	store, err := storage.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	events := storeBenchEvents(b, b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for lo := 0; lo < len(events); lo += batchSize {
+		hi := lo + batchSize
+		if hi > len(events) {
+			hi = len(events)
+		}
+		if err := store.PutBatch(events[lo:hi]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Event copy: hand-written Clone vs the old JSON round trip ------------
+
+func cloneBenchEvent() *misp.Event {
+	e := misp.NewEvent("clone bench", experiments.EvalTime)
+	e.AddAttribute("vulnerability", "External analysis", "CVE-2017-9805", experiments.EvalTime)
+	e.AddAttribute("domain", "Network activity", "evil.example", experiments.EvalTime)
+	e.AddAttribute("ip-dst", "Network activity", "203.0.113.7", experiments.EvalTime)
+	o := e.AddObject("vulnerability", "vulnerability")
+	o.AddAttribute("cvss-string", "External analysis",
+		"CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", experiments.EvalTime)
+	e.AddTag("caisp:cioc")
+	e.AddTag("tlp:amber")
+	return e
+}
+
+func BenchmarkEventClone(b *testing.B) {
+	e := cloneBenchEvent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if cp := e.Clone(); cp.UUID != e.UUID {
+			b.Fatal("bad clone")
+		}
+	}
+}
+
+func BenchmarkEventCloneJSON(b *testing.B) {
+	e := cloneBenchEvent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := json.Marshal(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var cp misp.Event
+		if err := json.Unmarshal(data, &cp); err != nil {
+			b.Fatal(err)
+		}
+		if cp.UUID != e.UUID {
+			b.Fatal("bad copy")
 		}
 	}
 }

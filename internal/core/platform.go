@@ -8,17 +8,23 @@
 //	             collection for external sharing
 //
 // The platform runs either in streaming mode (Start: feed scheduler +
-// heuristic worker on the bus) or in batch mode (RunBatch: one synchronous
-// pass, used by the examples and the experiment harness).
+// a sharded pool of heuristic analyzers on the bus) or in batch mode
+// (RunBatch: one synchronous pass, used by the examples and the
+// experiment harness). Every stage is concurrent: feeds poll in
+// parallel, cIoC batches are stored with one group-committed WAL write,
+// and analysis fans out over N goroutines sharded by event UUID.
 package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
@@ -31,6 +37,7 @@ import (
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/ringset"
 	"github.com/caisplatform/caisp/internal/storage"
 	"github.com/caisplatform/caisp/internal/taxii"
 	"github.com/caisplatform/caisp/internal/textclass"
@@ -44,6 +51,16 @@ const TAXIICollection = "eiocs"
 // WAL operations accumulated since the last snapshot, bounding both WAL
 // growth and restart-replay time.
 const defaultCompactAfterOps = 5000
+
+// maxProcessedTracked bounds the analyzed-UUID memory: the platform
+// remembers this many recently analyzed events for idempotency and evicts
+// the oldest beyond it (re-analysis of an evicted event is idempotent by
+// construction — the eIoC tag check and score overwrite converge).
+const maxProcessedTracked = 1 << 16
+
+// analyzerQueueDepth is the per-shard buffer between the bus dispatcher
+// and an analyzer goroutine.
+const analyzerQueueDepth = 64
 
 // Config parameterizes a Platform.
 type Config struct {
@@ -64,6 +81,14 @@ type Config struct {
 	// DisableClassifier turns off the NLP keyword classifier that tags
 	// unknown-category events from their text (§II-A enhancement).
 	DisableClassifier bool
+	// AnalyzerPool sets how many heuristic analyzer goroutines consume
+	// the bus in streaming mode (and analyze stored events in RunBatch).
+	// Values below 1 use GOMAXPROCS. Work is sharded by event UUID, so
+	// the same event is never analyzed by two goroutines at once.
+	AnalyzerPool int
+	// FeedConcurrency bounds how many feeds PollOnce fetches in
+	// parallel. Values below 1 use GOMAXPROCS.
+	FeedConcurrency int
 }
 
 // Stats counts pipeline activity.
@@ -76,7 +101,22 @@ type Stats struct {
 	RIoCs           int `json:"riocs"`
 	Classified      int `json:"classified"`
 	Unscorable      int `json:"unscorable"`
+	StoreFailures   int `json:"store_failures"`
 	StoredEvents    int `json:"stored_events"`
+}
+
+// counters is the lock-free backing of Stats: every pipeline stage bumps
+// its own atomic, so the analyzer pool never serializes on a stats mutex.
+type counters struct {
+	collected     atomic.Int64
+	unique        atomic.Int64
+	duplicates    atomic.Int64
+	ciocs         atomic.Int64
+	eiocs         atomic.Int64
+	riocs         atomic.Int64
+	classified    atomic.Int64
+	unscorable    atomic.Int64
+	storeFailures atomic.Int64
 }
 
 // Platform is a running Context-Aware OSINT Platform instance.
@@ -92,20 +132,24 @@ type Platform struct {
 	classifier *textclass.Classifier
 
 	// Operational module.
-	store  *storage.Store
-	broker *bus.Broker
-	tip    *tip.Service
-	engine *heuristic.Engine
+	store     *storage.Store
+	broker    *bus.Broker
+	tip       *tip.Service
+	engine    *heuristic.Engine
+	analyzers int
 
 	// Output module.
 	collector *infra.Collector
 	dash      *dashboard.Server
 	taxiiSrv  *taxii.Server
 
-	mu        sync.Mutex
-	pending   []normalize.Event
-	processed map[string]bool // event UUIDs already analyzed
-	stats     Stats
+	mu      sync.Mutex // guards pending
+	pending []normalize.Event
+
+	procMu    sync.Mutex
+	processed *ringset.Set // event UUIDs already analyzed (bounded FIFO)
+
+	counters counters
 
 	compactAfter int
 
@@ -138,6 +182,11 @@ func New(cfg Config) (*Platform, error) {
 	}
 	broker := bus.NewBroker()
 
+	analyzers := cfg.AnalyzerPool
+	if analyzers < 1 {
+		analyzers = runtime.GOMAXPROCS(0)
+	}
+
 	p := &Platform{
 		cfg:       cfg,
 		clk:       cfg.Clock,
@@ -147,7 +196,8 @@ func New(cfg Config) (*Platform, error) {
 		store:     store,
 		broker:    broker,
 		collector: collector,
-		processed: make(map[string]bool),
+		analyzers: analyzers,
+		processed: ringset.New(maxProcessedTracked),
 
 		compactAfter: defaultCompactAfterOps,
 	}
@@ -166,7 +216,8 @@ func New(cfg Config) (*Platform, error) {
 			"eIoCs produced by the heuristic component", false)
 	}
 	p.scheduler = feed.NewScheduler(p.ingest,
-		feed.WithClock(cfg.Clock), feed.WithLogger(cfg.Logger))
+		feed.WithClock(cfg.Clock), feed.WithLogger(cfg.Logger),
+		feed.WithConcurrency(cfg.FeedConcurrency))
 	for _, f := range cfg.Feeds {
 		if err := p.scheduler.Add(f); err != nil {
 			store.Close()
@@ -205,11 +256,18 @@ func (p *Platform) DedupStats() dedup.Stats { return p.deduper.Stats() }
 
 // Stats returns pipeline counters.
 func (p *Platform) Stats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	st := p.stats
-	st.StoredEvents = p.tip.Len()
-	return st
+	return Stats{
+		EventsCollected: int(p.counters.collected.Load()),
+		EventsUnique:    int(p.counters.unique.Load()),
+		Duplicates:      int(p.counters.duplicates.Load()),
+		CIoCs:           int(p.counters.ciocs.Load()),
+		EIoCs:           int(p.counters.eiocs.Load()),
+		RIoCs:           int(p.counters.riocs.Load()),
+		Classified:      int(p.counters.classified.Load()),
+		Unscorable:      int(p.counters.unscorable.Load()),
+		StoreFailures:   int(p.counters.storeFailures.Load()),
+		StoredEvents:    p.tip.Len(),
+	}
 }
 
 // ReportAlarm records an infrastructure alarm and pushes it to the
@@ -280,19 +338,19 @@ func mispTypeFor(typ normalize.IoCType) string {
 func (p *Platform) Classifier() *textclass.Classifier { return p.classifier }
 
 // ingest is the feed scheduler sink: classify → normalize → dedup →
-// pending buffer.
+// pending buffer. It is called concurrently by the feed worker pool.
 func (p *Platform) ingest(e normalize.Event) {
 	p.classify(&e)
 	stored, isNew := p.deduper.Offer(e)
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.stats.EventsCollected++
+	p.counters.collected.Add(1)
 	if !isNew {
-		p.stats.Duplicates++
+		p.counters.duplicates.Add(1)
 		return
 	}
-	p.stats.EventsUnique++
+	p.counters.unique.Add(1)
+	p.mu.Lock()
 	p.pending = append(p.pending, stored)
+	p.mu.Unlock()
 }
 
 // classify tags unknown-category events from their textual context using
@@ -321,9 +379,7 @@ func (p *Platform) classify(e *normalize.Event) {
 	if err := normalize.Canonicalize(e); err != nil {
 		return
 	}
-	p.mu.Lock()
-	p.stats.Classified++
-	p.mu.Unlock()
+	p.counters.classified.Add(1)
 }
 
 // drainPending takes the buffered unique events for correlation.
@@ -335,29 +391,36 @@ func (p *Platform) drainPending() []normalize.Event {
 	return out
 }
 
-// composeAndStore correlates a batch of events into cIoCs and stores each
-// as a MISP event in the TIP (which publishes it on the bus).
+// composeAndStore correlates a batch of events into cIoCs and stores them
+// as MISP events in the TIP through the group-commit batch path (one WAL
+// write and fsync for the whole flush). It stores what it can: a cIoC
+// that fails composition or validation is counted as a store failure and
+// its error aggregated, while the rest of the batch still lands. The
+// stored events are returned alongside the joined error, so callers can
+// keep analyzing partial batches.
 func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
 	ciocs := p.corr.Correlate(events)
-	stored := make([]*misp.Event, 0, len(ciocs))
+	batch := make([]*misp.Event, 0, len(ciocs))
+	var errs []error
 	for i := range ciocs {
 		me, err := correlate.ToMISP(&ciocs[i], p.clk.Now())
 		if err != nil {
-			return stored, fmt.Errorf("core: compose cIoC: %w", err)
+			errs = append(errs, fmt.Errorf("core: compose cIoC: %w", err))
+			continue
 		}
-		if _, err := p.tip.AddEvent(me); err != nil {
-			return stored, fmt.Errorf("core: store cIoC: %w", err)
-		}
-		stored = append(stored, me)
+		batch = append(batch, me)
 	}
-	p.mu.Lock()
-	p.stats.CIoCs += len(ciocs)
-	p.mu.Unlock()
+	stored, err := p.tip.AddEvents(batch)
+	if err != nil {
+		errs = append(errs, fmt.Errorf("core: store cIoCs: %w", err))
+	}
+	p.counters.ciocs.Add(int64(len(stored)))
+	p.counters.storeFailures.Add(int64(len(ciocs) - len(stored)))
 	p.maybeCompact()
-	return stored, nil
+	return stored, errors.Join(errs...)
 }
 
 // maybeCompact snapshots the store once enough WAL operations accumulated.
@@ -372,15 +435,16 @@ func (p *Platform) maybeCompact() {
 
 // analyze runs the heuristic stage for one stored cIoC event: convert to
 // STIX, score each supported SDO, enrich, write the eIoC back, reduce and
-// push rIoCs, share over TAXII.
+// push rIoCs, share over TAXII. Safe for concurrent use across distinct
+// events; the analyzer pool shards by UUID so the same event never runs
+// twice at once.
 func (p *Platform) analyze(me *misp.Event) error {
-	p.mu.Lock()
-	if p.processed[me.UUID] {
-		p.mu.Unlock()
+	p.procMu.Lock()
+	fresh := p.processed.Add(me.UUID)
+	p.procMu.Unlock()
+	if !fresh {
 		return nil
 	}
-	p.processed[me.UUID] = true
-	p.mu.Unlock()
 
 	bundle, err := misp.ToSTIX(me)
 	if err != nil {
@@ -405,9 +469,7 @@ func (p *Platform) analyze(me *misp.Event) error {
 		}
 		if rioc != nil {
 			p.dash.PushRIoC(*rioc)
-			p.mu.Lock()
-			p.stats.RIoCs++
-			p.mu.Unlock()
+			p.counters.riocs.Add(1)
 		}
 		if p.taxiiSrv != nil {
 			if err := p.taxiiSrv.AddObjects(TAXIICollection, obj); err != nil {
@@ -416,9 +478,7 @@ func (p *Platform) analyze(me *misp.Event) error {
 		}
 	}
 	if scored == 0 {
-		p.mu.Lock()
-		p.stats.Unscorable++
-		p.mu.Unlock()
+		p.counters.unscorable.Add(1)
 		return nil
 	}
 	// Write the threat score back into the stored MISP event — "adding the
@@ -430,32 +490,83 @@ func (p *Platform) analyze(me *misp.Event) error {
 	if _, err := p.tip.AddEvent(me); err != nil {
 		return fmt.Errorf("core: store eIoC %s: %w", me.UUID, err)
 	}
-	p.mu.Lock()
-	p.stats.EIoCs++
-	p.mu.Unlock()
+	p.counters.eiocs.Add(1)
 	p.maybeCompact()
 	return nil
 }
 
-// RunBatch performs one synchronous pipeline pass: poll every feed once,
-// dedup, correlate, store, analyze. Not for use while Start is running.
+// analyzeAll fans heuristic analysis of stored events out over the
+// analyzer pool. The events come from one composeAndStore batch, so their
+// UUIDs are distinct and no sharding is needed; errors are joined.
+func (p *Platform) analyzeAll(events []*misp.Event) error {
+	workers := p.analyzers
+	if workers > len(events) {
+		workers = len(events)
+	}
+	if workers <= 1 {
+		var errs []error
+		for _, me := range events {
+			if err := p.analyze(me); err != nil {
+				errs = append(errs, err)
+			}
+		}
+		return errors.Join(errs...)
+	}
+	queue := make(chan *misp.Event)
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		errs  []error
+	)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for me := range queue {
+				if err := p.analyze(me); err != nil {
+					errMu.Lock()
+					errs = append(errs, err)
+					errMu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, me := range events {
+		queue <- me
+	}
+	close(queue)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// RunBatch performs one synchronous pipeline pass: poll every feed once
+// (in parallel), dedup, correlate, group-commit the cIoC batch, and
+// analyze the stored events with the analyzer pool. Not for use while
+// Start is running.
 func (p *Platform) RunBatch(ctx context.Context) error {
 	p.scheduler.PollOnce(ctx)
-	stored, err := p.composeAndStore(p.drainPending())
-	if err != nil {
-		return err
+	stored, storeErr := p.composeAndStore(p.drainPending())
+	if err := p.analyzeAll(stored); err != nil {
+		return errors.Join(storeErr, err)
 	}
-	for _, me := range stored {
-		if err := p.analyze(me); err != nil {
-			return err
-		}
+	return storeErr
+}
+
+// shardOf maps an event UUID onto one of n analyzer shards (FNV-1a), so
+// republished events (eIoC edits) of the same UUID always land on the
+// same goroutine and never race with themselves.
+func shardOf(uuid string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(uuid); i++ {
+		h = (h ^ uint32(uuid[i])) * 16777619
 	}
-	return nil
+	return int(h % uint32(n))
 }
 
 // Start launches streaming mode: the feed scheduler polls on its
 // intervals, a composer goroutine flushes pending events every
-// flushInterval, and a worker consumes the bus to run heuristic analysis.
+// flushInterval, and a sharded pool of analyzer goroutines consumes the
+// bus to run heuristic analysis concurrently.
 func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error {
 	p.runMu.Lock()
 	defer p.runMu.Unlock()
@@ -469,9 +580,34 @@ func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error
 	p.started = true
 
 	p.sub = p.broker.Subscribe(tip.TopicEventAdd)
+
+	// Analyzer pool: one channel per shard, one goroutine per channel.
+	shards := make([]chan *misp.Event, p.analyzers)
+	for i := range shards {
+		shards[i] = make(chan *misp.Event, analyzerQueueDepth)
+		ch := shards[i]
+		p.workers.Add(1)
+		go func() {
+			defer p.workers.Done()
+			for me := range ch {
+				if err := p.analyze(me); err != nil {
+					p.logger.Warn("heuristic analysis failed", "uuid", me.UUID, "error", err)
+				}
+			}
+		}()
+	}
+
+	// Dispatcher: decode bus payloads and shard them by UUID. Closing the
+	// shard channels on exit lets the analyzers drain their queues and
+	// terminate cleanly.
 	p.workers.Add(1)
 	go func() {
 		defer p.workers.Done()
+		defer func() {
+			for _, ch := range shards {
+				close(ch)
+			}
+		}()
 		for {
 			select {
 			case <-ctx.Done():
@@ -488,8 +624,10 @@ func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error
 				if !me.HasTag("caisp:cioc") {
 					continue // infrastructure data is stored, not analyzed
 				}
-				if err := p.analyze(me); err != nil {
-					p.logger.Warn("heuristic analysis failed", "uuid", me.UUID, "error", err)
+				select {
+				case shards[shardOf(me.UUID, len(shards))] <- me:
+				case <-ctx.Done():
+					return
 				}
 			}
 		}
@@ -528,12 +666,12 @@ func (p *Platform) Stop() {
 	p.workers.Wait()
 	p.started = false
 	// Final flush so nothing collected is lost.
-	if stored, err := p.composeAndStore(p.drainPending()); err == nil {
-		for _, me := range stored {
-			if err := p.analyze(me); err != nil {
-				p.logger.Warn("final analysis failed", "uuid", me.UUID, "error", err)
-			}
-		}
+	stored, err := p.composeAndStore(p.drainPending())
+	if err != nil {
+		p.logger.Warn("final composition failed", "error", err)
+	}
+	if err := p.analyzeAll(stored); err != nil {
+		p.logger.Warn("final analysis failed", "error", err)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -36,10 +37,13 @@ type Stats struct {
 }
 
 // Scheduler polls a set of feeds and emits normalized events to a sink.
+// The sink must be safe for concurrent use: feeds poll from parallel
+// goroutines in streaming mode and from a bounded worker pool in PollOnce.
 type Scheduler struct {
-	clk    clock.Clock
-	sink   func(normalize.Event)
-	logger *slog.Logger
+	clk         clock.Clock
+	sink        func(normalize.Event)
+	logger      *slog.Logger
+	concurrency int
 
 	mu      sync.Mutex
 	feeds   []Feed
@@ -65,6 +69,14 @@ func (o loggerOption) apply(s *Scheduler) { s.logger = o.logger }
 
 // WithLogger sets the scheduler's logger.
 func WithLogger(logger *slog.Logger) Option { return loggerOption{logger: logger} }
+
+type concurrencyOption int
+
+func (o concurrencyOption) apply(s *Scheduler) { s.concurrency = int(o) }
+
+// WithConcurrency bounds how many feeds PollOnce fetches and parses in
+// parallel. Values below 1 (the default) use GOMAXPROCS.
+func WithConcurrency(n int) Option { return concurrencyOption(n) }
 
 // NewScheduler builds a scheduler delivering normalized events to sink.
 func NewScheduler(sink func(normalize.Event), opts ...Option) *Scheduler {
@@ -142,15 +154,44 @@ func (s *Scheduler) Stop() {
 }
 
 // PollOnce synchronously fetches every registered feed a single time —
-// batch mode for examples and the experiment harness.
+// batch mode for examples and the experiment harness. Independent feeds
+// are fetched and parsed by a bounded worker pool (see WithConcurrency);
+// PollOnce returns once every feed has been processed.
 func (s *Scheduler) PollOnce(ctx context.Context) {
 	s.mu.Lock()
 	feeds := make([]Feed, len(s.feeds))
 	copy(feeds, s.feeds)
 	s.mu.Unlock()
-	for _, f := range feeds {
-		s.pollFeed(ctx, f)
+
+	workers := s.concurrency
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	if workers > len(feeds) {
+		workers = len(feeds)
+	}
+	if workers <= 1 {
+		for _, f := range feeds {
+			s.pollFeed(ctx, f)
+		}
+		return
+	}
+	queue := make(chan Feed)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := range queue {
+				s.pollFeed(ctx, f)
+			}
+		}()
+	}
+	for _, f := range feeds {
+		queue <- f
+	}
+	close(queue)
+	wg.Wait()
 }
 
 // Stats returns a snapshot of per-feed counters.

@@ -1,0 +1,48 @@
+package misp
+
+// Clone returns a deep copy of the event. It replaces the JSON
+// marshal/unmarshal round trip the event store used for copy-on-read and
+// copy-on-write isolation: a hand-written copy allocates an order of
+// magnitude less and keeps sub-second timestamp precision that the MISP
+// wire encoding would truncate.
+func (e *Event) Clone() *Event {
+	if e == nil {
+		return nil
+	}
+	cp := *e
+	if e.Orgc != nil {
+		org := *e.Orgc
+		cp.Orgc = &org
+	}
+	cp.Attributes = cloneAttributes(e.Attributes)
+	cp.Tags = cloneTags(e.Tags)
+	if e.Objects != nil {
+		cp.Objects = make([]Object, len(e.Objects))
+		for i := range e.Objects {
+			cp.Objects[i] = e.Objects[i]
+			cp.Objects[i].Attributes = cloneAttributes(e.Objects[i].Attributes)
+		}
+	}
+	return &cp
+}
+
+func cloneAttributes(attrs []Attribute) []Attribute {
+	if attrs == nil {
+		return nil
+	}
+	out := make([]Attribute, len(attrs))
+	copy(out, attrs)
+	for i := range out {
+		out[i].Tags = cloneTags(attrs[i].Tags)
+	}
+	return out
+}
+
+func cloneTags(tags []Tag) []Tag {
+	if tags == nil {
+		return nil
+	}
+	out := make([]Tag, len(tags))
+	copy(out, tags)
+	return out
+}

@@ -1,0 +1,76 @@
+package misp
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func cloneFixture() *Event {
+	now := time.Date(2019, 6, 24, 12, 0, 0, 0, time.UTC)
+	e := NewEvent("clone fixture", now)
+	e.Orgc = &Org{UUID: "9d1a9f30-9a4a-4a8e-b360-7f7a1ce7cbb1", Name: "caisp"}
+	a := e.AddAttribute("domain", "Network activity", "evil.example", now)
+	a.Tags = []Tag{{Name: "tlp:amber", Colour: "#ffbf00"}}
+	e.AddAttribute("ip-dst", "Network activity", "203.0.113.7", now)
+	o := e.AddObject("vulnerability", "vulnerability")
+	o.AddAttribute("vulnerability", "External analysis", "CVE-2017-9805", now)
+	e.AddTag("caisp:cioc")
+	return e
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig := cloneFixture()
+	cp := orig.Clone()
+	if !reflect.DeepEqual(orig, cp) {
+		t.Fatalf("clone differs from original:\n%+v\n%+v", orig, cp)
+	}
+	// Mutating every nested level of the copy must leave the original alone.
+	cp.Info = "mutated"
+	cp.Orgc.Name = "mutated"
+	cp.Attributes[0].Value = "mutated.example"
+	cp.Attributes[0].Tags[0].Name = "tlp:red"
+	cp.Objects[0].Attributes[0].Value = "CVE-0000-0000"
+	cp.Tags[0].Name = "mutated"
+	if orig.Info != "clone fixture" || orig.Orgc.Name != "caisp" {
+		t.Fatalf("original scalar mutated: %+v", orig)
+	}
+	if orig.Attributes[0].Value != "evil.example" || orig.Attributes[0].Tags[0].Name != "tlp:amber" {
+		t.Fatalf("original attribute mutated: %+v", orig.Attributes[0])
+	}
+	if orig.Objects[0].Attributes[0].Value != "CVE-2017-9805" {
+		t.Fatalf("original object attribute mutated: %+v", orig.Objects[0])
+	}
+	if orig.Tags[0].Name != "caisp:cioc" {
+		t.Fatalf("original tag mutated: %+v", orig.Tags)
+	}
+}
+
+func TestCloneMatchesJSONRoundTrip(t *testing.T) {
+	orig := cloneFixture()
+	cp := orig.Clone()
+	want, err := json.Marshal(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(want) != string(got) {
+		t.Fatalf("wire forms differ:\n%s\n%s", want, got)
+	}
+}
+
+func TestCloneNilAndEmpty(t *testing.T) {
+	var nilEvent *Event
+	if nilEvent.Clone() != nil {
+		t.Fatal("nil clone not nil")
+	}
+	e := &Event{UUID: "x"}
+	cp := e.Clone()
+	if cp.Attributes != nil || cp.Objects != nil || cp.Tags != nil || cp.Orgc != nil {
+		t.Fatalf("empty slices materialized: %+v", cp)
+	}
+}

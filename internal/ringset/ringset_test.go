@@ -1,0 +1,74 @@
+package ringset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestAddContains(t *testing.T) {
+	s := New(3)
+	if !s.Add("a") || !s.Add("b") {
+		t.Fatal("fresh adds rejected")
+	}
+	if s.Add("a") {
+		t.Fatal("duplicate add accepted")
+	}
+	if !s.Contains("a") || !s.Contains("b") || s.Contains("c") {
+		t.Fatal("membership wrong")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestFIFOEviction(t *testing.T) {
+	s := New(3)
+	for _, k := range []string{"a", "b", "c"} {
+		s.Add(k)
+	}
+	s.Add("d") // evicts a, the oldest
+	if s.Contains("a") {
+		t.Fatal("oldest member survived eviction")
+	}
+	for _, k := range []string{"b", "c", "d"} {
+		if !s.Contains(k) {
+			t.Fatalf("%q evicted out of order", k)
+		}
+	}
+	if s.Len() != 3 || s.Evicted() != 1 {
+		t.Fatalf("len=%d evicted=%d", s.Len(), s.Evicted())
+	}
+	s.Add("e") // evicts b
+	if s.Contains("b") || !s.Contains("c") {
+		t.Fatal("second eviction out of order")
+	}
+}
+
+func TestBoundedUnderSustainedTraffic(t *testing.T) {
+	const capacity = 128
+	s := New(capacity)
+	for i := 0; i < 10_000; i++ {
+		s.Add(fmt.Sprintf("uuid-%d", i))
+		if s.Len() > capacity {
+			t.Fatalf("set grew past capacity: %d", s.Len())
+		}
+	}
+	if s.Len() != capacity {
+		t.Fatalf("len = %d, want %d", s.Len(), capacity)
+	}
+	// The newest window survives.
+	for i := 10_000 - capacity; i < 10_000; i++ {
+		if !s.Contains(fmt.Sprintf("uuid-%d", i)) {
+			t.Fatalf("recent member uuid-%d missing", i)
+		}
+	}
+}
+
+func TestDegenerateCapacity(t *testing.T) {
+	s := New(0)
+	s.Add("a")
+	s.Add("b")
+	if s.Contains("a") || !s.Contains("b") || s.Len() != 1 {
+		t.Fatalf("capacity-1 semantics broken: %+v", s)
+	}
+}

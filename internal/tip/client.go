@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strings"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
@@ -43,6 +44,33 @@ func (c *Client) AddEvent(e *misp.Event) ([]string, error) {
 		return nil, err
 	}
 	return resp.Correlated, nil
+}
+
+// AddEvents stores a batch of events remotely through the group-commit
+// endpoint and returns the UUIDs actually stored. Per-event rejections do
+// not fail the call; they are reported as a joined error alongside the
+// stored UUIDs.
+func (c *Client) AddEvents(events []*misp.Event) ([]string, error) {
+	wrapped := make([]misp.Wrapped, 0, len(events))
+	for _, e := range events {
+		wrapped = append(wrapped, misp.Wrapped{Event: e})
+	}
+	body, err := json.Marshal(wrapped)
+	if err != nil {
+		return nil, err
+	}
+	var resp struct {
+		Stored   []string `json:"stored"`
+		Rejected []string `json:"rejected"`
+	}
+	if err := c.do(http.MethodPost, "/events/batch", body, &resp); err != nil {
+		return nil, err
+	}
+	if len(resp.Rejected) > 0 {
+		return resp.Stored, fmt.Errorf("tip: batch rejected %d event(s): %s",
+			len(resp.Rejected), strings.Join(resp.Rejected, "; "))
+	}
+	return resp.Stored, nil
 }
 
 // GetEvent fetches one event by UUID.

@@ -17,6 +17,7 @@ import (
 // platform uses (PyMISP in the paper):
 //
 //	POST   /events                      store an event (wrapped or bare)
+//	POST   /events/batch                store an array of events (group commit)
 //	GET    /events?since=RFC3339        list events
 //	GET    /events/{uuid}               fetch one event
 //	DELETE /events/{uuid}               remove one event
@@ -36,6 +37,7 @@ type API struct {
 func NewAPI(service *Service, apiKey string) *API {
 	a := &API{service: service, apiKey: apiKey, mux: http.NewServeMux()}
 	a.mux.HandleFunc("POST /events", a.handleAddEvent)
+	a.mux.HandleFunc("POST /events/batch", a.handleAddEventBatch)
 	a.mux.HandleFunc("GET /events", a.handleListEvents)
 	a.mux.HandleFunc("GET /events/{uuid}", a.handleGetEvent)
 	a.mux.HandleFunc("DELETE /events/{uuid}", a.handleDeleteEvent)
@@ -73,6 +75,48 @@ func (a *API) handleAddEvent(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"uuid":       e.UUID,
 		"correlated": correlated,
+	})
+}
+
+// handleAddEventBatch stores a JSON array of (wrapped or bare) events via
+// the group-commit path. The response reports the stored UUIDs and any
+// per-event rejection messages; the batch succeeds as long as the valid
+// subset was committed.
+func (a *API) handleAddEventBatch(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		return
+	}
+	var raw []json.RawMessage
+	if err := json.Unmarshal(body, &raw); err != nil {
+		httpError(w, http.StatusBadRequest, "batch must be a JSON array: "+err.Error())
+		return
+	}
+	events := make([]*misp.Event, 0, len(raw))
+	var rejected []string
+	for _, item := range raw {
+		e, err := misp.UnmarshalWrapped(item)
+		if err != nil {
+			rejected = append(rejected, err.Error())
+			continue
+		}
+		events = append(events, e)
+	}
+	stored, err := a.service.AddEvents(events)
+	if err != nil && len(stored) == 0 && len(events) > 0 {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err != nil {
+		rejected = append(rejected, err.Error())
+	}
+	uuids := make([]string, 0, len(stored))
+	for _, e := range stored {
+		uuids = append(uuids, e.UUID)
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"stored":   uuids,
+		"rejected": rejected,
 	})
 }
 

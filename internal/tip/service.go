@@ -9,6 +9,7 @@ package tip
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log/slog"
 	"sort"
@@ -94,6 +95,47 @@ func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
 	s.publish(topic, e)
 	s.logger.Debug("event stored", "instance", s.name, "uuid", e.UUID, "topic", topic, "correlated", len(correlated))
 	return correlated, nil
+}
+
+// AddEvents stores a batch of events through the store's group-commit
+// path (one WAL write and fsync for the whole batch instead of one per
+// event). Unlike AddEvent it is partial-failure tolerant: events that fail
+// validation are skipped and their errors aggregated with errors.Join,
+// while the valid remainder is still stored and announced on the bus. It
+// returns the events actually stored. Correlation is computed against the
+// state before the batch; events inside one batch correlate with each
+// other on subsequent lookups through the store's indexes.
+func (s *Service) AddEvents(events []*misp.Event) (stored []*misp.Event, err error) {
+	var errs []error
+	valid := make([]*misp.Event, 0, len(events))
+	topics := make([]string, 0, len(events))
+	for _, e := range events {
+		if e == nil {
+			errs = append(errs, fmt.Errorf("tip: nil event"))
+			continue
+		}
+		if verr := e.Validate(); verr != nil {
+			errs = append(errs, verr)
+			continue
+		}
+		topic := TopicEventAdd
+		if _, gerr := s.store.Get(e.UUID); gerr == nil {
+			topic = TopicEventEdit
+		}
+		valid = append(valid, e)
+		topics = append(topics, topic)
+	}
+	if len(valid) > 0 {
+		if perr := s.store.PutBatch(valid); perr != nil {
+			return nil, errors.Join(append(errs, perr)...)
+		}
+		for i, e := range valid {
+			s.publish(topics[i], e)
+		}
+		s.logger.Debug("event batch stored", "instance", s.name,
+			"stored", len(valid), "rejected", len(errs))
+	}
+	return valid, errors.Join(errs...)
 }
 
 // GetEvent fetches one event by UUID.

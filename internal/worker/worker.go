@@ -11,6 +11,7 @@ import (
 	"context"
 	"fmt"
 	"log/slog"
+	"runtime"
 	"strconv"
 	"sync"
 	"time"
@@ -19,8 +20,17 @@ import (
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/ringset"
 	"github.com/caisplatform/caisp/internal/tip"
 )
+
+// maxProcessedTracked bounds the processed-UUID memory; older entries are
+// evicted FIFO (re-analysis of an evicted event is idempotent).
+const maxProcessedTracked = 1 << 16
+
+// shardQueueDepth is the per-shard buffer between the dispatcher and an
+// analyzer goroutine.
+const shardQueueDepth = 64
 
 // Config parameterizes a Worker.
 type Config struct {
@@ -36,6 +46,10 @@ type Config struct {
 	Now func() time.Time
 	// Logger receives worker logs; nil uses slog.Default().
 	Logger *slog.Logger
+	// Parallelism sets how many analyzer goroutines score events
+	// concurrently; values below 1 use GOMAXPROCS. Events are sharded by
+	// UUID so the same event never races with itself.
+	Parallelism int
 }
 
 // Stats counts worker activity.
@@ -50,13 +64,14 @@ type Stats struct {
 
 // Worker is a running heuristic component.
 type Worker struct {
-	cfg    Config
-	engine *heuristic.Engine
-	logger *slog.Logger
+	cfg         Config
+	engine      *heuristic.Engine
+	logger      *slog.Logger
+	parallelism int
 
 	mu        sync.Mutex
 	stats     Stats
-	processed map[string]bool
+	processed *ringset.Set
 
 	client *bus.Client
 	done   chan struct{}
@@ -82,24 +97,52 @@ func New(cfg Config) (*Worker, error) {
 	if cfg.Logger == nil {
 		cfg.Logger = slog.Default()
 	}
+	parallelism := cfg.Parallelism
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
 	return &Worker{
 		cfg: cfg,
 		engine: heuristic.NewEngine(
 			heuristic.WithInfrastructure(cfg.Collector),
 			heuristic.WithNow(cfg.Now),
 		),
-		logger:    cfg.Logger,
-		processed: make(map[string]bool),
-		client:    bus.Dial(cfg.BusAddr, tip.TopicEventAdd),
-		done:      make(chan struct{}),
+		logger:      cfg.Logger,
+		parallelism: parallelism,
+		processed:   ringset.New(maxProcessedTracked),
+		client:      bus.Dial(cfg.BusAddr, tip.TopicEventAdd),
+		done:        make(chan struct{}),
 	}, nil
 }
 
-// Run processes bus events until ctx is cancelled. The subscription was
-// opened by New (the reconnecting client buffers across the gap), so no
-// event published between New and Run is lost.
+// Run processes bus events until ctx is cancelled, fanning the heuristic
+// analysis out over a pool of Parallelism goroutines sharded by event
+// UUID (the serial decode stage is cheap next to scoring). The
+// subscription was opened by New (the reconnecting client buffers across
+// the gap), so no event published between New and Run is lost.
 func (w *Worker) Run(ctx context.Context) {
 	defer close(w.done)
+
+	shards := make([]chan *misp.Event, w.parallelism)
+	var wg sync.WaitGroup
+	for i := range shards {
+		shards[i] = make(chan *misp.Event, shardQueueDepth)
+		ch := shards[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for me := range ch {
+				w.process(me)
+			}
+		}()
+	}
+	defer func() {
+		for _, ch := range shards {
+			close(ch)
+		}
+		wg.Wait()
+	}()
+
 	for {
 		select {
 		case <-ctx.Done():
@@ -109,9 +152,27 @@ func (w *Worker) Run(ctx context.Context) {
 			if !ok {
 				return
 			}
-			w.handle(msg.Payload)
+			me, err := w.receive(msg.Payload)
+			if err != nil || me == nil {
+				continue
+			}
+			select {
+			case shards[shardOf(me.UUID, len(shards))] <- me:
+			case <-ctx.Done():
+				w.client.Close()
+				return
+			}
 		}
 	}
+}
+
+// shardOf maps an event UUID onto an analyzer shard (FNV-1a).
+func shardOf(uuid string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(uuid); i++ {
+		h = (h ^ uint32(uuid[i])) * 16777619
+	}
+	return int(h % uint32(n))
 }
 
 // Stop closes the bus subscription and waits for Run to exit. Only valid
@@ -130,8 +191,20 @@ func (w *Worker) Stats() Stats {
 	return st
 }
 
-// handle processes one published event payload.
+// handle processes one published event payload synchronously — the
+// single-goroutine path used by tests and batch tools; Run splits the
+// same work into receive (dispatcher) and process (analyzer shard).
 func (w *Worker) handle(payload []byte) {
+	me, err := w.receive(payload)
+	if err != nil || me == nil {
+		return
+	}
+	w.process(me)
+}
+
+// receive decodes and pre-filters one payload; it returns (nil, nil) for
+// events that need no analysis.
+func (w *Worker) receive(payload []byte) (*misp.Event, error) {
 	w.mu.Lock()
 	w.stats.Received++
 	w.mu.Unlock()
@@ -139,23 +212,28 @@ func (w *Worker) handle(payload []byte) {
 	me, err := misp.UnmarshalWrapped(payload)
 	if err != nil {
 		w.fail("undecodable payload", err)
-		return
+		return nil, err
 	}
 	if !me.HasTag("caisp:cioc") || me.HasTag("caisp:eioc") {
 		w.mu.Lock()
 		w.stats.Skipped++
 		w.mu.Unlock()
-		return
+		return nil, nil
 	}
-	w.mu.Lock()
-	if w.processed[me.UUID] {
-		w.stats.Skipped++
-		w.mu.Unlock()
-		return
-	}
-	w.processed[me.UUID] = true
-	w.mu.Unlock()
+	return me, nil
+}
 
+// process runs the idempotency check and analysis for one decoded event.
+func (w *Worker) process(me *misp.Event) {
+	w.mu.Lock()
+	fresh := w.processed.Add(me.UUID)
+	if !fresh {
+		w.stats.Skipped++
+	}
+	w.mu.Unlock()
+	if !fresh {
+		return
+	}
 	if err := w.Analyze(me); err != nil {
 		w.fail("analysis failed", err)
 	}
