@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench vet check
+.PHONY: build test race bench bench-read vet copyfree check
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,21 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
+# Read-path suite: copy-free snapshot reads vs the clone-on-read baseline.
+bench-read:
+	$(GO) test -run '^$$' -bench '^BenchmarkRead' -benchmem .
+
 vet:
 	$(GO) vet ./...
 
-check: vet build test race
+# Guard the copy-free read invariant: the only Clone() calls allowed in the
+# storage package are pre-lock/post-lock copies, annotated "unlocked".
+copyfree:
+	@bad=$$(grep -n 'Clone()' internal/storage/*.go | grep -v '_test\.go' | grep -v 'unlocked' || true); \
+	if [ -n "$$bad" ]; then \
+		echo 'copyfree: unannotated Clone() in the storage read path (mark lock-free copies with "unlocked"):'; \
+		echo "$$bad"; \
+		exit 1; \
+	fi
+
+check: vet build test race copyfree

@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -641,4 +642,198 @@ func benchmarkCorrelateWindow(b *testing.B, window time.Duration) {
 func BenchmarkAblationCorrelateUnwindowed(b *testing.B) { benchmarkCorrelateWindow(b, 0) }
 func BenchmarkAblationCorrelateWindowed(b *testing.B) {
 	benchmarkCorrelateWindow(b, 2*time.Hour)
+}
+
+// --- X6: snapshot-isolated read path --------------------------------------
+//
+// Each BenchmarkRead* pair compares the copy-free snapshot read path
+// against the clone-on-read baseline (storage.WithCloneReads restores the
+// pre-snapshot behavior: deep copies on every read, scan-based
+// UpdatedSince). Run via `make bench-read`.
+
+// readBenchEvent builds a realistically sized event (3 loose attributes,
+// one object, 2 tags — like the use-case cIoC) so the baseline's per-read
+// clone cost is representative.
+func readBenchEvent(i int, ts time.Time) *misp.Event {
+	e := misp.NewEvent(fmt.Sprintf("read-%d", i), ts)
+	e.AddAttribute("domain", "Network activity", fmt.Sprintf("r%d.example", i), ts)
+	e.AddAttribute("ip-dst", "Network activity", fmt.Sprintf("203.0.%d.%d", i/250%250, i%250), ts)
+	e.AddAttribute("vulnerability", "External analysis", fmt.Sprintf("CVE-2019-%04d", i%10000), ts)
+	o := e.AddObject("vulnerability", "vulnerability")
+	o.AddAttribute("cvss-string", "External analysis",
+		"CVSS:3.0/AV:N/AC:H/PR:N/UI:N/S:U/C:H/I:H/A:H", ts)
+	e.AddTag("caisp:cioc")
+	e.AddTag("tlp:amber")
+	return e
+}
+
+const readBenchStoreSize = 5000
+
+func seedReadStore(b *testing.B, opts ...storage.Option) *storage.Store {
+	b.Helper()
+	store, err := storage.Open("", opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	batch := make([]*misp.Event, 0, 250)
+	for i := 0; i < readBenchStoreSize; i++ {
+		batch = append(batch, readBenchEvent(i, experiments.EvalTime.Add(time.Duration(i)*time.Second)))
+		if len(batch) == cap(batch) {
+			if err := store.PutBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+	return store
+}
+
+// startIngest keeps committing fresh 64-event batches until stopped —
+// the sustained write load the readers contend with. Writer events carry
+// timestamps far in the past so the UpdatedSince result set stays fixed.
+func startIngest(b *testing.B, store *storage.Store) (stop func()) {
+	b.Helper()
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		i := 1 << 20
+		old := experiments.EvalTime.Add(-24 * time.Hour)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			batch := make([]*misp.Event, 64)
+			for j := range batch {
+				batch[j] = readBenchEvent(i, old)
+				i++
+			}
+			if err := store.PutBatch(batch); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
+}
+
+func benchmarkReadSearchUnderIngest(b *testing.B, opts ...storage.Option) {
+	store := seedReadStore(b, opts...)
+	defer store.Close()
+	stop := startIngest(b, store)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			hits, err := store.SearchValue(fmt.Sprintf("r%d.example", i%readBenchStoreSize))
+			if err != nil || len(hits) != 1 {
+				b.Fatalf("hits=%d err=%v", len(hits), err)
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	stop()
+}
+
+func BenchmarkReadSearchUnderIngestSnapshot(b *testing.B) {
+	benchmarkReadSearchUnderIngest(b)
+}
+
+func BenchmarkReadSearchUnderIngestCloneBaseline(b *testing.B) {
+	benchmarkReadSearchUnderIngest(b, storage.WithCloneReads(true))
+}
+
+func benchmarkReadUpdatedSinceUnderIngest(b *testing.B, opts ...storage.Option) {
+	store := seedReadStore(b, opts...)
+	defer store.Close()
+	stop := startIngest(b, store)
+	// The sync cut keeps the last 100 seeded events in range (k=100).
+	cut := experiments.EvalTime.Add(time.Duration(readBenchStoreSize-100) * time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			hits, err := store.UpdatedSince(cut)
+			if err != nil || len(hits) != 100 {
+				b.Fatalf("hits=%d err=%v", len(hits), err)
+			}
+		}
+	})
+	b.StopTimer()
+	stop()
+}
+
+func BenchmarkReadUpdatedSinceUnderIngestIndexed(b *testing.B) {
+	benchmarkReadUpdatedSinceUnderIngest(b)
+}
+
+func BenchmarkReadUpdatedSinceUnderIngestScanBaseline(b *testing.B) {
+	benchmarkReadUpdatedSinceUnderIngest(b, storage.WithCloneReads(true))
+}
+
+func benchmarkReadGet(b *testing.B, opts ...storage.Option) {
+	store := seedReadStore(b, opts...)
+	defer store.Close()
+	uuids := make([]string, 0, readBenchStoreSize)
+	all, err := store.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, e := range all {
+		uuids = append(uuids, e.UUID)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := store.Get(uuids[i%len(uuids)]); err != nil {
+				b.Fatal(err)
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkReadGetSnapshot(b *testing.B) { benchmarkReadGet(b) }
+func BenchmarkReadGetCloneBaseline(b *testing.B) {
+	benchmarkReadGet(b, storage.WithCloneReads(true))
+}
+
+// Encode-once publishing: the cached wire encoding vs a fresh marshal per
+// publish/GET.
+func BenchmarkReadWrappedJSONCached(b *testing.B) {
+	store, err := storage.Open("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	e := cloneBenchEvent()
+	if err := store.Put(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := store.WrappedJSON(e.UUID)
+		if err != nil || len(data) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadWrappedJSONMarshalBaseline(b *testing.B) {
+	e := cloneBenchEvent()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		data, err := misp.MarshalWrapped(e)
+		if err != nil || len(data) == 0 {
+			b.Fatal(err)
+		}
+	}
 }

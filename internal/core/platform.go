@@ -437,7 +437,11 @@ func (p *Platform) maybeCompact() {
 // STIX, score each supported SDO, enrich, write the eIoC back, reduce and
 // push rIoCs, share over TAXII. Safe for concurrent use across distinct
 // events; the analyzer pool shards by UUID so the same event never runs
-// twice at once.
+// twice at once. The event must be caller-owned (bus-decoded or a
+// pre-store composition), never a shared frozen view from the store's
+// copy-free read path: the eIoC write-back below mutates me in place
+// (AddAttribute/AddTag) before re-storing it — callers holding a store
+// view must pass storage.GetClone output instead (DESIGN.md §8).
 func (p *Platform) analyze(me *misp.Event) error {
 	p.procMu.Lock()
 	fresh := p.processed.Add(me.UUID)

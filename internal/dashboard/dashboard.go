@@ -219,13 +219,14 @@ func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.Timeline())
 }
 
-// RIoCs returns the stored reduced IoCs.
+// RIoCs returns the stored reduced IoCs as a shared immutable snapshot.
+// s.riocs is append-only and past elements are never rewritten, so a
+// capacity-clipped slice header is a consistent copy-free view: later
+// pushes reallocate rather than write into it.
 func (s *Server) RIoCs() []heuristic.RIoC {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	out := make([]heuristic.RIoC, len(s.riocs))
-	copy(out, s.riocs)
-	return out
+	return s.riocs[:len(s.riocs):len(s.riocs)]
 }
 
 // RIoCsForNode filters rIoCs touching the given node.
@@ -347,9 +348,9 @@ type RIoCDetail struct {
 
 func (s *Server) handleRIoCDetail(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	for _, rioc := range s.riocs {
+	// Resolve under the lock, encode and write outside it: the snapshot
+	// elements are immutable, and serialization must not stall pushers.
+	for _, rioc := range s.RIoCs() {
 		if rioc.ID == id {
 			writeJSON(w, http.StatusOK, RIoCDetail{RIoC: rioc, Breakdown: rioc.Breakdown})
 			return

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -451,5 +452,76 @@ func TestTimelineBufferBounded(t *testing.T) {
 	s.mu.RUnlock()
 	if n > 10000 {
 		t.Fatalf("marks = %d, buffer unbounded", n)
+	}
+}
+
+func TestConcurrentPollUnderPush(t *testing.T) {
+	s, _, srv := testServer(t)
+	const pushes = 200
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // pusher
+		defer wg.Done()
+		defer close(done)
+		for i := 0; i < pushes; i++ {
+			r := sampleRIoC([]string{"node4"}, false)
+			r.ID = fmt.Sprintf("rioc--%d", i)
+			r.GeneratedAt = now.Add(time.Duration(i) * time.Second)
+			s.PushRIoC(r)
+		}
+	}()
+
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func() { // pollers: the dashboard refresh loop
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := s.RIoCs()
+				for i, r := range snap {
+					if want := fmt.Sprintf("rioc--%d", i); r.ID != want {
+						t.Errorf("snapshot[%d] = %s, want %s", i, r.ID, want)
+						return
+					}
+				}
+				resp, err := http.Get(srv.URL + "/api/riocs")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var got []heuristic.RIoC
+				err = json.NewDecoder(resp.Body).Decode(&got)
+				resp.Body.Close()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) > pushes {
+					t.Errorf("poll returned %d riocs, max %d", len(got), pushes)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// A snapshot taken now is immutable: later pushes must not write into
+	// its backing array.
+	snap := s.RIoCs()
+	if len(snap) != pushes {
+		t.Fatalf("final snapshot = %d riocs, want %d", len(snap), pushes)
+	}
+	firstID := snap[0].ID
+	r := sampleRIoC([]string{"node4"}, false)
+	r.ID = "rioc--late"
+	s.PushRIoC(r)
+	if snap[0].ID != firstID || len(snap) != pushes {
+		t.Fatal("captured snapshot mutated by a later push")
 	}
 }

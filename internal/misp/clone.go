@@ -1,10 +1,13 @@
 package misp
 
 // Clone returns a deep copy of the event. It replaces the JSON
-// marshal/unmarshal round trip the event store used for copy-on-read and
-// copy-on-write isolation: a hand-written copy allocates an order of
-// magnitude less and keeps sub-second timestamp precision that the MISP
-// wire encoding would truncate.
+// marshal/unmarshal round trip the event store used for isolation: a
+// hand-written copy allocates an order of magnitude less and keeps
+// sub-second timestamp precision that the MISP wire encoding would
+// truncate. Under the store's snapshot-isolated read path (DESIGN.md §8)
+// Clone runs only on the write side (Put/PutBatch freeze a private copy)
+// and in storage.GetClone for callers that mutate; plain reads share the
+// frozen revision and never copy.
 func (e *Event) Clone() *Event {
 	if e == nil {
 		return nil

@@ -5,6 +5,15 @@
 // in-memory maps with secondary indexes over attribute values, attribute
 // types and tags (MISP's "correlation" lookups). Snapshots bound recovery
 // time; a truncated or corrupted WAL tail is tolerated on replay.
+//
+// The read side is snapshot-isolated: Put/PutBatch install events that are
+// never mutated afterwards, so Get/Search*/All/UpdatedSince return shared
+// frozen revisions instead of deep copies, and the lock-held critical
+// sections shrink to map lookups. Callers that intend to mutate a result
+// must take GetClone (see DESIGN.md §8). A time-ordered index makes
+// UpdatedSince O(log n + k); postings are map-backed sets with lazily
+// rebuilt sorted slices; and the wrapped-MISP wire encoding is cached once
+// per stored revision (WrappedJSON).
 package storage
 
 import (
@@ -17,6 +26,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
@@ -30,6 +40,83 @@ const (
 // ErrNotFound is returned when the requested event does not exist.
 var ErrNotFound = errors.New("storage: event not found")
 
+// storedEvent is one installed revision: the frozen event plus its lazily
+// computed wrapped-MISP wire encoding. A Put of the same UUID installs a
+// fresh storedEvent, so cached bytes can never describe a stale revision.
+type storedEvent struct {
+	event   *misp.Event
+	wrapped atomic.Pointer[[]byte]
+}
+
+// wrappedJSON returns the {"Event": …} encoding of this revision,
+// computing it at most once. Safe for concurrent use; never called with
+// the store lock held — the event is frozen, so no lock is needed.
+func (se *storedEvent) wrappedJSON() ([]byte, error) {
+	if p := se.wrapped.Load(); p != nil {
+		return *p, nil
+	}
+	data, err := misp.MarshalWrapped(se.event)
+	if err != nil {
+		return nil, err
+	}
+	se.wrapped.Store(&data)
+	return data, nil
+}
+
+// postings is one secondary-index entry: the set of event UUIDs for a key,
+// plus a lazily rebuilt UUID-sorted slice. The set is only mutated under
+// the store's write lock; the sorted cache is an atomic pointer so readers
+// holding the read lock can rebuild it concurrently without racing.
+type postings struct {
+	set    map[string]struct{}
+	sorted atomic.Pointer[[]string]
+}
+
+// uuids returns the members in sorted order, rebuilding the cache if a
+// write invalidated it. Concurrent rebuilds are idempotent.
+func (p *postings) uuids() []string {
+	if sp := p.sorted.Load(); sp != nil {
+		return *sp
+	}
+	out := make([]string, 0, len(p.set))
+	for uuid := range p.set {
+		out = append(out, uuid)
+	}
+	sort.Strings(out)
+	p.sorted.Store(&out)
+	return out
+}
+
+func addPosting(m map[string]*postings, key, uuid string) {
+	p := m[key]
+	if p == nil {
+		p = &postings{set: make(map[string]struct{}, 1)}
+		m[key] = p
+	}
+	p.set[uuid] = struct{}{}
+	p.sorted.Store(nil)
+}
+
+func removePosting(m map[string]*postings, key, uuid string) {
+	p := m[key]
+	if p == nil {
+		return
+	}
+	delete(p.set, uuid)
+	if len(p.set) == 0 {
+		delete(m, key)
+		return
+	}
+	p.sorted.Store(nil)
+}
+
+// timeEntry is one element of the time-ordered sync index, sorted by
+// (timestamp, uuid).
+type timeEntry struct {
+	ts   time.Time
+	uuid string
+}
+
 // Store is a concurrency-safe embedded event store. Construct with Open.
 type Store struct {
 	mu sync.RWMutex
@@ -40,12 +127,14 @@ type Store struct {
 	seq  uint64
 	sync bool
 
-	events   map[string]*misp.Event // by event UUID
-	byValue  map[string][]string    // attribute value -> event UUIDs
-	byType   map[string][]string    // attribute type  -> event UUIDs
-	byTag    map[string][]string    // tag name        -> event UUIDs
-	walOps   int                    // operations appended since last snapshot
-	indexing bool
+	events     map[string]*storedEvent // by event UUID
+	byValue    map[string]*postings    // attribute value -> event UUIDs
+	byType     map[string]*postings    // attribute type  -> event UUIDs
+	byTag      map[string]*postings    // tag name        -> event UUIDs
+	byTime     []timeEntry             // ascending (timestamp, uuid)
+	walOps     int                     // operations appended since last snapshot
+	indexing   bool
+	cloneReads bool
 }
 
 // Option configures Open.
@@ -67,6 +156,15 @@ func (o indexOption) apply(s *Store) { s.indexing = bool(o) }
 // disable it to measure the cost of full scans). Default on.
 func WithIndexes(enabled bool) Option { return indexOption(enabled) }
 
+type cloneReadsOption bool
+
+func (o cloneReadsOption) apply(s *Store) { s.cloneReads = bool(o) }
+
+// WithCloneReads restores the pre-snapshot read path — every read deep
+// copies its results and UpdatedSince falls back to a full scan — as the
+// ablation baseline for the read-path benchmarks. Default off.
+func WithCloneReads(enabled bool) Option { return cloneReadsOption(enabled) }
+
 // walRecord is one WAL entry.
 type walRecord struct {
 	Seq   uint64      `json:"seq"`
@@ -86,10 +184,10 @@ type snapshot struct {
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
 		dir:      dir,
-		events:   make(map[string]*misp.Event),
-		byValue:  make(map[string][]string),
-		byType:   make(map[string][]string),
-		byTag:    make(map[string][]string),
+		events:   make(map[string]*storedEvent),
+		byValue:  make(map[string]*postings),
+		byType:   make(map[string]*postings),
+		byTag:    make(map[string]*postings),
 		indexing: true,
 	}
 	for _, o := range opts {
@@ -116,12 +214,13 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	return s, nil
 }
 
-// Put stores (or replaces) an event.
+// Put stores (or replaces) an event. The store keeps a private copy taken
+// before the write lock; the caller retains ownership of e.
 func (s *Store) Put(e *misp.Event) error {
 	if err := e.Validate(); err != nil {
 		return err
 	}
-	cp := e.Clone()
+	cp := e.Clone() // unlocked: the caller's event is copied before the write lock
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
@@ -138,7 +237,8 @@ func (s *Store) Put(e *misp.Event) error {
 // single fsync) before the in-memory state is updated. Amortizing the
 // write-path fixed costs over the batch is what makes high-volume ingest
 // keep up with parallel feed polling. The batch is all-or-nothing: a
-// validation or WAL error leaves the store unchanged.
+// validation or WAL error leaves the store unchanged, and the whole batch
+// becomes visible atomically — readers never observe a partial batch.
 func (s *Store) PutBatch(events []*misp.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -151,7 +251,7 @@ func (s *Store) PutBatch(events []*misp.Event) error {
 		if err := e.Validate(); err != nil {
 			return err
 		}
-		cps[i] = e.Clone()
+		cps[i] = e.Clone() // unlocked: caller events are copied before the write lock
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -170,15 +270,66 @@ func (s *Store) PutBatch(events []*misp.Event) error {
 	return nil
 }
 
-// Get returns a copy of the event with the given UUID.
+// Get returns the current revision of the event with the given UUID as a
+// shared frozen view: the result must not be mutated. Callers that need a
+// private copy take GetClone.
 func (s *Store) Get(uuid string) (*misp.Event, error) {
 	s.mu.RLock()
-	e, ok := s.events[uuid]
+	se, ok := s.events[uuid]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, uuid)
 	}
-	return e.Clone(), nil
+	if s.cloneReads {
+		return se.event.Clone(), nil // unlocked: ablation copy taken after the lock was released
+	}
+	return se.event, nil
+}
+
+// GetClone returns a private deep copy of the event — the read for callers
+// that intend to mutate the result.
+func (s *Store) GetClone(uuid string) (*misp.Event, error) {
+	e, err := s.Get(uuid)
+	if err != nil {
+		return nil, err
+	}
+	return e.Clone(), nil // unlocked: private copy taken after the lock was released
+}
+
+// Has reports whether an event with the given UUID is stored, without
+// materializing it.
+func (s *Store) Has(uuid string) bool {
+	s.mu.RLock()
+	_, ok := s.events[uuid]
+	s.mu.RUnlock()
+	return ok
+}
+
+// WrappedJSON returns the {"Event": …} wire encoding of the current
+// revision of the event, computed at most once per revision and shared
+// between the bus publisher and the HTTP read paths. The returned bytes
+// are read-only.
+func (s *Store) WrappedJSON(uuid string) ([]byte, error) {
+	s.mu.RLock()
+	se, ok := s.events[uuid]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNotFound, uuid)
+	}
+	return se.wrappedJSON()
+}
+
+// WrappedJSONFor returns the cached wire encoding when e is a stored
+// revision (as returned by the copy-free read methods), and a fresh
+// encoding of e otherwise. The returned bytes are read-only.
+func (s *Store) WrappedJSONFor(e *misp.Event) ([]byte, error) {
+	s.mu.RLock()
+	se, ok := s.events[e.UUID]
+	s.mu.RUnlock()
+	if ok && se.event == e {
+		return se.wrappedJSON()
+	}
+	return misp.MarshalWrapped(e)
 }
 
 // Delete removes the event with the given UUID.
@@ -203,26 +354,26 @@ func (s *Store) Len() int {
 	return len(s.events)
 }
 
-// All returns copies of every event, sorted by UUID.
+// All returns every event, sorted by UUID, as shared frozen views.
 func (s *Store) All() ([]*misp.Event, error) {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	out := make([]*misp.Event, 0, len(s.events))
-	for _, e := range s.events {
-		out = append(out, e.Clone())
+	for _, se := range s.events {
+		out = append(out, se.event)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
-	return out, nil
+	s.mu.RUnlock()
+	return s.finish(out, false), nil
 }
 
 // SearchValue returns events carrying an attribute with exactly this value.
 func (s *Store) SearchValue(value string) ([]*misp.Event, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.indexing {
-		return s.copyAll(s.byValue[value])
+		s.mu.RLock()
+		out := s.collect(s.byValue[value])
+		s.mu.RUnlock()
+		return s.finish(out, true), nil
 	}
-	return s.scan(func(e *misp.Event) bool {
+	return s.scanMatch(func(e *misp.Event) bool {
 		for _, a := range allAttributes(e) {
 			if a.Value == value {
 				return true
@@ -234,12 +385,13 @@ func (s *Store) SearchValue(value string) ([]*misp.Event, error) {
 
 // SearchType returns events carrying at least one attribute of this type.
 func (s *Store) SearchType(attrType string) ([]*misp.Event, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.indexing {
-		return s.copyAll(s.byType[attrType])
+		s.mu.RLock()
+		out := s.collect(s.byType[attrType])
+		s.mu.RUnlock()
+		return s.finish(out, true), nil
 	}
-	return s.scan(func(e *misp.Event) bool {
+	return s.scanMatch(func(e *misp.Event) bool {
 		for _, a := range allAttributes(e) {
 			if a.Type == attrType {
 				return true
@@ -251,51 +403,82 @@ func (s *Store) SearchType(attrType string) ([]*misp.Event, error) {
 
 // SearchTag returns events carrying the given tag.
 func (s *Store) SearchTag(tag string) ([]*misp.Event, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	if s.indexing {
-		return s.copyAll(s.byTag[tag])
+		s.mu.RLock()
+		out := s.collect(s.byTag[tag])
+		s.mu.RUnlock()
+		return s.finish(out, true), nil
 	}
-	return s.scan(func(e *misp.Event) bool { return e.HasTag(tag) })
+	return s.scanMatch(func(e *misp.Event) bool { return e.HasTag(tag) })
 }
 
-// UpdatedSince returns events whose timestamp is at or after t.
+// UpdatedSince returns events whose timestamp is at or after t, oldest
+// first (the natural order for pull synchronization). The time-ordered
+// index makes this O(log n + k) instead of a full scan.
 func (s *Store) UpdatedSince(t time.Time) ([]*misp.Event, error) {
+	if s.cloneReads {
+		// Ablation baseline: the pre-snapshot scan-and-copy read path.
+		return s.scanMatch(func(e *misp.Event) bool { return !e.Timestamp.Before(t) })
+	}
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.scan(func(e *misp.Event) bool { return !e.Timestamp.Before(t) })
+	i := sort.Search(len(s.byTime), func(i int) bool { return !s.byTime[i].ts.Before(t) })
+	out := make([]*misp.Event, 0, len(s.byTime)-i)
+	for _, ent := range s.byTime[i:] {
+		if se, ok := s.events[ent.uuid]; ok {
+			out = append(out, se.event)
+		}
+	}
+	s.mu.RUnlock()
+	return out, nil
 }
 
 // Correlated returns the UUIDs of events sharing at least one attribute
 // value with the given event — MISP's automatic correlation.
 func (s *Store) Correlated(e *misp.Event) []string {
 	s.mu.RLock()
-	defer s.mu.RUnlock()
 	seen := make(map[string]bool)
 	var out []string
-	for _, a := range allAttributes(e) {
-		var candidates []string
-		if s.indexing {
-			candidates = s.byValue[a.Value]
-		} else {
-			for uuid, other := range s.events {
-				for _, oa := range allAttributes(other) {
-					if oa.Value == a.Value {
-						candidates = append(candidates, uuid)
-						break
-					}
-				}
-			}
+	for _, a := range e.Attributes {
+		s.correlateValue(e, a.Value, seen, &out)
+	}
+	for _, o := range e.Objects {
+		for _, a := range o.Attributes {
+			s.correlateValue(e, a.Value, seen, &out)
 		}
-		for _, uuid := range candidates {
+	}
+	s.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// correlateValue accumulates UUIDs of stored events carrying value.
+// Caller holds at least the read lock.
+func (s *Store) correlateValue(e *misp.Event, value string, seen map[string]bool, out *[]string) {
+	if s.indexing {
+		p := s.byValue[value]
+		if p == nil {
+			return
+		}
+		for uuid := range p.set {
 			if uuid != e.UUID && !seen[uuid] {
 				seen[uuid] = true
-				out = append(out, uuid)
+				*out = append(*out, uuid)
+			}
+		}
+		return
+	}
+	for uuid, se := range s.events {
+		if uuid == e.UUID || seen[uuid] {
+			continue
+		}
+		for _, oa := range allAttributes(se.event) {
+			if oa.Value == value {
+				seen[uuid] = true
+				*out = append(*out, uuid)
+				break
 			}
 		}
 	}
-	sort.Strings(out)
-	return out
 }
 
 // Compact writes a snapshot of the current state and truncates the WAL.
@@ -306,8 +489,8 @@ func (s *Store) Compact() error {
 		return nil
 	}
 	snap := snapshot{Seq: s.seq}
-	for _, e := range s.events {
-		snap.Events = append(snap.Events, e)
+	for _, se := range s.events {
+		snap.Events = append(snap.Events, se.event)
 	}
 	sort.Slice(snap.Events, func(i, j int) bool { return snap.Events[i].UUID < snap.Events[j].UUID })
 	data, err := json.Marshal(snap)
@@ -399,18 +582,22 @@ func (s *Store) appendWALGroup(recs []walRecord) error {
 	return nil
 }
 
-// apply installs a put into memory state. Caller holds the write lock.
+// apply installs a put into memory state as a fresh frozen revision.
+// Caller holds the write lock.
 func (s *Store) apply(e *misp.Event) {
 	if old, ok := s.events[e.UUID]; ok {
-		s.unindex(old)
+		s.unindex(old.event)
+		s.timeRemove(old.event.Timestamp.Time, e.UUID)
 	}
-	s.events[e.UUID] = e
+	s.events[e.UUID] = &storedEvent{event: e}
 	s.index(e)
+	s.timeInsert(e.Timestamp.Time, e.UUID)
 }
 
 func (s *Store) applyDelete(uuid string) {
 	if old, ok := s.events[uuid]; ok {
-		s.unindex(old)
+		s.unindex(old.event)
+		s.timeRemove(old.event.Timestamp.Time, uuid)
 		delete(s.events, uuid)
 	}
 }
@@ -420,11 +607,11 @@ func (s *Store) index(e *misp.Event) {
 		return
 	}
 	for _, a := range allAttributes(e) {
-		s.byValue[a.Value] = appendUnique(s.byValue[a.Value], e.UUID)
-		s.byType[a.Type] = appendUnique(s.byType[a.Type], e.UUID)
+		addPosting(s.byValue, a.Value, e.UUID)
+		addPosting(s.byType, a.Type, e.UUID)
 	}
 	for _, t := range e.Tags {
-		s.byTag[t.Name] = appendUnique(s.byTag[t.Name], e.UUID)
+		addPosting(s.byTag, t.Name, e.UUID)
 	}
 }
 
@@ -433,11 +620,37 @@ func (s *Store) unindex(e *misp.Event) {
 		return
 	}
 	for _, a := range allAttributes(e) {
-		s.byValue[a.Value] = remove(s.byValue[a.Value], e.UUID)
-		s.byType[a.Type] = remove(s.byType[a.Type], e.UUID)
+		removePosting(s.byValue, a.Value, e.UUID)
+		removePosting(s.byType, a.Type, e.UUID)
 	}
 	for _, t := range e.Tags {
-		s.byTag[t.Name] = remove(s.byTag[t.Name], e.UUID)
+		removePosting(s.byTag, t.Name, e.UUID)
+	}
+}
+
+// timeIdx returns the position of (ts, uuid) in the time-ordered index:
+// the first entry not ordered before it. Caller holds the write lock.
+func (s *Store) timeIdx(ts time.Time, uuid string) int {
+	return sort.Search(len(s.byTime), func(i int) bool {
+		ent := s.byTime[i]
+		if ent.ts.Equal(ts) {
+			return ent.uuid >= uuid
+		}
+		return ent.ts.After(ts)
+	})
+}
+
+func (s *Store) timeInsert(ts time.Time, uuid string) {
+	i := s.timeIdx(ts, uuid)
+	s.byTime = append(s.byTime, timeEntry{})
+	copy(s.byTime[i+1:], s.byTime[i:])
+	s.byTime[i] = timeEntry{ts: ts, uuid: uuid}
+}
+
+func (s *Store) timeRemove(ts time.Time, uuid string) {
+	i := s.timeIdx(ts, uuid)
+	if i < len(s.byTime) && s.byTime[i].uuid == uuid && s.byTime[i].ts.Equal(ts) {
+		s.byTime = append(s.byTime[:i], s.byTime[i+1:]...)
 	}
 }
 
@@ -524,44 +737,50 @@ func (s *Store) replayWAL() error {
 	return nil // trailing pendingError tolerated as torn write
 }
 
-func (s *Store) copyAll(uuids []string) ([]*misp.Event, error) {
+// collect resolves a postings set to its events in UUID order. Caller
+// holds at least the read lock; the slice is freshly allocated but the
+// events are the shared frozen revisions.
+func (s *Store) collect(p *postings) []*misp.Event {
+	if p == nil {
+		return nil
+	}
+	uuids := p.uuids()
 	out := make([]*misp.Event, 0, len(uuids))
 	for _, uuid := range uuids {
-		e, ok := s.events[uuid]
-		if !ok {
-			continue
+		if se, ok := s.events[uuid]; ok {
+			out = append(out, se.event)
 		}
-		out = append(out, e.Clone())
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
-	return out, nil
+	return out
 }
 
-func (s *Store) scan(match func(*misp.Event) bool) ([]*misp.Event, error) {
+// scanMatch is the unindexed fallback: a full scan under the read lock,
+// sorted and materialized outside it.
+func (s *Store) scanMatch(match func(*misp.Event) bool) ([]*misp.Event, error) {
+	s.mu.RLock()
 	var out []*misp.Event
-	for _, e := range s.events {
-		if match(e) {
-			out = append(out, e.Clone())
+	for _, se := range s.events {
+		if match(se.event) {
+			out = append(out, se.event)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
-	return out, nil
+	s.mu.RUnlock()
+	return s.finish(out, false), nil
 }
 
-func appendUnique(list []string, v string) []string {
-	for _, x := range list {
-		if x == v {
-			return list
-		}
+// finish post-processes read results after the lock was released: it
+// restores UUID order for unsorted scans and, under WithCloneReads, deep
+// copies every result (the ablation baseline).
+func (s *Store) finish(events []*misp.Event, sorted bool) []*misp.Event {
+	if !sorted {
+		sort.Slice(events, func(i, j int) bool { return events[i].UUID < events[j].UUID })
 	}
-	return append(list, v)
-}
-
-func remove(list []string, v string) []string {
-	for i, x := range list {
-		if x == v {
-			return append(list[:i], list[i+1:]...)
-		}
+	if !s.cloneReads {
+		return events
 	}
-	return list
+	out := make([]*misp.Event, len(events))
+	for i, e := range events {
+		out[i] = e.Clone() // unlocked: ablation copies taken after the lock was released
+	}
+	return out
 }

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
@@ -68,13 +69,13 @@ func TestPutRejectsInvalid(t *testing.T) {
 	}
 }
 
-func TestGetReturnsCopy(t *testing.T) {
+func TestGetCloneReturnsCopy(t *testing.T) {
 	s, _ := openTemp(t)
 	e := event(t, "evt", [2]string{"domain", "evil.example"})
 	if err := s.Put(e); err != nil {
 		t.Fatal(err)
 	}
-	got, err := s.Get(e.UUID)
+	got, err := s.GetClone(e.UUID)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,96 @@ func TestGetReturnsCopy(t *testing.T) {
 		t.Fatal(err)
 	}
 	if again.Info != "evt" || again.Attributes[0].Value != "evil.example" {
-		t.Fatal("Get result aliases internal state")
+		t.Fatal("GetClone result aliases internal state")
+	}
+	if _, err := s.GetClone("00000000-0000-4000-8000-00000000dead"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("GetClone(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestGetReturnsSharedFrozenView(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != second {
+		t.Fatal("Get allocated a copy; want the shared frozen revision")
+	}
+	// Replacing the event installs a fresh revision; the captured pointer
+	// keeps describing the old one, unchanged.
+	e2 := event(t, "evt v2", [2]string{"domain", "new.example"})
+	e2.UUID = e.UUID
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	if first.Info != "evt" || first.Attributes[0].Value != "evil.example" {
+		t.Fatal("captured snapshot mutated by a later Put")
+	}
+	current, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if current == first || current.Info != "evt v2" {
+		t.Fatalf("Get after replace = %+v", current)
+	}
+}
+
+func TestCloneReadsOption(t *testing.T) {
+	s, _ := openTemp(t, WithCloneReads(true))
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got.Info = "mutated"
+	got.Attributes[0].Value = "mutated.example"
+	hits, err := s.SearchValue("evil.example")
+	if err != nil || len(hits) != 1 {
+		t.Fatalf("SearchValue = %v, %v", hits, err)
+	}
+	hits[0].Info = "also mutated"
+	again, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Info != "evt" || again.Attributes[0].Value != "evil.example" {
+		t.Fatal("WithCloneReads result aliases internal state")
+	}
+	since, err := s.UpdatedSince(now.Add(-time.Minute))
+	if err != nil || len(since) != 1 {
+		t.Fatalf("UpdatedSince under clone reads = %v, %v", since, err)
+	}
+}
+
+func TestHas(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if s.Has(e.UUID) {
+		t.Fatal("Has before Put")
+	}
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Has(e.UUID) {
+		t.Fatal("Has after Put")
+	}
+	if err := s.Delete(e.UUID); err != nil {
+		t.Fatal(err)
+	}
+	if s.Has(e.UUID) {
+		t.Fatal("Has after Delete")
 	}
 }
 
@@ -454,5 +544,134 @@ func TestObjectAttributesIndexed(t *testing.T) {
 	}
 	if got := s.Correlated(loose); len(got) != 1 || got[0] != e.UUID {
 		t.Fatalf("Correlated = %v", got)
+	}
+}
+
+func TestUpdatedSinceTimeOrdered(t *testing.T) {
+	s, _ := openTemp(t)
+	// Insert out of timestamp order.
+	var uuids [5]string
+	for _, i := range []int{3, 0, 4, 1, 2} {
+		e := misp.NewEvent(fmt.Sprintf("evt-%d", i), now.Add(time.Duration(i)*time.Hour))
+		e.AddAttribute("domain", "Network activity", fmt.Sprintf("h%d.example", i), now)
+		uuids[i] = e.UUID
+		if err := s.Put(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	since, err := s.UpdatedSince(now.Add(2 * time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since) != 3 {
+		t.Fatalf("UpdatedSince = %d hits, want 3", len(since))
+	}
+	for i, want := range []string{uuids[2], uuids[3], uuids[4]} {
+		if since[i].UUID != want {
+			t.Fatalf("UpdatedSince[%d] = %s (%s), want %s (oldest first)", i, since[i].UUID, since[i].Info, want)
+		}
+	}
+	// Replacing an event with a later timestamp moves it in the index
+	// without duplicating it.
+	moved := misp.NewEvent("evt-0 v2", now.Add(10*time.Hour))
+	moved.UUID = uuids[0]
+	moved.AddAttribute("domain", "Network activity", "h0.example", now)
+	if err := s.Put(moved); err != nil {
+		t.Fatal(err)
+	}
+	since, err = s.UpdatedSince(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since) != 5 {
+		t.Fatalf("UpdatedSince after move = %d hits, want 5", len(since))
+	}
+	if since[len(since)-1].UUID != uuids[0] {
+		t.Fatal("replaced event not moved to its new timestamp position")
+	}
+	// Deletions leave the index consistent.
+	if err := s.Delete(uuids[4]); err != nil {
+		t.Fatal(err)
+	}
+	since, err = s.UpdatedSince(now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(since) != 4 {
+		t.Fatalf("UpdatedSince after delete = %d hits, want 4", len(since))
+	}
+}
+
+func TestWrappedJSONCache(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.WrappedJSON(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w misp.Wrapped
+	if err := json.Unmarshal(first, &w); err != nil || w.Event == nil || w.Event.Info != "evt" {
+		t.Fatalf("WrappedJSON decode = %+v, %v", w.Event, err)
+	}
+	second, err := s.WrappedJSON(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &first[0] != &second[0] {
+		t.Fatal("WrappedJSON re-encoded; want the cached bytes")
+	}
+	// A new revision invalidates the cache by replacing the stored entry.
+	e2 := event(t, "evt v2", [2]string{"domain", "new.example"})
+	e2.UUID = e.UUID
+	if err := s.Put(e2); err != nil {
+		t.Fatal(err)
+	}
+	third, err := s.WrappedJSON(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(third, &w); err != nil || w.Event.Info != "evt v2" {
+		t.Fatalf("WrappedJSON after replace = %+v, %v", w.Event, err)
+	}
+	if _, err := s.WrappedJSON("00000000-0000-4000-8000-00000000dead"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("WrappedJSON(missing) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWrappedJSONFor(t *testing.T) {
+	s, _ := openTemp(t)
+	e := event(t, "evt", [2]string{"domain", "evil.example"})
+	if err := s.Put(e); err != nil {
+		t.Fatal(err)
+	}
+	stored, err := s.Get(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached, err := s.WrappedJSONFor(stored)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.WrappedJSON(e.UUID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &cached[0] != &again[0] {
+		t.Fatal("WrappedJSONFor(stored revision) missed the cache")
+	}
+	// A foreign event with the same UUID (e.g. a caller's pre-Put copy) is
+	// encoded fresh, never served a different revision's bytes.
+	foreign := stored.Clone()
+	foreign.Info = "caller copy"
+	fresh, err := s.WrappedJSONFor(foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w misp.Wrapped
+	if err := json.Unmarshal(fresh, &w); err != nil || w.Event.Info != "caller copy" {
+		t.Fatalf("WrappedJSONFor(foreign) = %+v, %v", w.Event, err)
 	}
 }

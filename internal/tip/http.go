@@ -1,6 +1,7 @@
 package tip
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -135,7 +136,7 @@ func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeEventList(w, events)
+	a.writeEventList(w, events)
 }
 
 func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
@@ -148,7 +149,12 @@ func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
 		httpError(w, status, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, misp.Wrapped{Event: e})
+	data, err := a.service.WrappedJSONFor(e)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeRawJSON(w, http.StatusOK, data)
 }
 
 func (a *API) handleDeleteEvent(w http.ResponseWriter, r *http.Request) {
@@ -175,6 +181,17 @@ func (a *API) handleExport(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	format := r.URL.Query().Get("format")
+	if format == FormatMISPJSON || format == "" {
+		// The native format is served straight from the store's
+		// encode-once cache.
+		data, err := a.service.WrappedJSONFor(e)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		writeRawJSON(w, http.StatusOK, data)
+		return
+	}
 	data, contentType, err := Export(e, format)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -200,7 +217,7 @@ func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeEventList(w, events)
+	a.writeEventList(w, events)
 }
 
 func (a *API) handleImportSTIX(w http.ResponseWriter, r *http.Request) {
@@ -243,12 +260,34 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
-func writeEventList(w http.ResponseWriter, events []*misp.Event) {
-	wrapped := make([]misp.Wrapped, 0, len(events))
-	for _, e := range events {
-		wrapped = append(wrapped, misp.Wrapped{Event: e})
+// writeEventList streams a JSON array of wrapped events, splicing each
+// event's cached wire encoding instead of re-marshaling it.
+func (a *API) writeEventList(w http.ResponseWriter, events []*misp.Event) {
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, e := range events {
+		data, err := a.service.WrappedJSONFor(e)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(data)
 	}
-	writeJSON(w, http.StatusOK, wrapped)
+	buf.WriteString("]\n")
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(buf.Bytes())
+}
+
+// writeRawJSON writes pre-encoded (possibly cached, shared) JSON bytes.
+func writeRawJSON(w http.ResponseWriter, status int, data []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, _ = w.Write(data)
+	_, _ = w.Write([]byte{'\n'})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,7 +12,6 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
-	"sort"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
@@ -76,7 +75,8 @@ func NewService(store *storage.Store, opts ...Option) *Service {
 // AddEvent validates and stores an event, returning the UUIDs of already
 // stored events it correlates with (sharing at least one attribute value —
 // MISP's automatic correlation). New and updated events are announced on
-// the bus.
+// the bus. The store keeps a private copy; the caller retains ownership
+// of e.
 func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
 	if e == nil {
 		return nil, fmt.Errorf("tip: nil event")
@@ -85,7 +85,7 @@ func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
 		return nil, err
 	}
 	topic := TopicEventAdd
-	if _, err := s.store.Get(e.UUID); err == nil {
+	if s.store.Has(e.UUID) {
 		topic = TopicEventEdit
 	}
 	correlated = s.store.Correlated(e)
@@ -119,7 +119,7 @@ func (s *Service) AddEvents(events []*misp.Event) (stored []*misp.Event, err err
 			continue
 		}
 		topic := TopicEventAdd
-		if _, gerr := s.store.Get(e.UUID); gerr == nil {
+		if s.store.Has(e.UUID) {
 			topic = TopicEventEdit
 		}
 		valid = append(valid, e)
@@ -138,9 +138,17 @@ func (s *Service) AddEvents(events []*misp.Event) (stored []*misp.Event, err err
 	return valid, errors.Join(errs...)
 }
 
-// GetEvent fetches one event by UUID.
+// GetEvent fetches one event by UUID as a shared frozen view (DESIGN.md
+// §8): the result must not be mutated.
 func (s *Service) GetEvent(uuid string) (*misp.Event, error) {
 	return s.store.Get(uuid)
+}
+
+// WrappedJSONFor returns the {"Event": …} wire encoding of an event,
+// served from the store's encode-once cache when e is a stored revision
+// (as returned by GetEvent/Search/EventsSince). The bytes are read-only.
+func (s *Service) WrappedJSONFor(e *misp.Event) ([]byte, error) {
+	return s.store.WrappedJSONFor(e)
 }
 
 // DeleteEvent removes one event by UUID.
@@ -160,36 +168,43 @@ type SearchQuery struct {
 	Since time.Time `json:"since,omitempty"`
 }
 
-// Search runs a query against the store.
+// Search runs a query against the store. Results are shared frozen views
+// in UUID order; only the criteria the index lookup did not already answer
+// are re-checked per candidate.
 func (s *Service) Search(q SearchQuery) ([]*misp.Event, error) {
 	var (
 		candidates []*misp.Event
 		err        error
 	)
-	// The most selective indexed lookup narrows the candidate set; the
-	// remaining criteria filter below.
+	// The most selective indexed lookup narrows the candidate set and
+	// fully answers its own criterion; checkValue/checkType/checkTag track
+	// what remains to filter below.
+	checkValue, checkType, checkTag := q.Value != "", q.Type != "", q.Tag != ""
 	switch {
 	case q.Value != "":
 		candidates, err = s.store.SearchValue(q.Value)
+		checkValue = false
 	case q.Type != "":
 		candidates, err = s.store.SearchType(q.Type)
+		checkType = false
 	case q.Tag != "":
 		candidates, err = s.store.SearchTag(q.Tag)
+		checkTag = false
 	default:
 		candidates, err = s.store.All()
 	}
 	if err != nil {
 		return nil, err
 	}
-	var out []*misp.Event
+	out := candidates[:0:0]
 	for _, e := range candidates {
-		if q.Value != "" && !hasValue(e, q.Value) {
+		if checkValue && !hasValue(e, q.Value) {
 			continue
 		}
-		if q.Type != "" && !hasType(e, q.Type) {
+		if checkType && !hasType(e, q.Type) {
 			continue
 		}
-		if q.Tag != "" && !e.HasTag(q.Tag) {
+		if checkTag && !e.HasTag(q.Tag) {
 			continue
 		}
 		if !q.Since.IsZero() && e.Timestamp.Before(q.Since) {
@@ -197,7 +212,7 @@ func (s *Service) Search(q SearchQuery) ([]*misp.Event, error) {
 		}
 		out = append(out, e)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].UUID < out[j].UUID })
+	// Every candidate source returns UUID order, so out is already sorted.
 	return out, nil
 }
 
@@ -221,22 +236,22 @@ func (s *Service) Stats() Stats {
 	return Stats{Name: s.name, Events: s.store.Len(), WALOps: s.store.WALOps()}
 }
 
-// SyncFrom pulls events updated since t from a remote instance and stores
-// them locally — MISP's pull synchronization. It returns how many events
+// SyncFrom pulls events updated since t from a remote instance and imports
+// them through the group-commit batch path — MISP's pull synchronization.
+// The import is partial-failure tolerant: remote events that fail
+// validation are skipped and reported in the returned error while the
+// valid remainder still lands in one batch. It returns how many events
 // were imported.
 func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
 	events, err := remote.EventsSince(t)
 	if err != nil {
 		return 0, fmt.Errorf("tip: sync pull: %w", err)
 	}
-	imported := 0
-	for _, e := range events {
-		if _, err := s.AddEvent(e); err != nil {
-			return imported, fmt.Errorf("tip: sync import %s: %w", e.UUID, err)
-		}
-		imported++
+	stored, err := s.AddEvents(events)
+	if err != nil {
+		return len(stored), fmt.Errorf("tip: sync import: %w", err)
 	}
-	return imported, nil
+	return len(stored), nil
 }
 
 // SyncTo pushes local events updated since t to a remote instance —
@@ -261,14 +276,21 @@ func (s *Service) SyncTo(remote *Client, t time.Time) (int, error) {
 	return exported, nil
 }
 
+// publish announces a just-stored event on the bus, reusing the store's
+// encode-once wire encoding so the same bytes serve the bus and the HTTP
+// read paths. If the stored revision is already gone (deleted or replaced
+// concurrently), the caller's copy is encoded as a fallback.
 func (s *Service) publish(topic string, e *misp.Event) {
 	if s.broker == nil {
 		return
 	}
-	data, err := misp.MarshalWrapped(e)
+	data, err := s.store.WrappedJSON(e.UUID)
 	if err != nil {
-		s.logger.Warn("publish encode failed", "uuid", e.UUID, "error", err)
-		return
+		data, err = misp.MarshalWrapped(e)
+		if err != nil {
+			s.logger.Warn("publish encode failed", "uuid", e.UUID, "error", err)
+			return
+		}
 	}
 	s.broker.Publish(topic, data)
 }
