@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read vet copyfree check
+.PHONY: build test race bench bench-read bench-durability vet copyfree check
 
 build:
 	$(GO) build ./...
@@ -17,6 +17,11 @@ bench:
 # Read-path suite: copy-free snapshot reads vs the clone-on-read baseline.
 bench-read:
 	$(GO) test -run '^$$' -bench '^BenchmarkRead' -benchmem .
+
+# Durability suite: write-tail latency during streaming vs blocking
+# compaction, and parallel vs serial cold-start recovery (50k events).
+bench-durability:
+	$(GO) test -run '^$$' -bench '^BenchmarkDurability' -benchmem .
 
 vet:
 	$(GO) vet ./...

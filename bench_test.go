@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http/httptest"
+	"slices"
 	"sync"
 	"testing"
 	"time"
@@ -837,3 +838,223 @@ func BenchmarkReadWrappedJSONMarshalBaseline(b *testing.B) {
 		}
 	}
 }
+
+// --- X7: pause-free durability --------------------------------------------
+//
+// Write-tail latency during checkpoints and recovery speed after them.
+// Each BenchmarkDurabilityPut* variant measures per-operation latency
+// percentiles for Put (or PutBatch) against a ≥50k-event store while a
+// compaction loop runs concurrently; the Blocking variant restores the
+// old stop-the-world Compact (storage.WithBlockingCompaction) as the
+// ablation baseline. BenchmarkDurabilityOpenRecovery* measures cold
+// Open on the same store with the parallel decoder vs the serial
+// ablation (storage.WithRecoveryWorkers(1)). Run via
+// `make bench-durability`.
+
+const durabilityStoreSize = 50000
+
+// seedDurabilityStore fills a store with durabilityStoreSize events in
+// group-committed batches.
+func seedDurabilityStore(b *testing.B, store *storage.Store) {
+	b.Helper()
+	batch := make([]*misp.Event, 0, 500)
+	for i := 0; i < durabilityStoreSize; i++ {
+		batch = append(batch, readBenchEvent(i, experiments.EvalTime.Add(time.Duration(i)*time.Second)))
+		if len(batch) == cap(batch) {
+			if err := store.PutBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+			batch = batch[:0]
+		}
+	}
+}
+
+// reportLatencyPercentiles attaches p50/p99/max per-op latency metrics to
+// the benchmark result — the stall profile ns/op alone averages away.
+func reportLatencyPercentiles(b *testing.B, lats []time.Duration) {
+	b.Helper()
+	if len(lats) == 0 {
+		return
+	}
+	sorted := append([]time.Duration(nil), lats...)
+	slices.Sort(sorted)
+	b.ReportMetric(float64(sorted[len(sorted)*50/100]), "p50-ns")
+	b.ReportMetric(float64(sorted[len(sorted)*99/100]), "p99-ns")
+	b.ReportMetric(float64(sorted[len(sorted)*999/1000]), "p999-ns")
+	b.ReportMetric(float64(sorted[len(sorted)-1]), "max-ns")
+}
+
+// durabilityBenchEvents builds n write-load events whose timestamps
+// continue the seeded store's monotonic range, matching real ingest
+// (fresh indicators arrive newest-last, appending to the time index).
+func durabilityBenchEvents(b *testing.B, n int) []*misp.Event {
+	b.Helper()
+	events := make([]*misp.Event, n)
+	for i := range events {
+		events[i] = readBenchEvent(durabilityStoreSize+i,
+			experiments.EvalTime.Add(time.Duration(durabilityStoreSize+i)*time.Second))
+	}
+	return events
+}
+
+// startCompactLoop runs checkpoints concurrently with the measured
+// writes: a compaction every 20 ms, mirroring a threshold-triggered
+// background compactor rather than a disk-saturating busy loop. The
+// returned stop function reports how many snapshots completed so runs
+// that never overlapped a checkpoint are detectable.
+func startCompactLoop(b *testing.B, store *storage.Store, mode string) (stop func()) {
+	b.Helper()
+	if mode == "steady" {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				if err := store.Compact(); err != nil {
+					b.Error(err)
+					return
+				}
+				select {
+				case <-done:
+					return
+				case <-time.After(20 * time.Millisecond):
+				}
+			}
+		}
+	}()
+	return func() {
+		close(done)
+		wg.Wait()
+		b.ReportMetric(float64(store.Durability().Compactions), "compactions")
+	}
+}
+
+// benchmarkDurabilityPut measures single-Put latency against a seeded
+// store. mode selects the concurrent checkpoint activity: "steady" (no
+// compaction), "compact" (the streaming off-lock Compact looping in the
+// background) or "blocking" (the stop-the-world ablation looping).
+func benchmarkDurabilityPut(b *testing.B, mode string) {
+	var opts []storage.Option
+	if mode == "blocking" {
+		opts = append(opts, storage.WithBlockingCompaction(true))
+	}
+	store, err := storage.Open(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	seedDurabilityStore(b, store)
+
+	stop := startCompactLoop(b, store, mode)
+	events := durabilityBenchEvents(b, b.N)
+	lats := make([]time.Duration, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := store.Put(events[i]); err != nil {
+			b.Fatal(err)
+		}
+		lats[i] = time.Since(t0)
+	}
+	b.StopTimer()
+	stop()
+	reportLatencyPercentiles(b, lats)
+}
+
+func BenchmarkDurabilityPutSteady(b *testing.B)          { benchmarkDurabilityPut(b, "steady") }
+func BenchmarkDurabilityPutUnderCompaction(b *testing.B) { benchmarkDurabilityPut(b, "compact") }
+func BenchmarkDurabilityPutUnderBlockingCompaction(b *testing.B) {
+	benchmarkDurabilityPut(b, "blocking")
+}
+
+// benchmarkDurabilityPutBatch is the batch analogue: per-batch (64
+// events) commit latency with the streaming or blocking compactor
+// racing it.
+func benchmarkDurabilityPutBatch(b *testing.B, mode string) {
+	const batchSize = 64
+	var opts []storage.Option
+	if mode == "blocking" {
+		opts = append(opts, storage.WithBlockingCompaction(true))
+	}
+	store, err := storage.Open(b.TempDir(), opts...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer store.Close()
+	seedDurabilityStore(b, store)
+
+	stop := startCompactLoop(b, store, mode)
+	events := durabilityBenchEvents(b, b.N*batchSize)
+	lats := make([]time.Duration, b.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if err := store.PutBatch(events[i*batchSize : (i+1)*batchSize]); err != nil {
+			b.Fatal(err)
+		}
+		lats[i] = time.Since(t0)
+	}
+	b.StopTimer()
+	stop()
+	reportLatencyPercentiles(b, lats)
+}
+
+func BenchmarkDurabilityPutBatchSteady(b *testing.B) { benchmarkDurabilityPutBatch(b, "steady") }
+func BenchmarkDurabilityPutBatchUnderCompaction(b *testing.B) {
+	benchmarkDurabilityPutBatch(b, "compact")
+}
+func BenchmarkDurabilityPutBatchUnderBlockingCompaction(b *testing.B) {
+	benchmarkDurabilityPutBatch(b, "blocking")
+}
+
+// benchmarkDurabilityOpen measures cold recovery of a 50k-event store —
+// a streamed snapshot plus a 5k-operation WAL tail — with the given
+// number of decode workers (0 = GOMAXPROCS, 1 = serial ablation).
+func benchmarkDurabilityOpen(b *testing.B, workers int) {
+	dir := b.TempDir()
+	store, err := storage.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	seedDurabilityStore(b, store)
+	if err := store.Compact(); err != nil {
+		b.Fatal(err)
+	}
+	tail := durabilityBenchEvents(b, 5000)
+	for len(tail) > 0 {
+		n := min(500, len(tail))
+		if err := store.PutBatch(tail[:n]); err != nil {
+			b.Fatal(err)
+		}
+		tail = tail[n:]
+	}
+	if err := store.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := storage.Open(dir, storage.WithRecoveryWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if s.Len() != durabilityStoreSize+5000 {
+			b.Fatalf("recovered %d events", s.Len())
+		}
+		b.StopTimer()
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+	}
+}
+
+func BenchmarkDurabilityOpenRecoveryParallel(b *testing.B) { benchmarkDurabilityOpen(b, 0) }
+func BenchmarkDurabilityOpenRecoverySerial(b *testing.B)   { benchmarkDurabilityOpen(b, 1) }

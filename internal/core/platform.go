@@ -52,6 +52,12 @@ const TAXIICollection = "eiocs"
 // growth and restart-replay time.
 const defaultCompactAfterOps = 5000
 
+// defaultCompactAfterBytes triggers compaction once the on-disk WAL
+// crosses this footprint regardless of the operation count, so a burst
+// of large events cannot grow the log unboundedly between op-count
+// triggers.
+const defaultCompactAfterBytes = 32 << 20
+
 // maxProcessedTracked bounds the analyzed-UUID memory: the platform
 // remembers this many recently analyzed events for idempotency and evicts
 // the oldest beyond it (re-analysis of an evicted event is idempotent by
@@ -89,6 +95,14 @@ type Config struct {
 	// FeedConcurrency bounds how many feeds PollOnce fetches in
 	// parallel. Values below 1 use GOMAXPROCS.
 	FeedConcurrency int
+	// CompactEveryOps triggers background store compaction once this many
+	// WAL operations accumulated since the last snapshot. Values below 1
+	// use the default (5000).
+	CompactEveryOps int
+	// CompactEveryBytes triggers background store compaction once the
+	// on-disk WAL crosses this many bytes. Values below 1 use the default
+	// (32 MiB).
+	CompactEveryBytes int64
 }
 
 // Stats counts pipeline activity.
@@ -151,7 +165,16 @@ type Platform struct {
 
 	counters counters
 
-	compactAfter int
+	// Background compaction: maybeCompact posts a request into the
+	// capacity-1 compactCh (singleflight — a request while one is queued
+	// or running coalesces into it); the dedicated compactLoop goroutine
+	// drains it so snapshots never run on the ingest path.
+	compactAfter      int
+	compactAfterBytes int64
+	compactCh         chan struct{}
+	compactStop       chan struct{}
+	compactStopOnce   sync.Once
+	compactWG         sync.WaitGroup
 
 	runMu   sync.Mutex
 	started bool
@@ -199,7 +222,16 @@ func New(cfg Config) (*Platform, error) {
 		analyzers: analyzers,
 		processed: ringset.New(maxProcessedTracked),
 
-		compactAfter: defaultCompactAfterOps,
+		compactAfter:      defaultCompactAfterOps,
+		compactAfterBytes: defaultCompactAfterBytes,
+		compactCh:         make(chan struct{}, 1),
+		compactStop:       make(chan struct{}),
+	}
+	if cfg.CompactEveryOps > 0 {
+		p.compactAfter = cfg.CompactEveryOps
+	}
+	if cfg.CompactEveryBytes > 0 {
+		p.compactAfterBytes = cfg.CompactEveryBytes
 	}
 	if !cfg.DisableClassifier {
 		p.classifier = textclass.New()
@@ -225,6 +257,8 @@ func New(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 	}
+	p.compactWG.Add(1)
+	go p.compactLoop()
 	return p, nil
 }
 
@@ -423,14 +457,51 @@ func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, err
 	return stored, errors.Join(errs...)
 }
 
-// maybeCompact snapshots the store once enough WAL operations accumulated.
+// maybeCompact requests a background snapshot once enough WAL operations
+// or bytes accumulated. It never blocks: a request while a compaction is
+// already queued or running coalesces into it.
 func (p *Platform) maybeCompact() {
-	if p.store.WALOps() <= p.compactAfter {
+	d := p.store.Durability()
+	if d.WALOps <= p.compactAfter && d.WALBytes <= p.compactAfterBytes {
 		return
 	}
+	select {
+	case p.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// compactLoop is the dedicated compaction goroutine: it serializes
+// snapshot publication off the ingest path and drains a pending request
+// before exiting so a shutdown-time trigger is not lost.
+func (p *Platform) compactLoop() {
+	defer p.compactWG.Done()
+	for {
+		select {
+		case <-p.compactStop:
+			select {
+			case <-p.compactCh:
+				p.compactStore()
+			default:
+			}
+			return
+		case <-p.compactCh:
+			p.compactStore()
+		}
+	}
+}
+
+func (p *Platform) compactStore() {
 	if err := p.store.Compact(); err != nil {
 		p.logger.Warn("store compaction failed", "error", err)
 	}
+}
+
+// stopCompactor shuts the compaction goroutine down, waiting for an
+// in-flight snapshot to finish. Idempotent.
+func (p *Platform) stopCompactor() {
+	p.compactStopOnce.Do(func() { close(p.compactStop) })
+	p.compactWG.Wait()
 }
 
 // analyze runs the heuristic stage for one stored cIoC event: convert to
@@ -679,9 +750,12 @@ func (p *Platform) Stop() {
 	}
 }
 
-// Close releases resources (store, broker, dashboard sockets).
+// Close releases resources (store, broker, dashboard sockets). The
+// compaction goroutine is drained before the store closes, so a
+// snapshot triggered by the final flush still completes.
 func (p *Platform) Close() error {
 	p.Stop()
+	p.stopCompactor()
 	p.dash.Close()
 	p.broker.Close()
 	return p.store.Close()

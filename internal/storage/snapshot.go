@@ -1,0 +1,303 @@
+// Streaming snapshots and parallel recovery (DESIGN.md §9). A snapshot
+// is JSON-lines: one header record followed by one event per line, so
+// the writer streams record-by-record through a buffered encoder (no
+// whole-store Marshal buffer) and the loader can fan the per-line
+// decodes out across a worker pool. The legacy monolithic
+// {"seq":…,"events":[…]} format is still read for migration; the first
+// post-upgrade compaction replaces it.
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+// snapshotHeader is the first line of a streaming snapshot.
+type snapshotHeader struct {
+	Version int    `json:"caisp_snapshot"`
+	Seq     uint64 `json:"seq"`
+	Count   int    `json:"count"`
+}
+
+// parallelDecode runs decode(0..n-1) across a worker pool, joining any
+// errors. Workers stride over the index space so the output order is
+// the caller's to define (each decode writes its own slot).
+func parallelDecode(n, workers int, decode func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := decode(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				if err := decode(i); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// writeSnapshotFile streams the event set to snapshot.json.tmp and
+// atomically renames it into place. It never touches store state, so
+// the caller may run it without holding the store lock as long as the
+// map it passes is not being mutated (the compaction overlay guarantees
+// that).
+func (s *Store) writeSnapshotFile(events map[string]*storedEvent, seq uint64) error {
+	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("storage: create snapshot temp: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	err = enc.Encode(snapshotHeader{Version: 1, Seq: seq, Count: len(events)})
+	for _, se := range events {
+		if err != nil {
+			break
+		}
+		err = enc.Encode(se.event)
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("storage: publish snapshot: %w", err)
+	}
+	return nil
+}
+
+// loadSnapshot restores the persisted base state, decoding event lines
+// across the recovery worker pool. Only called from Open, before the
+// store is shared — applies need no lock.
+func (s *Store) loadSnapshot(workers int) error {
+	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: read snapshot: %w", err)
+	}
+	first := data
+	if nl := bytes.IndexByte(data, '\n'); nl >= 0 {
+		first = data[:nl]
+	}
+	var hdr snapshotHeader
+	if err := json.Unmarshal(first, &hdr); err != nil || hdr.Version == 0 {
+		return s.loadLegacySnapshot(data)
+	}
+	lines := make([][]byte, 0, hdr.Count)
+	rest := data[len(first)+1:]
+	for len(lines) < hdr.Count {
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			if len(bytes.TrimSpace(rest)) == 0 {
+				break
+			}
+			lines = append(lines, rest)
+			break
+		}
+		lines = append(lines, rest[:nl])
+		rest = rest[nl+1:]
+	}
+	if len(lines) != hdr.Count {
+		return fmt.Errorf("storage: snapshot truncated: %d of %d events", len(lines), hdr.Count)
+	}
+	events := make([]*misp.Event, hdr.Count)
+	if err := parallelDecode(hdr.Count, workers, func(i int) error {
+		e := new(misp.Event)
+		if err := json.Unmarshal(lines[i], e); err != nil {
+			return fmt.Errorf("storage: decode snapshot event %d: %w", i, err)
+		}
+		events[i] = e
+		return nil
+	}); err != nil {
+		return err
+	}
+	s.seq = hdr.Seq
+	s.loading = true
+	for _, e := range events {
+		s.apply(e)
+	}
+	s.loading = false
+	s.sortTimeIndex()
+	return nil
+}
+
+// loadLegacySnapshot reads the pre-segmentation monolithic format.
+func (s *Store) loadLegacySnapshot(data []byte) error {
+	var snap struct {
+		Seq    uint64        `json:"seq"`
+		Events []*misp.Event `json:"events"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("storage: decode snapshot: %w", err)
+	}
+	s.seq = snap.Seq
+	s.loading = true
+	for _, e := range snap.Events {
+		s.apply(e)
+	}
+	s.loading = false
+	s.sortTimeIndex()
+	return nil
+}
+
+// replaySegments scans, decodes and applies every WAL segment in
+// sequence order. Frame payloads are JSON-decoded across the worker
+// pool; applies stay strictly sequential in sequence order, buffered
+// per commit group so an uncommitted tail group is never applied. The
+// final segment's torn tail (if any) is repaired by truncating the file
+// back to its last committed group. Returns the segment list with
+// repaired sizes for the WAL writer to resume from.
+func (s *Store) replaySegments(workers int) ([]walSegment, error) {
+	segs, err := listSegments(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	for i := range segs {
+		final := i == len(segs)-1
+		data, err := os.ReadFile(segs[i].path)
+		if err != nil {
+			return nil, fmt.Errorf("storage: read wal segment: %w", err)
+		}
+		frames, committedEnd, err := scanSegment(data, final)
+		if err != nil {
+			return nil, fmt.Errorf("%w (%s)", err, filepath.Base(segs[i].path))
+		}
+		recs := make([]walRecord, len(frames))
+		if err := parallelDecode(len(frames), workers, func(j int) error {
+			if err := json.Unmarshal(frames[j].payload, &recs[j]); err != nil {
+				return fmt.Errorf("storage: corrupt wal record in %s: %w", filepath.Base(segs[i].path), err)
+			}
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+		group := 0
+		for j := range frames {
+			if !frames[j].commit {
+				continue
+			}
+			for k := group; k <= j; k++ {
+				if err := s.applyWALRecord(recs[k]); err != nil {
+					return nil, fmt.Errorf("%w (%s)", err, filepath.Base(segs[i].path))
+				}
+			}
+			group = j + 1
+		}
+		if final && committedEnd < int64(len(data)) {
+			if err := os.Truncate(segs[i].path, committedEnd); err != nil {
+				return nil, fmt.Errorf("storage: repair wal tail: %w", err)
+			}
+		}
+		if final {
+			segs[i].size = committedEnd
+		}
+	}
+	return segs, nil
+}
+
+// applyWALRecord applies one replayed record, skipping records the
+// snapshot already covers. Applied records count toward walOps so the
+// ops-based compaction threshold survives a restart.
+func (s *Store) applyWALRecord(rec walRecord) error {
+	if rec.Seq <= s.seq {
+		return nil
+	}
+	s.seq = rec.Seq
+	s.walOps++
+	switch rec.Op {
+	case "put":
+		if rec.Event != nil {
+			s.apply(rec.Event)
+		}
+	case "delete":
+		s.applyDelete(rec.UUID)
+	default:
+		return fmt.Errorf("storage: unknown wal op %q", rec.Op)
+	}
+	return nil
+}
+
+// replayLegacyWAL applies records from the pre-segmentation single
+// events.wal file (JSON lines, per-record commit semantics). A
+// truncated trailing record is tolerated; corruption mid-file is
+// reported. The file is removed by the first successful compaction.
+func (s *Store) replayLegacyWAL() error {
+	f, err := os.Open(filepath.Join(s.dir, legacyWALFile))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("storage: open wal for replay: %w", err)
+	}
+	defer f.Close()
+	s.legacyWAL = true
+	scanner := bufio.NewScanner(f)
+	scanner.Buffer(make([]byte, 0, 1<<20), 16<<20)
+	var pendingError error
+	for scanner.Scan() {
+		line := scanner.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		if pendingError != nil {
+			// A bad record followed by a good one is real corruption, not a
+			// torn tail.
+			return pendingError
+		}
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			pendingError = fmt.Errorf("storage: corrupt wal record: %w", err)
+			continue
+		}
+		if err := s.applyWALRecord(rec); err != nil {
+			pendingError = err
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return fmt.Errorf("storage: scan wal: %w", err)
+	}
+	return nil // trailing pendingError tolerated as torn write
+}

@@ -1,10 +1,11 @@
 // Package storage implements the embedded event store backing the
 // operational module — the stand-in for the relational database of the
 // paper's MISP instance. Events are MISP events keyed by UUID; writes go
-// through an append-only JSON-lines write-ahead log, reads are served from
+// through a segmented, CRC-framed write-ahead log, reads are served from
 // in-memory maps with secondary indexes over attribute values, attribute
 // types and tags (MISP's "correlation" lookups). Snapshots bound recovery
-// time; a truncated or corrupted WAL tail is tolerated on replay.
+// time; a truncated WAL tail is repaired on replay while corruption
+// mid-file is detected and reported.
 //
 // The read side is snapshot-isolated: Put/PutBatch install events that are
 // never mutated afterwards, so Get/Search*/All/UpdatedSince return shared
@@ -14,17 +15,23 @@
 // UpdatedSince O(log n + k); postings are map-backed sets with lazily
 // rebuilt sorted slices; and the wrapped-MISP wire encoding is cached once
 // per stored revision (WrappedJSON).
+//
+// Durability is pause-free (DESIGN.md §9): Compact freezes the current
+// event map behind a copy-on-write overlay under a brief lock, then
+// streams the snapshot record-by-record to disk entirely outside the
+// lock while writers and readers proceed; the WAL rotates into
+// size-bounded segments and compaction deletes the sealed segments the
+// published snapshot covers. Recovery decodes snapshot and WAL records
+// across a worker pool.
 package storage
 
 import (
-	"bufio"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,8 +40,8 @@ import (
 )
 
 const (
-	walFile      = "events.wal"
-	snapshotFile = "snapshot.json"
+	legacyWALFile = "events.wal"
+	snapshotFile  = "snapshot.json"
 )
 
 // ErrNotFound is returned when the requested event does not exist.
@@ -122,19 +129,39 @@ type Store struct {
 	mu sync.RWMutex
 
 	dir  string
-	wal  *os.File
-	walW *bufio.Writer
+	wal  *walWriter
 	seq  uint64
 	sync bool
 
-	events     map[string]*storedEvent // by event UUID
-	byValue    map[string]*postings    // attribute value -> event UUIDs
-	byType     map[string]*postings    // attribute type  -> event UUIDs
-	byTag      map[string]*postings    // tag name        -> event UUIDs
-	byTime     []timeEntry             // ascending (timestamp, uuid)
-	walOps     int                     // operations appended since last snapshot
+	events map[string]*storedEvent // base map: the compacted live state
+	// overlay diverts writes while a streaming snapshot reads the base
+	// map off-lock. Non-nil only between a compaction's capture and its
+	// merge; a nil value is a delete tombstone. Readers consult overlay
+	// first (lookup/forEach), so the view stays exact throughout.
+	overlay map[string]*storedEvent
+	count   int // live events across base+overlay
+
+	byValue map[string]*postings // attribute value -> event UUIDs
+	byType  map[string]*postings // attribute type  -> event UUIDs
+	byTag   map[string]*postings // tag name        -> event UUIDs
+	byTime  []timeEntry          // ascending (timestamp, uuid)
+
+	walOps     int // operations appended since last snapshot
 	indexing   bool
 	cloneReads bool
+	// loading marks snapshot bulk-load during Open: events stream in map
+	// order, so per-event sorted inserts into byTime would be O(n²);
+	// instead entries are appended and sorted once afterwards.
+	loading bool
+
+	segmentSize     int64
+	recoveryWorkers int
+	blockingCompact bool
+	legacyWAL       bool // a pre-segmentation events.wal exists on disk
+
+	compactMu      sync.Mutex // serializes Compact; taken before mu
+	compactions    int64
+	lastCompactDur time.Duration
 }
 
 // Option configures Open.
@@ -165,6 +192,36 @@ func (o cloneReadsOption) apply(s *Store) { s.cloneReads = bool(o) }
 // ablation baseline for the read-path benchmarks. Default off.
 func WithCloneReads(enabled bool) Option { return cloneReadsOption(enabled) }
 
+type segmentSizeOption int64
+
+func (o segmentSizeOption) apply(s *Store) {
+	if o > 0 {
+		s.segmentSize = int64(o)
+	}
+}
+
+// WithSegmentSize bounds WAL segment files to roughly n bytes; crossing
+// the bound after a commit group seals the segment. Default 4 MiB.
+func WithSegmentSize(n int64) Option { return segmentSizeOption(n) }
+
+type recoveryWorkersOption int
+
+func (o recoveryWorkersOption) apply(s *Store) { s.recoveryWorkers = int(o) }
+
+// WithRecoveryWorkers sets how many goroutines decode snapshot and WAL
+// records during Open. Values below 1 use GOMAXPROCS; 1 is the serial
+// ablation baseline.
+func WithRecoveryWorkers(n int) Option { return recoveryWorkersOption(n) }
+
+type blockingCompactOption bool
+
+func (o blockingCompactOption) apply(s *Store) { s.blockingCompact = bool(o) }
+
+// WithBlockingCompaction restores the stop-the-world Compact — the
+// whole snapshot is encoded and written while the write lock is held —
+// as the ablation baseline for the durability benchmarks. Default off.
+func WithBlockingCompaction(enabled bool) Option { return blockingCompactOption(enabled) }
+
 // walRecord is one WAL entry.
 type walRecord struct {
 	Seq   uint64      `json:"seq"`
@@ -173,22 +230,19 @@ type walRecord struct {
 	Event *misp.Event `json:"event,omitempty"`
 }
 
-// snapshot is the persisted full state.
-type snapshot struct {
-	Seq    uint64        `json:"seq"`
-	Events []*misp.Event `json:"events"`
-}
-
 // Open loads (or creates) a store in dir. An empty dir opens a memory-only
-// store with no durability.
+// store with no durability. Recovery decodes the snapshot and the sealed
+// WAL segments across a worker pool (WithRecoveryWorkers) and repairs a
+// torn tail on the active segment.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
-		dir:      dir,
-		events:   make(map[string]*storedEvent),
-		byValue:  make(map[string]*postings),
-		byType:   make(map[string]*postings),
-		byTag:    make(map[string]*postings),
-		indexing: true,
+		dir:         dir,
+		events:      make(map[string]*storedEvent),
+		byValue:     make(map[string]*postings),
+		byType:      make(map[string]*postings),
+		byTag:       make(map[string]*postings),
+		indexing:    true,
+		segmentSize: defaultSegmentSize,
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -199,18 +253,25 @@ func Open(dir string, opts ...Option) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dir: %w", err)
 	}
-	if err := s.loadSnapshot(); err != nil {
+	workers := s.recoveryWorkers
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if err := s.loadSnapshot(workers); err != nil {
 		return nil, err
 	}
-	if err := s.replayWAL(); err != nil {
+	if err := s.replayLegacyWAL(); err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(filepath.Join(dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	segs, err := s.replaySegments(workers)
 	if err != nil {
-		return nil, fmt.Errorf("storage: open wal: %w", err)
+		return nil, err
+	}
+	wal, err := openWALWriter(dir, segs, s.seq, s.sync, s.segmentSize)
+	if err != nil {
+		return nil, err
 	}
 	s.wal = wal
-	s.walW = bufio.NewWriter(wal)
 	return s, nil
 }
 
@@ -224,7 +285,8 @@ func (s *Store) Put(e *misp.Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.seq++
-	if err := s.appendWAL(walRecord{Seq: s.seq, Op: "put", Event: cp}); err != nil {
+	if err := s.appendWALGroup([]walRecord{{Seq: s.seq, Op: "put", Event: cp}}); err != nil {
+		s.seq--
 		return err
 	}
 	s.apply(cp)
@@ -232,13 +294,13 @@ func (s *Store) Put(e *misp.Event) error {
 }
 
 // PutBatch stores a batch of events with group-commit semantics: every
-// event is validated and cloned first, then all WAL records are encoded
+// event is validated and cloned first, then all WAL records are framed
 // into one buffer and written with a single flush (and, with WithSync, a
 // single fsync) before the in-memory state is updated. Amortizing the
 // write-path fixed costs over the batch is what makes high-volume ingest
-// keep up with parallel feed polling. The batch is all-or-nothing: a
-// validation or WAL error leaves the store unchanged, and the whole batch
-// becomes visible atomically — readers never observe a partial batch.
+// keep up with parallel feed polling. The batch is all-or-nothing — in
+// memory and across a crash: the commit flag rides on the batch's final
+// WAL frame, so recovery either replays the whole group or none of it.
 func (s *Store) PutBatch(events []*misp.Event) error {
 	if len(events) == 0 {
 		return nil
@@ -261,7 +323,7 @@ func (s *Store) PutBatch(events []*misp.Event) error {
 		recs[i] = walRecord{Seq: s.seq, Op: "put", Event: cp}
 	}
 	if err := s.appendWALGroup(recs); err != nil {
-		s.seq -= uint64(len(cps)) // nothing was written; roll the sequence back
+		s.seq -= uint64(len(cps)) // nothing was committed; roll the sequence back
 		return err
 	}
 	for _, cp := range cps {
@@ -270,12 +332,45 @@ func (s *Store) PutBatch(events []*misp.Event) error {
 	return nil
 }
 
+// lookup resolves a UUID through the compaction overlay (if one is
+// active) and the base map. Caller holds at least the read lock.
+func (s *Store) lookup(uuid string) (*storedEvent, bool) {
+	if s.overlay != nil {
+		if se, ok := s.overlay[uuid]; ok {
+			return se, se != nil
+		}
+	}
+	se, ok := s.events[uuid]
+	return se, ok
+}
+
+// forEach visits every live event exactly once, overlay first. Caller
+// holds at least the read lock.
+func (s *Store) forEach(fn func(uuid string, se *storedEvent)) {
+	if s.overlay != nil {
+		for uuid, se := range s.overlay {
+			if se != nil {
+				fn(uuid, se)
+			}
+		}
+		for uuid, se := range s.events {
+			if _, shadowed := s.overlay[uuid]; !shadowed {
+				fn(uuid, se)
+			}
+		}
+		return
+	}
+	for uuid, se := range s.events {
+		fn(uuid, se)
+	}
+}
+
 // Get returns the current revision of the event with the given UUID as a
 // shared frozen view: the result must not be mutated. Callers that need a
 // private copy take GetClone.
 func (s *Store) Get(uuid string) (*misp.Event, error) {
 	s.mu.RLock()
-	se, ok := s.events[uuid]
+	se, ok := s.lookup(uuid)
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, uuid)
@@ -300,7 +395,7 @@ func (s *Store) GetClone(uuid string) (*misp.Event, error) {
 // materializing it.
 func (s *Store) Has(uuid string) bool {
 	s.mu.RLock()
-	_, ok := s.events[uuid]
+	_, ok := s.lookup(uuid)
 	s.mu.RUnlock()
 	return ok
 }
@@ -311,7 +406,7 @@ func (s *Store) Has(uuid string) bool {
 // are read-only.
 func (s *Store) WrappedJSON(uuid string) ([]byte, error) {
 	s.mu.RLock()
-	se, ok := s.events[uuid]
+	se, ok := s.lookup(uuid)
 	s.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNotFound, uuid)
@@ -324,7 +419,7 @@ func (s *Store) WrappedJSON(uuid string) ([]byte, error) {
 // encoding of e otherwise. The returned bytes are read-only.
 func (s *Store) WrappedJSONFor(e *misp.Event) ([]byte, error) {
 	s.mu.RLock()
-	se, ok := s.events[e.UUID]
+	se, ok := s.lookup(e.UUID)
 	s.mu.RUnlock()
 	if ok && se.event == e {
 		return se.wrappedJSON()
@@ -336,11 +431,12 @@ func (s *Store) WrappedJSONFor(e *misp.Event) ([]byte, error) {
 func (s *Store) Delete(uuid string) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.events[uuid]; !ok {
+	if _, ok := s.lookup(uuid); !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, uuid)
 	}
 	s.seq++
-	if err := s.appendWAL(walRecord{Seq: s.seq, Op: "delete", UUID: uuid}); err != nil {
+	if err := s.appendWALGroup([]walRecord{{Seq: s.seq, Op: "delete", UUID: uuid}}); err != nil {
+		s.seq--
 		return err
 	}
 	s.applyDelete(uuid)
@@ -351,16 +447,16 @@ func (s *Store) Delete(uuid string) error {
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return len(s.events)
+	return s.count
 }
 
 // All returns every event, sorted by UUID, as shared frozen views.
 func (s *Store) All() ([]*misp.Event, error) {
 	s.mu.RLock()
-	out := make([]*misp.Event, 0, len(s.events))
-	for _, se := range s.events {
+	out := make([]*misp.Event, 0, s.count)
+	s.forEach(func(_ string, se *storedEvent) {
 		out = append(out, se.event)
-	}
+	})
 	s.mu.RUnlock()
 	return s.finish(out, false), nil
 }
@@ -420,16 +516,48 @@ func (s *Store) UpdatedSince(t time.Time) ([]*misp.Event, error) {
 		// Ablation baseline: the pre-snapshot scan-and-copy read path.
 		return s.scanMatch(func(e *misp.Event) bool { return !e.Timestamp.Before(t) })
 	}
+	events, _, err := s.UpdatedSincePage(t, "", 0)
+	return events, err
+}
+
+// UpdatedSincePage is the paginated form of UpdatedSince: it returns up
+// to limit events in (timestamp, uuid) order starting at t, and whether
+// more remain. A non-empty afterUUID resumes strictly past the cursor
+// (t, afterUUID) — the (timestamp, uuid) of the previous page's last
+// event — so pages never skip or repeat ties on equal timestamps. A
+// limit of 0 or less returns everything.
+func (s *Store) UpdatedSincePage(t time.Time, afterUUID string, limit int) ([]*misp.Event, bool, error) {
 	s.mu.RLock()
-	i := sort.Search(len(s.byTime), func(i int) bool { return !s.byTime[i].ts.Before(t) })
-	out := make([]*misp.Event, 0, len(s.byTime)-i)
+	i := sort.Search(len(s.byTime), func(i int) bool {
+		ent := s.byTime[i]
+		if afterUUID != "" && ent.ts.Equal(t) {
+			return ent.uuid > afterUUID
+		}
+		return !ent.ts.Before(t)
+	})
+	n := len(s.byTime) - i
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	out := make([]*misp.Event, 0, n)
 	for _, ent := range s.byTime[i:] {
-		if se, ok := s.events[ent.uuid]; ok {
+		if limit > 0 && len(out) == limit {
+			break
+		}
+		if se, ok := s.lookup(ent.uuid); ok {
 			out = append(out, se.event)
 		}
 	}
+	more := limit > 0 && i+len(out) < len(s.byTime)
 	s.mu.RUnlock()
-	return out, nil
+	if s.cloneReads {
+		cloned := make([]*misp.Event, len(out))
+		for j, e := range out {
+			cloned[j] = e.Clone() // unlocked: ablation copies taken after the lock was released
+		}
+		return cloned, more, nil
+	}
+	return out, more, nil
 }
 
 // Correlated returns the UUIDs of events sharing at least one attribute
@@ -467,60 +595,119 @@ func (s *Store) correlateValue(e *misp.Event, value string, seen map[string]bool
 		}
 		return
 	}
-	for uuid, se := range s.events {
+	s.forEach(func(uuid string, se *storedEvent) {
 		if uuid == e.UUID || seen[uuid] {
-			continue
+			return
 		}
 		for _, oa := range allAttributes(se.event) {
 			if oa.Value == value {
 				seen[uuid] = true
 				*out = append(*out, uuid)
-				break
+				return
 			}
 		}
-	}
+	})
 }
 
-// Compact writes a snapshot of the current state and truncates the WAL.
+// Compact publishes a snapshot of the current state and prunes the WAL
+// segments it covers. The write lock is held only for the capture (an
+// O(1) overlay install plus a segment rotation) and the merge; the
+// snapshot itself is encoded record-by-record and streamed to a temp
+// file with writers and readers proceeding concurrently, then renamed
+// into place atomically. Concurrent Compact calls serialize.
 func (s *Store) Compact() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.dir == "" {
 		return nil
 	}
-	snap := snapshot{Seq: s.seq}
-	for _, se := range s.events {
-		snap.Events = append(snap.Events, se.event)
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+	start := time.Now()
+
+	if s.blockingCompact {
+		// Ablation baseline: the stop-the-world path — encode and write the
+		// whole snapshot under the write lock.
+		s.mu.Lock()
+		snapSeq, base, ops := s.seq, s.events, s.walOps
+		if err := s.rotateWALLocked(snapSeq); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		err := s.writeSnapshotFile(base, snapSeq)
+		var covered []string
+		if err == nil {
+			covered = s.finishCompactionLocked(snapSeq, ops, start)
+		}
+		s.mu.Unlock()
+		s.removeFiles(covered)
+		return err
 	}
-	sort.Slice(snap.Events, func(i, j int) bool { return snap.Events[i].UUID < snap.Events[j].UUID })
-	data, err := json.Marshal(snap)
-	if err != nil {
-		return fmt.Errorf("storage: encode snapshot: %w", err)
+
+	// Capture: freeze the base map behind an empty overlay and seal the
+	// active WAL segment, all under a brief lock.
+	s.mu.Lock()
+	snapSeq, base, ops := s.seq, s.events, s.walOps
+	if err := s.rotateWALLocked(snapSeq); err != nil {
+		s.mu.Unlock()
+		return err
 	}
-	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("storage: write snapshot: %w", err)
+	s.overlay = make(map[string]*storedEvent)
+	s.mu.Unlock()
+
+	// Stream: base is immutable while the overlay is up — encode it
+	// record-by-record entirely outside the lock.
+	err := s.writeSnapshotFile(base, snapSeq)
+
+	// Merge: fold the writes that happened meanwhile back into the base
+	// map and, on success, drop the WAL segments the snapshot covers.
+	s.mu.Lock()
+	for uuid, se := range s.overlay {
+		if se == nil {
+			delete(s.events, uuid)
+		} else {
+			s.events[uuid] = se
+		}
 	}
-	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
-		return fmt.Errorf("storage: publish snapshot: %w", err)
+	s.overlay = nil
+	var covered []string
+	if err == nil {
+		covered = s.finishCompactionLocked(snapSeq, ops, start)
 	}
-	// Truncate the WAL now that the snapshot covers it.
+	s.mu.Unlock()
+	s.removeFiles(covered)
+	return err
+}
+
+// rotateWALLocked seals the active segment so everything at or below
+// snapSeq lives in sealed segments. Caller holds the write lock.
+func (s *Store) rotateWALLocked(snapSeq uint64) error {
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.rotate(snapSeq + 1)
+}
+
+// finishCompactionLocked updates counters and collects the sealed
+// segments (and legacy files) the published snapshot covers. Caller
+// holds the write lock; the returned paths are deleted outside it.
+func (s *Store) finishCompactionLocked(snapSeq uint64, ops int, start time.Time) []string {
+	s.walOps -= ops
+	s.compactions++
+	s.lastCompactDur = time.Since(start)
+	var covered []string
 	if s.wal != nil {
-		if err := s.walW.Flush(); err != nil {
-			return err
-		}
-		if err := s.wal.Close(); err != nil {
-			return err
-		}
+		covered = s.wal.dropCovered(snapSeq)
 	}
-	wal, err := os.OpenFile(filepath.Join(s.dir, walFile), os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
-	if err != nil {
-		return fmt.Errorf("storage: reopen wal: %w", err)
+	if s.legacyWAL {
+		covered = append(covered, filepath.Join(s.dir, legacyWALFile))
+		s.legacyWAL = false
 	}
-	s.wal = wal
-	s.walW = bufio.NewWriter(wal)
-	s.walOps = 0
-	return nil
+	return covered
+}
+
+func (s *Store) removeFiles(paths []string) {
+	for _, p := range paths {
+		os.Remove(p)
+	}
 }
 
 // WALOps reports operations appended since the last snapshot (compaction
@@ -531,51 +718,59 @@ func (s *Store) WALOps() int {
 	return s.walOps
 }
 
-// Close flushes and closes the WAL.
+// DurabilityStats describes the persistence layer for observability
+// surfaces (tip.Stats, GET /stats) and compaction policy.
+type DurabilityStats struct {
+	// WALOps counts operations appended since the last snapshot.
+	WALOps int `json:"wal_ops"`
+	// WALBytes is the on-disk WAL footprint across all segments.
+	WALBytes int64 `json:"wal_bytes"`
+	// WALSegments counts segment files (sealed plus the active one).
+	WALSegments int `json:"wal_segments"`
+	// Compactions counts snapshots published since Open.
+	Compactions int64 `json:"compactions"`
+	// LastCompactionDuration is the wall time of the latest compaction.
+	LastCompactionDuration time.Duration `json:"last_compaction_ns"`
+}
+
+// Durability returns persistence counters. All zero for a memory-only
+// store.
+func (s *Store) Durability() DurabilityStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d := DurabilityStats{
+		WALOps:                 s.walOps,
+		Compactions:            s.compactions,
+		LastCompactionDuration: s.lastCompactDur,
+	}
+	if s.wal != nil {
+		d.WALBytes = s.wal.bytes()
+		d.WALSegments = s.wal.segments()
+	}
+	return d
+}
+
+// Close flushes and closes the WAL. It waits for an in-flight
+// compaction to finish first.
 func (s *Store) Close() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return nil
 	}
-	if err := s.walW.Flush(); err != nil {
-		return err
-	}
-	err := s.wal.Close()
-	s.wal = nil
-	return err
-}
-
-func (s *Store) appendWAL(rec walRecord) error {
-	return s.appendWALGroup([]walRecord{rec})
+	return s.wal.close()
 }
 
 // appendWALGroup writes a group of records as one buffered write, one
-// flush and (with WithSync) one fsync — the group commit. Caller holds the
-// write lock.
+// flush and (with WithSync) one fsync — the group commit. The final
+// record's frame carries the commit flag that makes the group atomic
+// across recovery. Caller holds the write lock.
 func (s *Store) appendWALGroup(recs []walRecord) error {
-	if s.walW == nil {
-		s.walOps += len(recs)
-		return nil // memory-only store
-	}
-	var buf []byte
-	for _, rec := range recs {
-		data, err := json.Marshal(rec)
-		if err != nil {
-			return fmt.Errorf("storage: encode wal record: %w", err)
-		}
-		buf = append(buf, data...)
-		buf = append(buf, '\n')
-	}
-	if _, err := s.walW.Write(buf); err != nil {
-		return fmt.Errorf("storage: append wal: %w", err)
-	}
-	if err := s.walW.Flush(); err != nil {
-		return fmt.Errorf("storage: flush wal: %w", err)
-	}
-	if s.sync {
-		if err := s.wal.Sync(); err != nil {
-			return fmt.Errorf("storage: sync wal: %w", err)
+	if s.wal != nil {
+		if err := s.wal.append(recs); err != nil {
+			return err
 		}
 	}
 	s.walOps += len(recs)
@@ -585,19 +780,34 @@ func (s *Store) appendWALGroup(recs []walRecord) error {
 // apply installs a put into memory state as a fresh frozen revision.
 // Caller holds the write lock.
 func (s *Store) apply(e *misp.Event) {
-	if old, ok := s.events[e.UUID]; ok {
+	old, existed := s.lookup(e.UUID)
+	if existed {
 		s.unindex(old.event)
 		s.timeRemove(old.event.Timestamp.Time, e.UUID)
+	} else {
+		s.count++
 	}
-	s.events[e.UUID] = &storedEvent{event: e}
+	se := &storedEvent{event: e}
+	if s.overlay != nil {
+		s.overlay[e.UUID] = se
+	} else {
+		s.events[e.UUID] = se
+	}
 	s.index(e)
 	s.timeInsert(e.Timestamp.Time, e.UUID)
 }
 
 func (s *Store) applyDelete(uuid string) {
-	if old, ok := s.events[uuid]; ok {
-		s.unindex(old.event)
-		s.timeRemove(old.event.Timestamp.Time, uuid)
+	old, existed := s.lookup(uuid)
+	if !existed {
+		return
+	}
+	s.unindex(old.event)
+	s.timeRemove(old.event.Timestamp.Time, uuid)
+	s.count--
+	if s.overlay != nil {
+		s.overlay[uuid] = nil // tombstone shadowing the frozen base
+	} else {
 		delete(s.events, uuid)
 	}
 }
@@ -641,10 +851,27 @@ func (s *Store) timeIdx(ts time.Time, uuid string) int {
 }
 
 func (s *Store) timeInsert(ts time.Time, uuid string) {
+	if s.loading {
+		// Snapshot bulk-load: defer ordering to one sort in sortTimeIndex.
+		s.byTime = append(s.byTime, timeEntry{ts: ts, uuid: uuid})
+		return
+	}
 	i := s.timeIdx(ts, uuid)
 	s.byTime = append(s.byTime, timeEntry{})
 	copy(s.byTime[i+1:], s.byTime[i:])
 	s.byTime[i] = timeEntry{ts: ts, uuid: uuid}
+}
+
+// sortTimeIndex orders byTime after a snapshot bulk-load. Snapshot UUIDs
+// are unique, so append-then-sort is equivalent to sorted inserts.
+func (s *Store) sortTimeIndex() {
+	sort.Slice(s.byTime, func(i, j int) bool {
+		a, b := s.byTime[i], s.byTime[j]
+		if a.ts.Equal(b.ts) {
+			return a.uuid < b.uuid
+		}
+		return a.ts.Before(b.ts)
+	})
 }
 
 func (s *Store) timeRemove(ts time.Time, uuid string) {
@@ -667,76 +894,6 @@ func allAttributes(e *misp.Event) []misp.Attribute {
 	return out
 }
 
-func (s *Store) loadSnapshot() error {
-	data, err := os.ReadFile(filepath.Join(s.dir, snapshotFile))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("storage: read snapshot: %w", err)
-	}
-	var snap snapshot
-	if err := json.Unmarshal(data, &snap); err != nil {
-		return fmt.Errorf("storage: decode snapshot: %w", err)
-	}
-	s.seq = snap.Seq
-	for _, e := range snap.Events {
-		s.apply(e)
-	}
-	return nil
-}
-
-// replayWAL applies WAL records past the snapshot sequence. A corrupted or
-// truncated trailing record ends the replay without error (torn final
-// write); corruption mid-file is reported.
-func (s *Store) replayWAL() error {
-	f, err := os.Open(filepath.Join(s.dir, walFile))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil
-	}
-	if err != nil {
-		return fmt.Errorf("storage: open wal for replay: %w", err)
-	}
-	defer f.Close()
-	scanner := bufio.NewScanner(f)
-	scanner.Buffer(make([]byte, 0, 1<<20), 16<<20)
-	var pendingError error
-	for scanner.Scan() {
-		line := scanner.Bytes()
-		if len(strings.TrimSpace(string(line))) == 0 {
-			continue
-		}
-		if pendingError != nil {
-			// A bad record followed by a good one is real corruption, not a
-			// torn tail.
-			return pendingError
-		}
-		var rec walRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			pendingError = fmt.Errorf("storage: corrupt wal record: %w", err)
-			continue
-		}
-		if rec.Seq <= s.seq {
-			continue // covered by the snapshot
-		}
-		s.seq = rec.Seq
-		switch rec.Op {
-		case "put":
-			if rec.Event != nil {
-				s.apply(rec.Event)
-			}
-		case "delete":
-			s.applyDelete(rec.UUID)
-		default:
-			pendingError = fmt.Errorf("storage: unknown wal op %q", rec.Op)
-		}
-	}
-	if err := scanner.Err(); err != nil {
-		return fmt.Errorf("storage: scan wal: %w", err)
-	}
-	return nil // trailing pendingError tolerated as torn write
-}
-
 // collect resolves a postings set to its events in UUID order. Caller
 // holds at least the read lock; the slice is freshly allocated but the
 // events are the shared frozen revisions.
@@ -747,7 +904,7 @@ func (s *Store) collect(p *postings) []*misp.Event {
 	uuids := p.uuids()
 	out := make([]*misp.Event, 0, len(uuids))
 	for _, uuid := range uuids {
-		if se, ok := s.events[uuid]; ok {
+		if se, ok := s.lookup(uuid); ok {
 			out = append(out, se.event)
 		}
 	}
@@ -759,11 +916,11 @@ func (s *Store) collect(p *postings) []*misp.Event {
 func (s *Store) scanMatch(match func(*misp.Event) bool) ([]*misp.Event, error) {
 	s.mu.RLock()
 	var out []*misp.Event
-	for _, se := range s.events {
+	s.forEach(func(_ string, se *storedEvent) {
 		if match(se.event) {
 			out = append(out, se.event)
 		}
-	}
+	})
 	s.mu.RUnlock()
 	return s.finish(out, false), nil
 }

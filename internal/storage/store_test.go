@@ -5,8 +5,6 @@ import (
 	"errors"
 	"fmt"
 	"os"
-	"path/filepath"
-	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -366,13 +364,25 @@ func TestCompactAndReplay(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// WAL should be small (one record).
-	walData, err := os.ReadFile(filepath.Join(dir, walFile))
+	// The WAL should be small (one record) across all live segments.
+	segs, err := listSegments(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if n := strings.Count(string(walData), "\n"); n != 1 {
-		t.Fatalf("wal has %d records after compaction, want 1", n)
+	frames := 0
+	for i, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, _, err := scanSegment(data, i == len(segs)-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames += len(fs)
+	}
+	if frames != 1 {
+		t.Fatalf("wal has %d records after compaction, want 1", frames)
 	}
 
 	s2, err := Open(dir)
@@ -401,12 +411,19 @@ func TestTornWALTailTolerated(t *testing.T) {
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Simulate a torn final write.
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	// Simulate a torn final write: a frame header promising more payload
+	// than ever reached the disk, at the tail of the active segment.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	f, err := os.OpenFile(segs[len(segs)-1].path, os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := f.WriteString(`{"seq":2,"op":"put","event":{"uu`); err != nil {
+	torn := make([]byte, frameHdrLen+4)
+	torn[0] = 200 // header claims a 200-byte payload; only 4 follow
+	if _, err := f.Write(torn); err != nil {
 		t.Fatal(err)
 	}
 	f.Close()
@@ -430,18 +447,27 @@ func TestCorruptWALMiddleRejected(t *testing.T) {
 	if err := s.Put(event(t, "evt", [2]string{"domain", "a.example"})); err != nil {
 		t.Fatal(err)
 	}
+	if err := s.Put(event(t, "evt2", [2]string{"domain", "b.example"})); err != nil {
+		t.Fatal(err)
+	}
 	if err := s.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Corrupt record followed by a valid one → must fail loudly.
-	f, err := os.OpenFile(filepath.Join(dir, walFile), os.O_APPEND|os.O_WRONLY, 0o644)
+	// Flip a byte inside the first frame's payload: a CRC mismatch with an
+	// intact frame after it is corruption, not a torn tail → must fail loudly.
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no wal segments: %v", err)
+	}
+	path := segs[len(segs)-1].path
+	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	valid := event(t, "valid", [2]string{"domain", "b.example"})
-	fmt.Fprintln(f, `{"broken`)
-	fmt.Fprintf(f, `{"seq":9,"op":"put","event":{"uuid":%q,"info":"valid","date":"2019-06-24","threat_level_id":4,"analysis":0,"distribution":1,"published":false,"timestamp":"1561377600"}}`+"\n", valid.UUID)
-	f.Close()
+	data[frameHdrLen+2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
 
 	if _, err := Open(dir); err == nil {
 		t.Fatal("mid-file corruption accepted")

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"time"
 
@@ -103,17 +104,53 @@ func (c *Client) Search(q SearchQuery) ([]*misp.Event, error) {
 	return unwrap(wrapped), nil
 }
 
-// EventsSince lists events updated at or after t.
-func (c *Client) EventsSince(t time.Time) ([]*misp.Event, error) {
-	path := "/events"
+// EventsPage fetches one page of up to limit events updated at or after
+// t, resuming strictly past the cursor (t, afterUUID) when afterUUID is
+// non-empty. The second result reports whether more pages remain (from
+// the X-CAISP-More response header).
+func (c *Client) EventsPage(t time.Time, afterUUID string, limit int) ([]*misp.Event, bool, error) {
+	q := url.Values{}
 	if !t.IsZero() {
-		path += "?since=" + url.QueryEscape(t.UTC().Format(time.RFC3339))
+		q.Set("since", t.UTC().Format(time.RFC3339))
+	}
+	if afterUUID != "" {
+		q.Set("after", afterUUID)
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/events"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
 	}
 	var wrapped []misp.Wrapped
-	if err := c.do(http.MethodGet, path, nil, &wrapped); err != nil {
-		return nil, err
+	hdr, err := c.doHeader(http.MethodGet, path, nil, &wrapped)
+	if err != nil {
+		return nil, false, err
 	}
-	return unwrap(wrapped), nil
+	return unwrap(wrapped), hdr.Get(MoreHeader) == "true", nil
+}
+
+// EventsSince lists events updated at or after t, paging through the
+// remote instance until the backlog is exhausted.
+func (c *Client) EventsSince(t time.Time) ([]*misp.Event, error) {
+	var (
+		out    []*misp.Event
+		cursor = t
+		after  string
+	)
+	for {
+		events, more, err := c.EventsPage(cursor, after, syncPageSize)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, events...)
+		if !more || len(events) == 0 {
+			return out, nil
+		}
+		last := events[len(events)-1]
+		cursor, after = last.Timestamp.Time, last.UUID
+	}
 }
 
 // Export retrieves one event in the requested format.
@@ -160,35 +197,41 @@ func (c *Client) Stats() (Stats, error) {
 }
 
 func (c *Client) do(method, path string, body []byte, out any) error {
+	_, err := c.doHeader(method, path, body, out)
+	return err
+}
+
+// doHeader is do plus access to the response headers (pagination state).
+func (c *Client) doHeader(method, path string, body []byte, out any) (http.Header, error) {
 	req, err := c.request(method, path, body)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return fmt.Errorf("tip: %s %s: %w", method, path, err)
+		return nil, fmt.Errorf("tip: %s %s: %w", method, path, err)
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(resp.Body, 32<<20))
 	if err != nil {
-		return fmt.Errorf("tip: read response: %w", err)
+		return nil, fmt.Errorf("tip: read response: %w", err)
 	}
 	if resp.StatusCode >= 400 {
 		var apiErr struct {
 			Error string `json:"error"`
 		}
 		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
-			return fmt.Errorf("tip: %s %s: %s (status %d)", method, path, apiErr.Error, resp.StatusCode)
+			return nil, fmt.Errorf("tip: %s %s: %s (status %d)", method, path, apiErr.Error, resp.StatusCode)
 		}
-		return fmt.Errorf("tip: %s %s: status %d", method, path, resp.StatusCode)
+		return nil, fmt.Errorf("tip: %s %s: status %d", method, path, resp.StatusCode)
 	}
 	if out == nil {
-		return nil
+		return resp.Header, nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("tip: decode response: %w", err)
+		return nil, fmt.Errorf("tip: decode response: %w", err)
 	}
-	return nil
+	return resp.Header, nil
 }
 
 func (c *Client) request(method, path string, body []byte) (*http.Request, error) {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,7 +20,11 @@ import (
 //
 //	POST   /events                      store an event (wrapped or bare)
 //	POST   /events/batch                store an array of events (group commit)
-//	GET    /events?since=RFC3339        list events
+//	GET    /events?since=RFC3339&after=UUID&limit=N
+//	                                    list events, paginated (default
+//	                                    limit 1000, max 5000); the
+//	                                    X-CAISP-More response header
+//	                                    reports whether pages remain
 //	GET    /events/{uuid}               fetch one event
 //	DELETE /events/{uuid}               remove one event
 //	GET    /events/{uuid}/export?format=misp|stix2|csv
@@ -121,9 +126,22 @@ func (a *API) handleAddEventBatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// Pagination bounds for GET /events: requests without a limit get
+// defaultPageLimit, and no request may ask for more than maxPageLimit
+// events in one response.
+const (
+	defaultPageLimit = 1000
+	maxPageLimit     = 5000
+)
+
+// MoreHeader is the GET /events response header reporting whether pages
+// remain beyond the returned one ("true"/"false").
+const MoreHeader = "X-CAISP-More"
+
 func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
 	since := time.Time{}
-	if raw := r.URL.Query().Get("since"); raw != "" {
+	if raw := q.Get("since"); raw != "" {
 		parsed, err := time.Parse(time.RFC3339, raw)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad since parameter")
@@ -131,11 +149,24 @@ func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		since = parsed
 	}
-	events, err := a.service.EventsSince(since)
+	limit := defaultPageLimit
+	if raw := q.Get("limit"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit parameter")
+			return
+		}
+		limit = parsed
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	events, more, err := a.service.EventsPage(since, q.Get("after"), limit)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
+	w.Header().Set(MoreHeader, strconv.FormatBool(more))
 	a.writeEventList(w, events)
 }
 

@@ -1,0 +1,161 @@
+package tip
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+// seedEvents stores n events with identical timestamps — the worst case
+// for a time-based cursor, where only the UUID tiebreak prevents pages
+// from skipping or repeating entries.
+func seedEvents(t *testing.T, s *Service, n int) map[string]bool {
+	t.Helper()
+	batch := make([]*misp.Event, n)
+	for i := range batch {
+		batch[i] = sampleEvent(t, "evt", "h.example")
+	}
+	if _, err := s.AddEvents(batch); err != nil {
+		t.Fatal(err)
+	}
+	uuids := make(map[string]bool, n)
+	for _, e := range batch {
+		uuids[e.UUID] = true
+	}
+	return uuids
+}
+
+func TestEventsPageCursorCoversAllTies(t *testing.T) {
+	s := newService(t)
+	want := seedEvents(t, s, 23)
+	var (
+		got    = make(map[string]bool)
+		cursor time.Time
+		after  string
+		pages  int
+	)
+	for {
+		events, more, err := s.EventsPage(cursor, after, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages++
+		for _, e := range events {
+			if got[e.UUID] {
+				t.Fatalf("page %d repeated event %s", pages, e.UUID)
+			}
+			got[e.UUID] = true
+		}
+		if !more || len(events) == 0 {
+			break
+		}
+		last := events[len(events)-1]
+		cursor, after = last.Timestamp.Time, last.UUID
+	}
+	if len(got) != len(want) {
+		t.Fatalf("paged %d events across %d pages, want %d", len(got), pages, len(want))
+	}
+	if pages != 5 {
+		t.Fatalf("pages = %d, want 5 for 23 events at limit 5", pages)
+	}
+}
+
+func TestHTTPListEventsPagination(t *testing.T) {
+	s := newService(t)
+	seedEvents(t, s, 7)
+	srv := httptest.NewServer(NewAPI(s, ""))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events?limit=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(MoreHeader); got != "true" {
+		t.Fatalf("%s = %q, want true with 7 events at limit 3", MoreHeader, got)
+	}
+
+	// The full list fits the default cap: no more pages.
+	resp, err = http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(MoreHeader); got != "false" {
+		t.Fatalf("%s = %q, want false without a limit", MoreHeader, got)
+	}
+
+	for _, bad := range []string{"limit=0", "limit=-3", "limit=x"} {
+		resp, err := http.Get(srv.URL + "/events?" + bad)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: status = %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+func TestClientEventsSincePagesThroughBacklog(t *testing.T) {
+	s := newService(t)
+	want := seedEvents(t, s, 12)
+	srv := httptest.NewServer(NewAPI(s, ""))
+	defer srv.Close()
+	c := NewClient(srv.URL, "")
+
+	page, more, err := c.EventsPage(time.Time{}, "", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(page) != 5 || !more {
+		t.Fatalf("EventsPage = %d events, more=%v; want 5, true", len(page), more)
+	}
+
+	all, err := c.EventsSince(time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(want) {
+		t.Fatalf("EventsSince = %d events, want %d", len(all), len(want))
+	}
+	for _, e := range all {
+		if !want[e.UUID] {
+			t.Fatalf("unexpected event %s", e.UUID)
+		}
+	}
+}
+
+func TestSyncFromPagesThroughRemote(t *testing.T) {
+	old := syncPageSize
+	syncPageSize = 5
+	t.Cleanup(func() { syncPageSize = old })
+	remote := newService(t, WithName("remote"))
+	want := seedEvents(t, remote, 17)
+	srv := httptest.NewServer(NewAPI(remote, ""))
+	defer srv.Close()
+
+	local := newService(t, WithName("local"))
+	n, err := local.SyncFrom(NewClient(srv.URL, ""), time.Time{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(want) || local.Len() != len(want) {
+		t.Fatalf("SyncFrom imported %d (stored %d), want %d", n, local.Len(), len(want))
+	}
+}
+
+func TestStatsCarriesDurabilityCounters(t *testing.T) {
+	s := newService(t)
+	st := s.Stats()
+	// Memory-only store: counters exist and are zero.
+	if st.WALBytes != 0 || st.WALSegments != 0 || st.Compactions != 0 || st.LastCompactionMS != 0 {
+		t.Fatalf("memory-only durability stats not zero: %+v", st)
+	}
+}

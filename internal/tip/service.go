@@ -221,37 +221,84 @@ func (s *Service) EventsSince(t time.Time) ([]*misp.Event, error) {
 	return s.store.UpdatedSince(t)
 }
 
+// EventsPage lists up to limit events updated at or after t in
+// (timestamp, uuid) order, resuming strictly past the cursor
+// (t, afterUUID) when afterUUID is non-empty. The second result reports
+// whether more pages remain.
+func (s *Service) EventsPage(t time.Time, afterUUID string, limit int) ([]*misp.Event, bool, error) {
+	return s.store.UpdatedSincePage(t, afterUUID, limit)
+}
+
 // Len reports the number of stored events.
 func (s *Service) Len() int { return s.store.Len() }
 
-// Stats summarizes the instance.
+// Stats summarizes the instance, including the durability counters of
+// the underlying store (WAL footprint, compaction progress).
 type Stats struct {
-	Name   string `json:"name"`
-	Events int    `json:"events"`
-	WALOps int    `json:"wal_ops"`
+	Name        string `json:"name"`
+	Events      int    `json:"events"`
+	WALOps      int    `json:"wal_ops"`
+	WALBytes    int64  `json:"wal_bytes"`
+	WALSegments int    `json:"wal_segments"`
+	Compactions int64  `json:"compactions"`
+	// LastCompactionMS is the wall time of the latest snapshot in
+	// milliseconds (0 when none ran yet).
+	LastCompactionMS float64 `json:"last_compaction_ms"`
 }
 
 // Stats returns instance counters.
 func (s *Service) Stats() Stats {
-	return Stats{Name: s.name, Events: s.store.Len(), WALOps: s.store.WALOps()}
+	d := s.store.Durability()
+	return Stats{
+		Name:             s.name,
+		Events:           s.store.Len(),
+		WALOps:           d.WALOps,
+		WALBytes:         d.WALBytes,
+		WALSegments:      d.WALSegments,
+		Compactions:      d.Compactions,
+		LastCompactionMS: float64(d.LastCompactionDuration) / float64(time.Millisecond),
+	}
 }
+
+// syncPageSize is how many events SyncFrom pulls per request, bounding
+// the memory held for one remote page on both sides of the link. A
+// variable so tests can force multi-page pulls with small corpora.
+var syncPageSize = 500
 
 // SyncFrom pulls events updated since t from a remote instance and imports
 // them through the group-commit batch path — MISP's pull synchronization.
-// The import is partial-failure tolerant: remote events that fail
-// validation are skipped and reported in the returned error while the
-// valid remainder still lands in one batch. It returns how many events
-// were imported.
+// The pull pages through the remote's time index (syncPageSize events per
+// request) so neither side materializes the full backlog at once; each
+// page lands in one group-committed batch. The import is partial-failure
+// tolerant: remote events that fail validation are skipped and reported
+// in the returned error while the valid remainder still lands. It returns
+// how many events were imported.
 func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
-	events, err := remote.EventsSince(t)
-	if err != nil {
-		return 0, fmt.Errorf("tip: sync pull: %w", err)
+	var (
+		imported int
+		errs     []error
+		cursor   = t
+		after    string
+	)
+	for {
+		events, more, err := remote.EventsPage(cursor, after, syncPageSize)
+		if err != nil {
+			return imported, errors.Join(append(errs, fmt.Errorf("tip: sync pull: %w", err))...)
+		}
+		if len(events) > 0 {
+			stored, err := s.AddEvents(events)
+			imported += len(stored)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("tip: sync import: %w", err))
+			}
+			last := events[len(events)-1]
+			cursor, after = last.Timestamp.Time, last.UUID
+		}
+		if !more || len(events) == 0 {
+			break
+		}
 	}
-	stored, err := s.AddEvents(events)
-	if err != nil {
-		return len(stored), fmt.Errorf("tip: sync import: %w", err)
-	}
-	return len(stored), nil
+	return imported, errors.Join(errs...)
 }
 
 // SyncTo pushes local events updated since t to a remote instance —
