@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability vet copyfree check
+.PHONY: build test race bench bench-read bench-durability bench-correlate vet copyfree check
 
 build:
 	$(GO) build ./...
@@ -22,6 +22,12 @@ bench-read:
 # compaction, and parallel vs serial cold-start recovery (50k events).
 bench-durability:
 	$(GO) test -run '^$$' -bench '^BenchmarkDurability' -benchmem .
+
+# Correlation suite: streaming cluster index vs the recorrelate-all
+# ablation over 1k/10k/50k streams, plus history-independence of the
+# per-flush cost (empty vs 50k-preloaded correlator).
+bench-correlate:
+	$(GO) test -run '^$$' -bench '^BenchmarkCorrelate' -benchmem .
 
 vet:
 	$(GO) vet ./...

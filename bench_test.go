@@ -1058,3 +1058,119 @@ func benchmarkDurabilityOpen(b *testing.B, workers int) {
 
 func BenchmarkDurabilityOpenRecoveryParallel(b *testing.B) { benchmarkDurabilityOpen(b, 0) }
 func BenchmarkDurabilityOpenRecoverySerial(b *testing.B)   { benchmarkDurabilityOpen(b, 1) }
+
+// --- X8: incremental cross-batch correlation -------------------------------
+//
+// The streaming correlator folds each flush into a persistent cluster
+// index in amortized O(keys-in-batch); the WithRecorrelateAll ablation
+// restores the old behavior of re-correlating the full event history on
+// every flush (O(history) per flush, superlinear over a run). Run via
+// `make bench-correlate`.
+
+// streamBenchEvents builds n malware-domain events starting at index
+// base. In the merge-heavy shape hosts share one of 64 registered
+// domains, so flushes continuously grow and merge existing clusters; in
+// the singleton-heavy shape every host is unique and flushes mostly open
+// fresh clusters.
+func streamBenchEvents(b *testing.B, base, n int, mergeHeavy bool) []normalize.Event {
+	b.Helper()
+	events := make([]normalize.Event, 0, n)
+	for i := base; i < base+n; i++ {
+		var v string
+		if mergeHeavy {
+			v = fmt.Sprintf("s%d.camp%d.example", i, i%64)
+		} else {
+			v = fmt.Sprintf("host-%d.unique-%d.example", i, i)
+		}
+		e, err := normalize.New(v, normalize.CategoryMalwareDomain,
+			"bench", normalize.SourceOSINT,
+			experiments.EvalTime.Add(time.Duration(i)*time.Second))
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = append(events, e)
+	}
+	return events
+}
+
+const correlateFlushSize = 256
+
+// BenchmarkCorrelateStream drives a whole stream through the correlator
+// in flush-sized batches, incremental vs the recorrelate-all ablation,
+// across stream sizes and cluster shapes. ns/op is the cost of the full
+// stream; the events/s metric makes the scaling comparable across sizes
+// (incremental stays ~flat, recorrelate-all degrades with size).
+func BenchmarkCorrelateStream(b *testing.B) {
+	modes := []struct {
+		name string
+		opts []correlate.Option
+	}{
+		{"incremental", nil},
+		{"recorrelate-all", []correlate.Option{correlate.WithRecorrelateAll(true)}},
+	}
+	shapes := []struct {
+		name       string
+		mergeHeavy bool
+	}{
+		{"merge-heavy", true},
+		{"singleton-heavy", false},
+	}
+	for _, mode := range modes {
+		for _, shape := range shapes {
+			for _, n := range []int{1000, 10000, 50000} {
+				name := fmt.Sprintf("%s/%s/events=%d", mode.name, shape.name, n)
+				b.Run(name, func(b *testing.B) {
+					events := streamBenchEvents(b, 0, n, shape.mergeHeavy)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						b.StopTimer()
+						inc := correlate.NewIncremental(mode.opts...)
+						b.StartTimer()
+						clusters := 0
+						for lo := 0; lo < len(events); lo += correlateFlushSize {
+							hi := min(lo+correlateFlushSize, len(events))
+							d := inc.Add(events[lo:hi])
+							clusters += len(d.New) - len(d.Removed)
+						}
+						if clusters == 0 {
+							b.Fatal("no clusters")
+						}
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCorrelateFlush isolates the per-flush cost: one 256-event
+// flush of fresh indicators folded into a correlator that already holds
+// `preload` clustered events. The acceptance bar is that the
+// 50k-preloaded flush stays within ~2× of the empty-correlator flush —
+// per-flush work must not scale with the stored history. (A flush that
+// grows an existing cluster additionally pays O(members) to compose that
+// cluster's MISP edit; that is output-size cost, not history cost, so
+// the measured flushes are singleton batches.)
+func BenchmarkCorrelateFlush(b *testing.B) {
+	for _, preload := range []int{0, 50000} {
+		b.Run(fmt.Sprintf("preload=%d", preload), func(b *testing.B) {
+			inc := correlate.NewIncremental()
+			pre := streamBenchEvents(b, 0, preload, true)
+			for lo := 0; lo < len(pre); lo += correlateFlushSize {
+				hi := min(lo+correlateFlushSize, len(pre))
+				inc.Add(pre[lo:hi])
+			}
+			fresh := streamBenchEvents(b, preload, b.N*correlateFlushSize, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := inc.Add(fresh[i*correlateFlushSize : (i+1)*correlateFlushSize])
+				if d.Empty() {
+					b.Fatal("empty delta")
+				}
+			}
+		})
+	}
+}

@@ -132,18 +132,27 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 			}
 		case <-ticker.C:
 			st := platform.Stats()
-			fmt.Printf("collected=%d unique=%d ciocs=%d eiocs=%d riocs=%d stored=%d\n",
-				st.EventsCollected, st.EventsUnique, st.CIoCs, st.EIoCs, st.RIoCs, st.StoredEvents)
+			fmt.Printf("collected=%d unique=%d ciocs=%d edits=%d merges=%d eiocs=%d riocs=%d stored=%d dropped=%d\n",
+				st.EventsCollected, st.EventsUnique, st.CIoCs, st.ClusterEdits,
+				st.ClusterMerges, st.EIoCs, st.RIoCs, st.StoredEvents, st.BusDropped)
 		}
 	}
 }
 
-// withReport mounts the analyst situation report next to the dashboard.
+// withReport mounts the analyst situation report and the platform
+// counters next to the dashboard. /stats surfaces the full pipeline
+// Stats — including the streaming correlator's cluster add/edit/merge
+// counters and broker-wide drop-oldest losses, which are otherwise
+// silent.
 func withReport(platform *core.Platform) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
 		_, _ = w.Write([]byte(report.Build(platform, 10, time.Now()).Markdown()))
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(platform.Stats())
 	})
 	mux.Handle("/", platform.Dashboard())
 	return mux

@@ -9,6 +9,7 @@ package bus
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Message is one published datum.
@@ -62,6 +63,7 @@ func (s *Subscription) deliver(m Message) {
 		select {
 		case <-s.ch:
 			s.dropped++
+			s.broker.droppedTotal.Add(1)
 		default:
 		}
 	}
@@ -85,6 +87,11 @@ type Broker struct {
 
 	published int
 	bufSize   int
+
+	// droppedTotal aggregates drop-oldest losses across all subscriptions
+	// (including closed ones), so backpressure stays visible after the
+	// lagging subscriber is gone.
+	droppedTotal atomic.Int64
 }
 
 // Option configures a Broker.
@@ -177,6 +184,12 @@ func (b *Broker) Published() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.published
+}
+
+// Dropped returns the total number of messages discarded broker-wide
+// because subscribers lagged behind (drop-oldest policy).
+func (b *Broker) Dropped() int64 {
+	return b.droppedTotal.Load()
 }
 
 // Close shuts the broker down: all subscriptions are closed and TCP

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"log/slog"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -103,6 +104,18 @@ type Config struct {
 	// on-disk WAL crosses this many bytes. Values below 1 use the default
 	// (32 MiB).
 	CompactEveryBytes int64
+	// CorrelationWindow only connects events whose sightings lie within
+	// this duration of each other (correlate.WithTimeWindow). Zero imposes
+	// no temporal constraint.
+	CorrelationWindow time.Duration
+	// RecorrelateAll switches the streaming correlator into the ablation
+	// mode that re-correlates the full event history on every flush —
+	// the O(history) baseline the incremental index replaces. For
+	// benchmarking only.
+	RecorrelateAll bool
+	// RecoveryWorkers bounds the worker pool that rebuilds the correlation
+	// index from the store on restart. Values below 1 use GOMAXPROCS.
+	RecoveryWorkers int
 }
 
 // Stats counts pipeline activity.
@@ -110,13 +123,23 @@ type Stats struct {
 	EventsCollected int `json:"events_collected"`
 	EventsUnique    int `json:"events_unique"`
 	Duplicates      int `json:"duplicates"`
-	CIoCs           int `json:"ciocs"`
-	EIoCs           int `json:"eiocs"`
-	RIoCs           int `json:"riocs"`
-	Classified      int `json:"classified"`
-	Unscorable      int `json:"unscorable"`
-	StoreFailures   int `json:"store_failures"`
-	StoredEvents    int `json:"stored_events"`
+	// CIoCs counts clusters stored for the first time; ClusterEdits counts
+	// re-stores of grown or merged clusters under their stable UUID, and
+	// ClusterMerges counts absorbed cluster identities retracted from the
+	// TIP. ClustersLive is the current number of emitted clusters.
+	CIoCs         int `json:"ciocs"`
+	ClusterEdits  int `json:"cluster_edits"`
+	ClusterMerges int `json:"cluster_merges"`
+	ClustersLive  int `json:"clusters_live"`
+	EIoCs         int `json:"eiocs"`
+	RIoCs         int `json:"riocs"`
+	Classified    int `json:"classified"`
+	Unscorable    int `json:"unscorable"`
+	StoreFailures int `json:"store_failures"`
+	StoredEvents  int `json:"stored_events"`
+	// BusDropped surfaces broker-wide drop-oldest losses from lagging
+	// subscribers, which are otherwise silent.
+	BusDropped int64 `json:"bus_dropped"`
 }
 
 // counters is the lock-free backing of Stats: every pipeline stage bumps
@@ -126,6 +149,8 @@ type counters struct {
 	unique        atomic.Int64
 	duplicates    atomic.Int64
 	ciocs         atomic.Int64
+	clusterEdits  atomic.Int64
+	clusterMerges atomic.Int64
 	eiocs         atomic.Int64
 	riocs         atomic.Int64
 	classified    atomic.Int64
@@ -139,10 +164,12 @@ type Platform struct {
 	clk    clock.Clock
 	logger *slog.Logger
 
-	// Input module.
+	// Input module. corr is the stateful streaming correlator: cluster
+	// membership accumulates across flush batches (and across restarts,
+	// via the recovery-time index rebuild in New).
 	scheduler  *feed.Scheduler
 	deduper    *dedup.Deduper
-	corr       *correlate.Correlator
+	corr       *correlate.Incremental
 	classifier *textclass.Classifier
 
 	// Operational module.
@@ -210,12 +237,20 @@ func New(cfg Config) (*Platform, error) {
 		analyzers = runtime.GOMAXPROCS(0)
 	}
 
+	corrOpts := []correlate.Option{}
+	if cfg.CorrelationWindow > 0 {
+		corrOpts = append(corrOpts, correlate.WithTimeWindow(cfg.CorrelationWindow))
+	}
+	if cfg.RecorrelateAll {
+		corrOpts = append(corrOpts, correlate.WithRecorrelateAll(true))
+	}
+
 	p := &Platform{
 		cfg:       cfg,
 		clk:       cfg.Clock,
 		logger:    cfg.Logger,
 		deduper:   dedup.New(),
-		corr:      correlate.New(),
+		corr:      correlate.NewIncremental(corrOpts...),
 		store:     store,
 		broker:    broker,
 		collector: collector,
@@ -257,9 +292,60 @@ func New(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 	}
+	if store.Len() > 0 {
+		p.rebuildCorrelationIndex()
+	}
 	p.compactWG.Add(1)
 	go p.compactLoop()
 	return p, nil
+}
+
+// rebuildCorrelationIndex reconstructs the streaming correlator's state
+// from the persisted cIoC events after a restart, so a post-crash sighting
+// still merges into its pre-crash cluster instead of opening a disjoint
+// one. Member reconstruction fans out over the store's parallel iterator
+// (the same worker budget as WAL recovery); seeding is ordered by the
+// stored (timestamp, UUID) so merge survivors are chosen deterministically.
+// Stale cluster identities uncovered by seeding (e.g. a crash between a
+// merge's edit and its retraction) are deleted from the store.
+func (p *Platform) rebuildCorrelationIndex() {
+	type seedRecord struct {
+		uuid    string
+		ts      time.Time
+		members []normalize.Event
+	}
+	var (
+		mu    sync.Mutex
+		seeds []seedRecord
+	)
+	p.store.ForEachParallel(p.cfg.RecoveryWorkers, func(e *misp.Event) {
+		members := correlate.MembersFromMISP(e)
+		if len(members) == 0 {
+			return
+		}
+		mu.Lock()
+		seeds = append(seeds, seedRecord{uuid: e.UUID, ts: e.Timestamp.Time, members: members})
+		mu.Unlock()
+	})
+	sort.Slice(seeds, func(i, j int) bool {
+		if !seeds[i].ts.Equal(seeds[j].ts) {
+			return seeds[i].ts.Before(seeds[j].ts)
+		}
+		return seeds[i].uuid < seeds[j].uuid
+	})
+	var stale []string
+	for _, s := range seeds {
+		stale = append(stale, p.corr.Seed(s.uuid, s.members)...)
+	}
+	for _, uuid := range stale {
+		if err := p.store.Delete(uuid); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			p.logger.Warn("stale cluster cleanup failed", "uuid", uuid, "error", err)
+		}
+	}
+	if len(seeds) > 0 {
+		p.logger.Info("correlation index rebuilt",
+			"clusters", len(seeds), "stale_removed", len(stale))
+	}
 }
 
 // Accessors for the composed services.
@@ -295,12 +381,16 @@ func (p *Platform) Stats() Stats {
 		EventsUnique:    int(p.counters.unique.Load()),
 		Duplicates:      int(p.counters.duplicates.Load()),
 		CIoCs:           int(p.counters.ciocs.Load()),
+		ClusterEdits:    int(p.counters.clusterEdits.Load()),
+		ClusterMerges:   int(p.counters.clusterMerges.Load()),
+		ClustersLive:    p.corr.Stats().Clusters,
 		EIoCs:           int(p.counters.eiocs.Load()),
 		RIoCs:           int(p.counters.riocs.Load()),
 		Classified:      int(p.counters.classified.Load()),
 		Unscorable:      int(p.counters.unscorable.Load()),
 		StoreFailures:   int(p.counters.storeFailures.Load()),
 		StoredEvents:    p.tip.Len(),
+		BusDropped:      p.broker.Dropped(),
 	}
 }
 
@@ -425,34 +515,68 @@ func (p *Platform) drainPending() []normalize.Event {
 	return out
 }
 
-// composeAndStore correlates a batch of events into cIoCs and stores them
-// as MISP events in the TIP through the group-commit batch path (one WAL
-// write and fsync for the whole flush). It stores what it can: a cIoC
-// that fails composition or validation is counted as a store failure and
-// its error aggregated, while the rest of the batch still lands. The
-// stored events are returned alongside the joined error, so callers can
-// keep analyzing partial batches.
+// composeAndStore folds a batch of events into the streaming correlator
+// and applies the resulting delta to the TIP through the group-commit
+// batch path (one WAL write and fsync for the whole flush): clusters
+// emitted for the first time land as MISP event adds, grown or merged
+// clusters as edits under their stable UUID, and absorbed cluster
+// identities are retracted from both the TIP and the dashboard. It stores
+// what it can: a cIoC that fails composition or validation is counted as
+// a store failure and its error aggregated, while the rest of the batch
+// still lands. The stored events are returned alongside the joined error,
+// so callers can keep analyzing partial batches.
 func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, error) {
 	if len(events) == 0 {
 		return nil, nil
 	}
-	ciocs := p.corr.Correlate(events)
-	batch := make([]*misp.Event, 0, len(ciocs))
-	var errs []error
-	for i := range ciocs {
-		me, err := correlate.ToMISP(&ciocs[i], p.clk.Now())
-		if err != nil {
-			errs = append(errs, fmt.Errorf("core: compose cIoC: %w", err))
-			continue
-		}
-		batch = append(batch, me)
+	delta := p.corr.Add(events)
+	if delta.Empty() {
+		return nil, nil
 	}
+	var errs []error
+	// Retract absorbed identities first: their members are already carried
+	// by the surviving cluster's edit in the same delta, so the TIP and
+	// the dashboard never count them twice.
+	for _, uuid := range delta.Removed {
+		if err := p.tip.DeleteEvent(uuid); err != nil && !errors.Is(err, storage.ErrNotFound) {
+			errs = append(errs, fmt.Errorf("core: retract merged cluster %s: %w", uuid, err))
+		}
+		p.dash.DropEventRIoCs(uuid)
+	}
+	now := p.clk.Now()
+	batch := make([]*misp.Event, 0, len(delta.New)+len(delta.Updated))
+	newUUIDs := make(map[string]bool, len(delta.New))
+	compose := func(ciocs []correlate.ComposedIoC) {
+		for i := range ciocs {
+			me, err := correlate.ToMISP(&ciocs[i], now)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("core: compose cIoC: %w", err))
+				continue
+			}
+			batch = append(batch, me)
+		}
+	}
+	compose(delta.New)
+	for i := range delta.New {
+		newUUIDs[delta.New[i].ID] = true
+	}
+	compose(delta.Updated)
 	stored, err := p.tip.AddEvents(batch)
 	if err != nil {
 		errs = append(errs, fmt.Errorf("core: store cIoCs: %w", err))
 	}
-	p.counters.ciocs.Add(int64(len(stored)))
-	p.counters.storeFailures.Add(int64(len(ciocs) - len(stored)))
+	var added, edited int64
+	for _, me := range stored {
+		if newUUIDs[me.UUID] {
+			added++
+		} else {
+			edited++
+		}
+	}
+	p.counters.ciocs.Add(added)
+	p.counters.clusterEdits.Add(edited)
+	p.counters.clusterMerges.Add(int64(len(delta.Removed)))
+	p.counters.storeFailures.Add(int64(len(delta.New) + len(delta.Updated) - len(stored)))
 	p.maybeCompact()
 	return stored, errors.Join(errs...)
 }
@@ -514,8 +638,20 @@ func (p *Platform) stopCompactor() {
 // (AddAttribute/AddTag) before re-storing it — callers holding a store
 // view must pass storage.GetClone output instead (DESIGN.md §8).
 func (p *Platform) analyze(me *misp.Event) error {
+	// A cluster absorbed by a concurrent merge has been retracted from the
+	// store; analyzing its stale revision would resurrect its rIoCs.
+	if !p.store.Has(me.UUID) {
+		return nil
+	}
+	// Idempotency is keyed by (UUID, membership hash): a replayed revision
+	// of the same cluster is skipped, while a grown cluster — same stable
+	// UUID, new content hash — is re-scored.
+	key := me.UUID
+	if h := correlate.ClusterContentOf(me); h != "" {
+		key += "\x00" + h
+	}
 	p.procMu.Lock()
-	fresh := p.processed.Add(me.UUID)
+	fresh := p.processed.Add(key)
 	p.procMu.Unlock()
 	if !fresh {
 		return nil
@@ -654,7 +790,9 @@ func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error
 	ctx, p.cancel = context.WithCancel(ctx)
 	p.started = true
 
-	p.sub = p.broker.Subscribe(tip.TopicEventAdd)
+	// Adds and edits both need analysis: a grown cluster is re-published
+	// on the edit topic under its stable UUID and must be re-scored.
+	p.sub = p.broker.Subscribe(tip.TopicEventPrefix)
 
 	// Analyzer pool: one channel per shard, one goroutine per channel.
 	shards := make([]chan *misp.Event, p.analyzers)
@@ -672,17 +810,35 @@ func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error
 		}()
 	}
 
-	// Dispatcher: decode bus payloads and shard them by UUID. Closing the
-	// shard channels on exit lets the analyzers drain their queues and
-	// terminate cleanly.
+	// dispatch routes one event to its UUID shard, blocking when the
+	// shard queue is full (backpressure, never loss).
+	dispatch := func(me *misp.Event) bool {
+		select {
+		case shards[shardOf(me.UUID, len(shards))] <- me:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	// Both the bus dispatcher and the flusher send into the shards;
+	// close them only after both exited, letting the analyzers drain
+	// their queues and terminate cleanly.
+	var senders sync.WaitGroup
+	senders.Add(2)
 	p.workers.Add(1)
 	go func() {
 		defer p.workers.Done()
-		defer func() {
-			for _, ch := range shards {
-				close(ch)
-			}
-		}()
+		senders.Wait()
+		for _, ch := range shards {
+			close(ch)
+		}
+	}()
+
+	// Dispatcher: decode bus payloads and shard them by UUID.
+	p.workers.Add(1)
+	go func() {
+		defer p.workers.Done()
+		defer senders.Done()
 		for {
 			select {
 			case <-ctx.Done():
@@ -699,25 +855,41 @@ func (p *Platform) Start(ctx context.Context, flushInterval time.Duration) error
 				if !me.HasTag("caisp:cioc") {
 					continue // infrastructure data is stored, not analyzed
 				}
-				select {
-				case shards[shardOf(me.UUID, len(shards))] <- me:
-				case <-ctx.Done():
+				if me.HasTag("caisp:eioc") {
+					// The analyzer's own eIoC write-back republishes on the
+					// edit topic; re-analyzing it would loop.
+					continue
+				}
+				if !dispatch(me) {
 					return
 				}
 			}
 		}
 	}()
 
+	// Flusher: locally composed clusters are handed to the analyzer
+	// shards directly — the flusher already owns the stored events, and
+	// the bus's drop-oldest buffer must not be a loss point for our own
+	// flushes (it remains the path for externally injected events: TIP
+	// sync imports and REST posts; the bus copy of a locally dispatched
+	// event is deduplicated by the analyzer's idempotency key).
 	p.workers.Add(1)
 	go func() {
 		defer p.workers.Done()
+		defer senders.Done()
 		for {
 			select {
 			case <-ctx.Done():
 				return
 			case <-p.clk.After(flushInterval):
-				if _, err := p.composeAndStore(p.drainPending()); err != nil {
+				stored, err := p.composeAndStore(p.drainPending())
+				if err != nil {
 					p.logger.Warn("composition failed", "error", err)
+				}
+				for _, me := range stored {
+					if !dispatch(me) {
+						return
+					}
 				}
 			}
 		}

@@ -15,8 +15,15 @@ import (
 // security events of one threat category into a single indicator of
 // compromise.
 type ComposedIoC struct {
-	// ID is deterministic over the member event IDs.
+	// ID identifies the cluster. The batch Correlator derives it from the
+	// member event IDs; the streaming Incremental correlator instead uses a
+	// stable cluster UUID (derived from the seed member) that survives
+	// membership growth — see ContentHash for the membership-sensitive hash.
 	ID string `json:"id"`
+	// ContentHash is deterministic over the member event IDs: it changes
+	// whenever membership changes, so downstream consumers can detect
+	// whether an edit under the same ID actually altered the cluster.
+	ContentHash string `json:"content_hash,omitempty"`
 	// Category is the shared threat category of the members.
 	Category string `json:"category"`
 	// Events are the member events, sorted by ID for determinism.
@@ -60,6 +67,9 @@ func (c *ComposedIoC) Sources() []string {
 type Correlator struct {
 	minClusterSize int
 	timeWindow     time.Duration
+	// recorrelateAll is only meaningful for the streaming Incremental
+	// correlator (WithRecorrelateAll ablation); the batch path ignores it.
+	recorrelateAll bool
 }
 
 // Option configures a Correlator.
@@ -179,6 +189,7 @@ func (c *Correlator) correlateGroup(category string, group []normalize.Event) []
 		}
 		sort.Strings(cioc.CorrelationKeys)
 		cioc.ID = composedID(memberIDs)
+		cioc.ContentHash = cioc.ID
 		out = append(out, cioc)
 	}
 	return out

@@ -1,0 +1,526 @@
+package correlate
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/uuid"
+)
+
+// Incremental is a stateful streaming correlator: it maintains, per threat
+// category, a correlation-key → cluster inverted index on top of a
+// union-find forest, so that correlating one more flushed batch costs
+// amortized O(events × keys) instead of O(history). Each Add returns the
+// delta against the previously emitted cluster set — brand-new clusters,
+// clusters that grew or merged (same stable UUID, new membership), and
+// clusters that were absorbed into a survivor and must be retracted.
+//
+// Cluster identity is decoupled from membership: a cluster's UUID is
+// derived from its seed (first) member and never changes as members join,
+// while the membership-sensitive composedID travels as ContentHash. When
+// two emitted clusters merge, the older one (by creation order) survives
+// and the younger UUID is reported in Delta.Removed.
+//
+// All methods are safe for concurrent use.
+type Incremental struct {
+	mu  sync.Mutex
+	cfg Correlator
+	// cats holds the per-category streaming state.
+	cats map[string]*catState
+	// seq orders cluster creation: on merge the lowest-seq cluster survives,
+	// so identities stay sticky for downstream stores and dashboards.
+	seq uint64
+
+	stats IncrementalStats
+
+	// Recorrelate-all ablation state (WithRecorrelateAll): the full event
+	// history plus the previously emitted (uuid → content hash) map.
+	history []normalize.Event
+	known   map[string]bool
+	prev    map[string]string
+}
+
+// catState is the streaming index of one threat category.
+type catState struct {
+	uf   *unionFind
+	byID map[string]normalize.Event
+	// chains indexes, per correlation key, the sightings of that key sorted
+	// by (LastSeen, event ID). With no time window only the first sighting
+	// is kept (any newcomer unions with it); with a window the whole chain
+	// is kept so a newcomer unions with its temporal neighbours only.
+	chains map[string]*keyChain
+	// clusters maps the current union-find root to the cluster rooted there.
+	clusters map[string]*cluster
+}
+
+type keyChain struct {
+	sightings []keySighting
+}
+
+type keySighting struct {
+	ts time.Time
+	id string
+}
+
+// cluster is the mutable book-keeping record behind one emitted cIoC.
+type cluster struct {
+	uuid     string
+	seq      uint64
+	category string
+	members  []string
+	// emitted records that the cluster has been reported in a Delta (as New)
+	// and so must be retracted via Delta.Removed if later absorbed.
+	emitted bool
+	// absorbed marks a cluster merged into a survivor; it is dead state kept
+	// only because the dirty set of the in-flight Add may still hold it.
+	absorbed bool
+}
+
+// Delta is the result of one Add: the changes to the emitted cluster set.
+type Delta struct {
+	// New are clusters emitted for the first time.
+	New []ComposedIoC
+	// Updated are previously emitted clusters whose membership changed
+	// (grown or merged); they keep their stable UUID.
+	Updated []ComposedIoC
+	// Removed are UUIDs of previously emitted clusters that were absorbed
+	// into a survivor (which appears in New or Updated).
+	Removed []string
+}
+
+// Empty reports whether the delta carries no changes.
+func (d *Delta) Empty() bool {
+	return len(d.New) == 0 && len(d.Updated) == 0 && len(d.Removed) == 0
+}
+
+// IncrementalStats are cumulative counters of the streaming correlator.
+type IncrementalStats struct {
+	// Events is the number of distinct events ingested.
+	Events int `json:"events"`
+	// Clusters is the number of currently emitted (live) clusters.
+	Clusters int `json:"clusters"`
+	// New / Updated / Merges count emitted deltas: first-time emissions,
+	// in-place growth emissions, and absorbed-cluster retractions.
+	New     int64 `json:"new"`
+	Updated int64 `json:"updated"`
+	Merges  int64 `json:"merges"`
+}
+
+type recorrelateAllOption bool
+
+func (o recorrelateAllOption) apply(c *Correlator) { c.recorrelateAll = bool(o) }
+
+// WithRecorrelateAll switches Incremental into the ablation mode that
+// re-runs the batch Correlator over the full accumulated history on every
+// Add — the O(history) behaviour the streaming index replaces. Deltas are
+// produced by diffing successive runs, so the mode is functionally
+// equivalent (stable identities use the minimum member event ID as seed)
+// and exists for benchmarking. Batch Correlator ignores this option.
+func WithRecorrelateAll(on bool) Option { return recorrelateAllOption(on) }
+
+// NewIncremental constructs a streaming correlator. It honours the same
+// options as New (WithMinClusterSize, WithTimeWindow) plus
+// WithRecorrelateAll.
+func NewIncremental(opts ...Option) *Incremental {
+	cfg := Correlator{minClusterSize: 1}
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	if cfg.minClusterSize < 1 {
+		cfg.minClusterSize = 1
+	}
+	return &Incremental{
+		cfg:   cfg,
+		cats:  make(map[string]*catState),
+		known: make(map[string]bool),
+		prev:  make(map[string]string),
+	}
+}
+
+// clusterUUID derives the stable identity of a cluster from its category
+// and seed member. It is independent of later membership changes.
+func clusterUUID(category, seedEventID string) string {
+	return uuid.NewV5(uuid.NamespaceCAISP,
+		[]byte("cluster\x00"+category+"\x00"+seedEventID)).String()
+}
+
+func (inc *Incremental) cat(category string) *catState {
+	cs := inc.cats[category]
+	if cs == nil {
+		cs = &catState{
+			uf:       newUnionFind(),
+			byID:     make(map[string]normalize.Event),
+			chains:   make(map[string]*keyChain),
+			clusters: make(map[string]*cluster),
+		}
+		inc.cats[category] = cs
+	}
+	return cs
+}
+
+// Add folds a batch of events into the streaming index and returns the
+// delta of emitted clusters. Events already known (same normalized ID) are
+// ignored. Output slices are sorted for determinism.
+func (inc *Incremental) Add(events []normalize.Event) Delta {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if inc.cfg.recorrelateAll {
+		return inc.addRecorrelateAll(events)
+	}
+
+	dirty := make(map[*cluster]bool)
+	var removed []string
+	for _, e := range events {
+		cs := inc.cat(e.Category)
+		if _, ok := cs.byID[e.ID]; ok {
+			continue
+		}
+		inc.stats.Events++
+		cs.byID[e.ID] = e
+		cs.uf.add(e.ID)
+		cl := &cluster{
+			uuid:     clusterUUID(e.Category, e.ID),
+			seq:      inc.nextSeq(),
+			category: e.Category,
+			members:  []string{e.ID},
+		}
+		cs.clusters[e.ID] = cl
+		dirty[cl] = true
+		for _, key := range CorrelationKeys(e) {
+			inc.link(cs, key, e, dirty, &removed)
+		}
+	}
+	return inc.composeDelta(dirty, removed)
+}
+
+func (inc *Incremental) nextSeq() uint64 {
+	inc.seq++
+	return inc.seq
+}
+
+// link records the sighting of key by event e and unions e with the
+// sightings the batch correlator would connect it to: all of them when no
+// time window is configured, otherwise only the temporal neighbours within
+// the window. Inserting into the sorted chain preserves batch semantics —
+// a newcomer between two chained sightings can only shrink gaps, and if it
+// is out of range of a neighbour, so was everything beyond it.
+func (inc *Incremental) link(cs *catState, key string, e normalize.Event, dirty map[*cluster]bool, removed *[]string) {
+	ch := cs.chains[key]
+	if ch == nil {
+		ch = &keyChain{}
+		cs.chains[key] = ch
+	}
+	s := keySighting{ts: e.LastSeen, id: e.ID}
+	if inc.cfg.timeWindow <= 0 {
+		// No temporal constraint: every sighting of the key is one set, so
+		// a single representative suffices and chains stay O(1) per key.
+		if len(ch.sightings) == 0 {
+			ch.sightings = append(ch.sightings, s)
+			return
+		}
+		inc.unionClusters(cs, ch.sightings[0].id, e.ID, dirty, removed)
+		return
+	}
+	i := sort.Search(len(ch.sightings), func(i int) bool {
+		si := ch.sightings[i]
+		if !si.ts.Equal(s.ts) {
+			return si.ts.After(s.ts)
+		}
+		return si.id >= s.id
+	})
+	if i > 0 && s.ts.Sub(ch.sightings[i-1].ts) <= inc.cfg.timeWindow {
+		inc.unionClusters(cs, ch.sightings[i-1].id, e.ID, dirty, removed)
+	}
+	if i < len(ch.sightings) && ch.sightings[i].ts.Sub(s.ts) <= inc.cfg.timeWindow {
+		inc.unionClusters(cs, ch.sightings[i].id, e.ID, dirty, removed)
+	}
+	ch.sightings = append(ch.sightings, keySighting{})
+	copy(ch.sightings[i+1:], ch.sightings[i:])
+	ch.sightings[i] = s
+}
+
+// unionClusters merges the clusters containing events a and b. The older
+// cluster (lowest creation seq) keeps its identity; if the absorbed side
+// was already emitted its UUID is appended to removed and counted as a
+// merge.
+func (inc *Incremental) unionClusters(cs *catState, a, b string, dirty map[*cluster]bool, removed *[]string) {
+	ra, rb := cs.uf.find(a), cs.uf.find(b)
+	if ra == rb {
+		return
+	}
+	ca, cb := cs.clusters[ra], cs.clusters[rb]
+	cs.uf.union(a, b)
+	root := cs.uf.find(a)
+	surv, abs := ca, cb
+	if cb.seq < ca.seq {
+		surv, abs = cb, ca
+	}
+	surv.members = append(surv.members, abs.members...)
+	abs.absorbed = true
+	delete(cs.clusters, ra)
+	delete(cs.clusters, rb)
+	cs.clusters[root] = surv
+	dirty[surv] = true
+	if abs.emitted {
+		*removed = append(*removed, abs.uuid)
+		inc.stats.Merges++
+	}
+}
+
+// composeDelta turns the dirty cluster set of one Add into a sorted Delta,
+// applying the minimum-cluster-size gate and flipping emitted flags.
+func (inc *Incremental) composeDelta(dirty map[*cluster]bool, removed []string) Delta {
+	var d Delta
+	for cl := range dirty {
+		if cl.absorbed || len(cl.members) < inc.cfg.minClusterSize {
+			continue
+		}
+		c := inc.compose(cl)
+		if cl.emitted {
+			d.Updated = append(d.Updated, c)
+			inc.stats.Updated++
+		} else {
+			cl.emitted = true
+			d.New = append(d.New, c)
+			inc.stats.New++
+		}
+	}
+	sortComposed(d.New)
+	sortComposed(d.Updated)
+	sort.Strings(removed)
+	d.Removed = removed
+	inc.stats.Clusters += len(d.New) - len(removed)
+	return d
+}
+
+// compose renders the current state of a cluster as a cIoC. ID is the
+// stable cluster UUID; ContentHash is the membership-sensitive composedID.
+func (inc *Incremental) compose(cl *cluster) ComposedIoC {
+	cs := inc.cat(cl.category)
+	memberIDs := append([]string(nil), cl.members...)
+	sort.Strings(memberIDs)
+	c := ComposedIoC{ID: cl.uuid, Category: cl.category}
+	keySet := make(map[string]int)
+	for _, id := range memberIDs {
+		e := cs.byID[id]
+		c.Events = append(c.Events, e)
+		for _, k := range CorrelationKeys(e) {
+			keySet[k]++
+		}
+		if c.FirstSeen.IsZero() || e.FirstSeen.Before(c.FirstSeen) {
+			c.FirstSeen = e.FirstSeen
+		}
+		if e.LastSeen.After(c.LastSeen) {
+			c.LastSeen = e.LastSeen
+		}
+	}
+	for k, n := range keySet {
+		if n >= 2 {
+			c.CorrelationKeys = append(c.CorrelationKeys, k)
+		}
+	}
+	sort.Strings(c.CorrelationKeys)
+	c.ContentHash = composedID(memberIDs)
+	return c
+}
+
+func sortComposed(cs []ComposedIoC) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Category != cs[j].Category {
+			return cs[i].Category < cs[j].Category
+		}
+		return cs[i].ID < cs[j].ID
+	})
+}
+
+// Seed restores one persisted cluster into the index during recovery: the
+// given events become a cluster under the given UUID, marked emitted so
+// later growth is reported as Updated, not New. Seeded members are always
+// one set regardless of keys (they were correlated before the restart).
+// If seeding links the cluster to previously seeded ones (shared members
+// or correlation keys), the younger emitted identities are absorbed and
+// returned so the caller can retract them from its store. Call Seed in
+// store order (oldest first) so surviving identities match pre-crash ones.
+func (inc *Incremental) Seed(clusterID string, events []normalize.Event) (absorbed []string) {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	if len(events) == 0 {
+		return nil
+	}
+	category := events[0].Category
+	cs := inc.cat(category)
+
+	if inc.cfg.recorrelateAll {
+		for _, e := range events {
+			if !inc.known[e.ID] {
+				inc.known[e.ID] = true
+				inc.history = append(inc.history, e)
+				inc.stats.Events++
+			}
+		}
+		// Emitted identity in ablation mode is derived from membership, so
+		// replaying history reproduces it; just record the current state.
+		full := inc.recorrelateHistory()
+		next := make(map[string]string, len(full))
+		for id, c := range full {
+			next[id] = c.ContentHash
+		}
+		for id := range inc.prev {
+			if _, ok := next[id]; !ok {
+				absorbed = append(absorbed, id)
+			}
+		}
+		inc.prev = next
+		inc.stats.Clusters = len(next)
+		sort.Strings(absorbed)
+		return absorbed
+	}
+
+	var fresh []string    // events new to the index
+	var existing []string // events already owned by another cluster
+	for _, e := range events {
+		if _, ok := cs.byID[e.ID]; ok {
+			existing = append(existing, e.ID)
+			continue
+		}
+		inc.stats.Events++
+		cs.byID[e.ID] = e
+		cs.uf.add(e.ID)
+		fresh = append(fresh, e.ID)
+	}
+	dirty := make(map[*cluster]bool)
+	var removed []string
+	staleDuplicate := false
+	if len(fresh) > 0 {
+		for i := 1; i < len(fresh); i++ {
+			cs.uf.union(fresh[0], fresh[i])
+		}
+		cl := &cluster{
+			uuid:     clusterID,
+			seq:      inc.nextSeq(),
+			category: category,
+			members:  fresh,
+			emitted:  true,
+		}
+		cs.clusters[cs.uf.find(fresh[0])] = cl
+		inc.stats.Clusters++
+		// Duplicated members across persisted clusters mean the clusters
+		// were already one: fold them together, oldest identity wins.
+		for _, id := range existing {
+			inc.unionClusters(cs, fresh[0], id, dirty, &removed)
+		}
+		for _, id := range fresh {
+			e := cs.byID[id]
+			for _, key := range CorrelationKeys(e) {
+				inc.link(cs, key, e, dirty, &removed)
+			}
+		}
+	} else {
+		// Every member already belongs to an older cluster: the persisted
+		// record is a stale duplicate (e.g. a crash mid-retraction). Fold
+		// its owners together and retract the duplicate identity itself.
+		for i := 1; i < len(existing); i++ {
+			inc.unionClusters(cs, existing[0], existing[i], dirty, &removed)
+		}
+		staleDuplicate = true
+	}
+	inc.stats.Clusters -= len(removed)
+	if staleDuplicate {
+		removed = append(removed, clusterID)
+	}
+	sort.Strings(removed)
+	return removed
+}
+
+// Clusters snapshots every currently emitted cluster, sorted by
+// (category, ID).
+func (inc *Incremental) Clusters() []ComposedIoC {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	var out []ComposedIoC
+	if inc.cfg.recorrelateAll {
+		for _, c := range inc.recorrelateHistory() {
+			out = append(out, c)
+		}
+		sortComposed(out)
+		return out
+	}
+	for _, cs := range inc.cats {
+		for _, cl := range cs.clusters {
+			if cl.emitted {
+				out = append(out, inc.compose(cl))
+			}
+		}
+	}
+	sortComposed(out)
+	return out
+}
+
+// Stats snapshots the correlator's cumulative counters.
+func (inc *Incremental) Stats() IncrementalStats {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	return inc.stats
+}
+
+// addRecorrelateAll is the ablation Add: append to history, re-correlate
+// everything with the batch Correlator, and diff against the previous
+// emission. Cost is O(history) per call by construction.
+func (inc *Incremental) addRecorrelateAll(events []normalize.Event) Delta {
+	for _, e := range events {
+		if !inc.known[e.ID] {
+			inc.known[e.ID] = true
+			inc.history = append(inc.history, e)
+			inc.stats.Events++
+		}
+	}
+	cur := inc.recorrelateHistory()
+	var d Delta
+	for id, c := range cur {
+		prevHash, ok := inc.prev[id]
+		switch {
+		case !ok:
+			d.New = append(d.New, c)
+			inc.stats.New++
+		case prevHash != c.ContentHash:
+			d.Updated = append(d.Updated, c)
+			inc.stats.Updated++
+		}
+	}
+	for id := range inc.prev {
+		if _, ok := cur[id]; !ok {
+			d.Removed = append(d.Removed, id)
+			inc.stats.Merges++
+		}
+	}
+	next := make(map[string]string, len(cur))
+	for id, c := range cur {
+		next[id] = c.ContentHash
+	}
+	inc.prev = next
+	inc.stats.Clusters = len(next)
+	sortComposed(d.New)
+	sortComposed(d.Updated)
+	sort.Strings(d.Removed)
+	return d
+}
+
+// recorrelateHistory runs the batch Correlator over the full history and
+// rewrites cluster identities to be membership-stable: the seed is the
+// minimum member event ID, which only changes when clusters merge — and a
+// merge retracts the losing identity just like the streaming path does.
+func (inc *Incremental) recorrelateHistory() map[string]ComposedIoC {
+	batch := New(WithMinClusterSize(inc.cfg.minClusterSize), WithTimeWindow(inc.cfg.timeWindow))
+	full := batch.Correlate(inc.history)
+	out := make(map[string]ComposedIoC, len(full))
+	for _, c := range full {
+		// Events are sorted by ID, so Events[0] is the minimum member.
+		id := clusterUUID(c.Category, c.Events[0].ID)
+		c.ContentHash = c.ID
+		c.ID = id
+		out[id] = c
+	}
+	return out
+}

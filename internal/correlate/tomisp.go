@@ -53,6 +53,13 @@ func ToMISP(c *ComposedIoC, now time.Time) (*misp.Event, error) {
 	e.UUID = c.ID // the cIoC identity carries through storage
 	e.AddTag("caisp:category=\"" + c.Category + "\"")
 	e.AddTag("caisp:cioc")
+	// The membership-sensitive hash rides as a tag (tags with the caisp:
+	// prefix are invisible to STIX conversion, so the heuristic features
+	// are unaffected). Consumers use it to detect real membership changes
+	// behind a stable event UUID.
+	if c.ContentHash != "" {
+		e.AddTag(clusterContentTagPrefix + c.ContentHash + "\"")
+	}
 	for _, key := range c.CorrelationKeys {
 		e.AddTag("caisp:correlated-by=\"" + key + "\"")
 	}

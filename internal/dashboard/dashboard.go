@@ -68,8 +68,12 @@ type Server struct {
 	collector *infra.Collector
 	hub       *wsock.Hub
 
-	mu       sync.RWMutex
-	riocs    []heuristic.RIoC
+	mu    sync.RWMutex
+	riocs []heuristic.RIoC
+	// riocIdx maps (event UUID, rIoC ID) → position in riocs, so re-scores
+	// of a grown cluster update the entry in place instead of duplicating
+	// it in every count.
+	riocIdx  map[string]int
 	analyzer *sessions.Analyzer
 	marks    []timelineMark
 
@@ -94,6 +98,7 @@ func NewServer(collector *infra.Collector) *Server {
 	s := &Server{
 		collector: collector,
 		hub:       wsock.NewHub(),
+		riocIdx:   make(map[string]int),
 		mux:       http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
@@ -157,13 +162,68 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// PushRIoC stores a reduced IoC and broadcasts it to connected clients.
+// PushRIoC stores a reduced IoC and broadcasts it to connected clients. A
+// push carrying the same (event UUID, rIoC ID) as an earlier one is a
+// re-score of the same cluster: the stored entry is replaced in place with
+// a bumped Revision, so dashboard counts never double-count a cluster that
+// grew across flush batches.
 func (s *Server) PushRIoC(r heuristic.RIoC) {
 	s.mu.Lock()
-	s.riocs = append(s.riocs, r)
+	key := riocKey(&r)
+	if i, ok := s.riocIdx[key]; ok {
+		r.Revision = s.riocs[i].Revision + 1
+		// Copy-on-write replacement: RIoCs() hands out capacity-clipped
+		// views of s.riocs, so past elements must never be rewritten.
+		fresh := make([]heuristic.RIoC, len(s.riocs))
+		copy(fresh, s.riocs)
+		fresh[i] = r
+		s.riocs = fresh
+	} else {
+		s.riocIdx[key] = len(s.riocs)
+		s.riocs = append(s.riocs, r)
+	}
 	s.mark(r.GeneratedAt, "rioc")
 	s.mu.Unlock()
 	s.broadcast(Event{Kind: "rioc", RIoC: &r})
+}
+
+// DropEventRIoCs removes every rIoC reduced from the given stored event —
+// called when a cluster is absorbed into a survivor and its MISP event
+// retracted. It returns how many entries were dropped.
+func (s *Server) DropEventRIoCs(eventUUID string) int {
+	if eventUUID == "" {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dropped := 0
+	for _, r := range s.riocs {
+		if r.EventUUID == eventUUID {
+			dropped++
+		}
+	}
+	if dropped == 0 {
+		return 0
+	}
+	fresh := make([]heuristic.RIoC, 0, len(s.riocs)-dropped)
+	idx := make(map[string]int, len(s.riocs)-dropped)
+	for _, r := range s.riocs {
+		if r.EventUUID == eventUUID {
+			continue
+		}
+		idx[riocKey(&r)] = len(fresh)
+		fresh = append(fresh, r)
+	}
+	s.riocs = fresh
+	s.riocIdx = idx
+	return dropped
+}
+
+// riocKey identifies one dashboard entry: the rIoC ID scoped by the MISP
+// event it came from (deterministic SDO IDs collide across clusters that
+// share e.g. a CVE).
+func riocKey(r *heuristic.RIoC) string {
+	return r.EventUUID + "\x00" + r.ID
 }
 
 // PushAlarm broadcasts an alarm (already recorded in the collector).
@@ -220,9 +280,10 @@ func (s *Server) handleTimeline(w http.ResponseWriter, _ *http.Request) {
 }
 
 // RIoCs returns the stored reduced IoCs as a shared immutable snapshot.
-// s.riocs is append-only and past elements are never rewritten, so a
-// capacity-clipped slice header is a consistent copy-free view: later
-// pushes reallocate rather than write into it.
+// Past elements of s.riocs are never rewritten — appends either grow a
+// private tail or reallocate, and in-place updates / drops replace the
+// whole slice copy-on-write — so a capacity-clipped slice header is a
+// consistent copy-free view.
 func (s *Server) RIoCs() []heuristic.RIoC {
 	s.mu.RLock()
 	defer s.mu.RUnlock()

@@ -86,6 +86,14 @@ type RIoC struct {
 	AllNodes bool `json:"all_nodes"`
 	// GeneratedAt stamps the reduction.
 	GeneratedAt time.Time `json:"generated_at"`
+	// EventUUID is the stored MISP event (the stable cluster identity) the
+	// eIoC was converted from. It disambiguates rIoCs whose deterministic
+	// SDO-derived ID collides across clusters (e.g. the same CVE observed
+	// in two clusters), so the dashboard can update in place per cluster.
+	EventUUID string `json:"event_uuid,omitempty"`
+	// Revision counts in-place re-scores of the same rIoC as its cluster
+	// grows; 0 for the first emission.
+	Revision int `json:"revision"`
 }
 
 // JSON renders the rIoC for the dashboard socket.
@@ -122,6 +130,9 @@ func Reduce(obj stix.Object, res *Result, collector *infra.Collector, now time.T
 	}
 	if len(match.MatchedTerms) > 0 {
 		r.Application = match.MatchedTerms[0]
+	}
+	if u, ok := c.ExtraString("x_misp_event_uuid"); ok {
+		r.EventUUID = u
 	}
 	r.Breakdown = append(r.Breakdown, res.Features...)
 	return r, nil

@@ -461,6 +461,49 @@ func (s *Store) All() ([]*misp.Event, error) {
 	return s.finish(out, false), nil
 }
 
+// ForEachParallel streams every live event through fn across a pool of
+// workers — the rebuild hook consumers use to reconstruct derived indexes
+// (e.g. the platform's incremental correlation state) after a restart.
+// Events are shared frozen revisions: fn must not mutate them. fn runs
+// outside the store lock and may be called concurrently from workers
+// workers (≤ 1 means GOMAXPROCS).
+func (s *Store) ForEachParallel(workers int, fn func(*misp.Event)) {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	s.mu.RLock()
+	events := make([]*misp.Event, 0, s.count)
+	s.forEach(func(_ string, se *storedEvent) {
+		events = append(events, se.event)
+	})
+	s.mu.RUnlock()
+	if workers > len(events) {
+		workers = len(events)
+	}
+	if workers <= 1 {
+		for _, e := range events {
+			fn(e)
+		}
+		return
+	}
+	ch := make(chan *misp.Event)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for e := range ch {
+				fn(e)
+			}
+		}()
+	}
+	for _, e := range events {
+		ch <- e
+	}
+	close(ch)
+	wg.Wait()
+}
+
 // SearchValue returns events carrying an attribute with exactly this value.
 func (s *Store) SearchValue(value string) ([]*misp.Event, error) {
 	if s.indexing {
@@ -561,52 +604,54 @@ func (s *Store) UpdatedSincePage(t time.Time, afterUUID string, limit int) ([]*m
 }
 
 // Correlated returns the UUIDs of events sharing at least one attribute
-// value with the given event — MISP's automatic correlation.
+// value with the given event — MISP's automatic correlation. With
+// indexing disabled the fallback builds a transient set of the queried
+// values once and makes a single pass over the store, instead of one full
+// scan per value.
 func (s *Store) Correlated(e *misp.Event) []string {
-	s.mu.RLock()
-	seen := make(map[string]bool)
-	var out []string
+	values := make(map[string]bool, len(e.Attributes))
 	for _, a := range e.Attributes {
-		s.correlateValue(e, a.Value, seen, &out)
+		values[a.Value] = true
 	}
 	for _, o := range e.Objects {
 		for _, a := range o.Attributes {
-			s.correlateValue(e, a.Value, seen, &out)
+			values[a.Value] = true
 		}
+	}
+
+	s.mu.RLock()
+	seen := make(map[string]bool)
+	var out []string
+	if s.indexing {
+		for value := range values {
+			p := s.byValue[value]
+			if p == nil {
+				continue
+			}
+			for uuid := range p.set {
+				if uuid != e.UUID && !seen[uuid] {
+					seen[uuid] = true
+					out = append(out, uuid)
+				}
+			}
+		}
+	} else {
+		s.forEach(func(uuid string, se *storedEvent) {
+			if uuid == e.UUID || seen[uuid] {
+				return
+			}
+			for _, oa := range allAttributes(se.event) {
+				if values[oa.Value] {
+					seen[uuid] = true
+					out = append(out, uuid)
+					return
+				}
+			}
+		})
 	}
 	s.mu.RUnlock()
 	sort.Strings(out)
 	return out
-}
-
-// correlateValue accumulates UUIDs of stored events carrying value.
-// Caller holds at least the read lock.
-func (s *Store) correlateValue(e *misp.Event, value string, seen map[string]bool, out *[]string) {
-	if s.indexing {
-		p := s.byValue[value]
-		if p == nil {
-			return
-		}
-		for uuid := range p.set {
-			if uuid != e.UUID && !seen[uuid] {
-				seen[uuid] = true
-				*out = append(*out, uuid)
-			}
-		}
-		return
-	}
-	s.forEach(func(uuid string, se *storedEvent) {
-		if uuid == e.UUID || seen[uuid] {
-			return
-		}
-		for _, oa := range allAttributes(se.event) {
-			if oa.Value == value {
-				seen[uuid] = true
-				*out = append(*out, uuid)
-				return
-			}
-		}
-	})
 }
 
 // Compact publishes a snapshot of the current state and prunes the WAL

@@ -25,6 +25,8 @@ const (
 	TopicEventAdd = "misp.event.add"
 	// TopicEventEdit announces re-stored (updated) events.
 	TopicEventEdit = "misp.event.edit"
+	// TopicEventPrefix subscribes to both adds and edits (prefix matching).
+	TopicEventPrefix = "misp.event."
 )
 
 // Service is one TIP instance.
@@ -244,12 +246,17 @@ type Stats struct {
 	// LastCompactionMS is the wall time of the latest snapshot in
 	// milliseconds (0 when none ran yet).
 	LastCompactionMS float64 `json:"last_compaction_ms"`
+	// BusPublished / BusDropped expose the attached broker's fan-out
+	// counters; drop-oldest losses from lagging subscribers are otherwise
+	// silent. Zero when no broker is attached.
+	BusPublished int   `json:"bus_published"`
+	BusDropped   int64 `json:"bus_dropped"`
 }
 
 // Stats returns instance counters.
 func (s *Service) Stats() Stats {
 	d := s.store.Durability()
-	return Stats{
+	st := Stats{
 		Name:             s.name,
 		Events:           s.store.Len(),
 		WALOps:           d.WALOps,
@@ -258,6 +265,11 @@ func (s *Service) Stats() Stats {
 		Compactions:      d.Compactions,
 		LastCompactionMS: float64(d.LastCompactionDuration) / float64(time.Millisecond),
 	}
+	if s.broker != nil {
+		st.BusPublished = s.broker.Published()
+		st.BusDropped = s.broker.Dropped()
+	}
+	return st
 }
 
 // syncPageSize is how many events SyncFrom pulls per request, bounding
