@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate vet copyfree check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ bench-durability:
 bench-correlate:
 	$(GO) test -run '^$$' -bench '^BenchmarkCorrelate' -benchmem .
 
+# Observability suite: the instrumented pipeline vs the DisableMetrics
+# ablation — the per-event overhead number reported in EXPERIMENTS.md §X9.
+bench-obs:
+	$(GO) test -run '^$$' -bench '^BenchmarkObs' -benchmem .
+
 vet:
 	$(GO) vet ./...
 
@@ -42,4 +47,25 @@ copyfree:
 		exit 1; \
 	fi
 
-check: vet build test race copyfree
+# Guard the metric-name contract: every caisp_* literal registered in
+# non-test sources matches caisp_[a-z_]+ (lowercase, no digits) and is
+# registered exactly once. ("caisp_" alone is the validator's own prefix
+# constant; caisp_snapshot is a storage JSON tag, not a metric.)
+metrics-lint:
+	@names=$$(grep -rhoE '"caisp_[^"]*"' internal cmd --include='*.go' --exclude='*_test.go' \
+		| grep -vx '"caisp_"' | grep -vx '"caisp_snapshot"'); \
+	bad=$$(echo "$$names" | grep -vE '^"caisp_[a-z_]+"$$' || true); \
+	if [ -n "$$bad" ]; then \
+		echo 'metrics-lint: metric names must match caisp_[a-z_]+:'; \
+		echo "$$bad"; \
+		exit 1; \
+	fi; \
+	dup=$$(echo "$$names" | sort | uniq -d); \
+	if [ -n "$$dup" ]; then \
+		echo 'metrics-lint: metric names registered more than once:'; \
+		echo "$$dup"; \
+		exit 1; \
+	fi; \
+	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
+
+check: vet build test race copyfree metrics-lint

@@ -22,6 +22,7 @@ import (
 	"github.com/caisplatform/caisp/internal/feedgen"
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/report"
 	"github.com/caisplatform/caisp/internal/sessions"
 	"github.com/caisplatform/caisp/internal/tip"
@@ -41,17 +42,20 @@ func main() {
 		apiKey    = flag.String("key", "", "TIP API key (empty disables auth)")
 		alarmLog  = flag.String("alarms", "", "syslog-style alarm file ingested at startup")
 		sessLog   = flag.String("sessions", "", "JSON file of user sessions for the §II-B summary endpoints")
+		pprof     = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/ on the dashboard address")
+		slowOp    = flag.Duration("slow-op", 0, "log heuristic evaluations and dashboard pushes slower than this (0 disables)")
 	)
 	flag.Parse()
 	if err := run(*dashAddr, *tipAddr, *taxiiAddr, *dataDir, *invPath, *feedDir,
-		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog); err != nil {
+		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog, *pprof, *slowOp); err != nil {
 		fmt.Fprintln(os.Stderr, "caispd:", err)
 		os.Exit(1)
 	}
 }
 
 func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
-	seed int64, items int, interval time.Duration, apiKey, alarmLog, sessLog string) error {
+	seed int64, items int, interval time.Duration, apiKey, alarmLog, sessLog string,
+	pprof bool, slowOp time.Duration) error {
 	var inventory *infra.Inventory
 	if invPath != "" {
 		raw, err := os.ReadFile(invPath)
@@ -70,10 +74,11 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	}
 
 	platform, err := core.New(core.Config{
-		DataDir:    dataDir,
-		Inventory:  inventory,
-		Feeds:      feeds,
-		ShareTAXII: taxiiAddr != "",
+		DataDir:         dataDir,
+		Inventory:       inventory,
+		Feeds:           feeds,
+		ShareTAXII:      taxiiAddr != "",
+		SlowOpThreshold: slowOp,
 	})
 	if err != nil {
 		return err
@@ -98,7 +103,7 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	}
 
 	servers := []*http.Server{
-		{Addr: dashAddr, Handler: withReport(platform)},
+		{Addr: dashAddr, Handler: withReport(platform, pprof)},
 		{Addr: tipAddr, Handler: tip.NewAPI(platform.TIP(), apiKey)},
 	}
 	fmt.Printf("dashboard:  http://localhost%s\n", dashAddr)
@@ -139,12 +144,14 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	}
 }
 
-// withReport mounts the analyst situation report and the platform
-// counters next to the dashboard. /stats surfaces the full pipeline
-// Stats — including the streaming correlator's cluster add/edit/merge
-// counters and broker-wide drop-oldest losses, which are otherwise
-// silent.
-func withReport(platform *core.Platform) http.Handler {
+// withReport mounts the analyst situation report, the platform counters
+// and the observability surfaces next to the dashboard. /stats surfaces
+// the full pipeline Stats — including the streaming correlator's cluster
+// add/edit/merge counters and broker-wide drop-oldest losses, which are
+// otherwise silent; /metrics serves the same values (and the latency
+// histograms) in Prometheus text format, and /debug/traces the slowest
+// end-to-end IoC journeys with per-stage breakdowns.
+func withReport(platform *core.Platform, pprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
@@ -154,6 +161,11 @@ func withReport(platform *core.Platform) http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		_ = json.NewEncoder(w).Encode(platform.Stats())
 	})
+	mux.Handle("GET /metrics", platform.Metrics().Handler())
+	mux.Handle("GET /debug/traces", platform.Tracer().Handler())
+	if pprof {
+		obs.RegisterPprof(mux)
+	}
 	mux.Handle("/", platform.Dashboard())
 	return mux
 }

@@ -129,7 +129,7 @@ func TestWithReportEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer platform.Close()
-	srv := httptest.NewServer(withReport(platform))
+	srv := httptest.NewServer(withReport(platform, true))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/report")
@@ -152,5 +152,29 @@ func TestWithReportEndpoint(t *testing.T) {
 	resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("topology status = %d", resp2.StatusCode)
+	}
+
+	// The observability surfaces are mounted next to it.
+	for path, wantBody := range map[string]string{
+		"/metrics":      "# TYPE caisp_",
+		"/debug/traces": "[",
+		"/debug/pprof/": "profiles",
+		"/stats":        "events_collected",
+	} {
+		r, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := io.ReadAll(r.Body)
+		r.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("%s status = %d", path, r.StatusCode)
+		}
+		if !strings.Contains(string(b), wantBody) {
+			t.Fatalf("%s body missing %q:\n%s", path, wantBody, b)
+		}
 	}
 }

@@ -8,6 +8,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -15,9 +16,14 @@ import (
 
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/tip"
 	"github.com/caisplatform/caisp/internal/worker"
 )
+
+// drainDeadline bounds how long shutdown waits for the analyzer shards
+// to drain their queues after the bus subscription closes.
+const drainDeadline = 5 * time.Second
 
 func main() {
 	var (
@@ -25,15 +31,17 @@ func main() {
 		tipURL  = flag.String("tip", "http://127.0.0.1:8440", "TIP REST API base URL")
 		apiKey  = flag.String("key", "", "TIP API key")
 		invPath = flag.String("inventory", "", "inventory JSON (empty = paper's Table III inventory)")
+		obsAddr = flag.String("metrics", "", "observability listen address serving /metrics (empty disables)")
+		pprofOn = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/ on the metrics address")
 	)
 	flag.Parse()
-	if err := run(*busAddr, *tipURL, *apiKey, *invPath); err != nil {
+	if err := run(*busAddr, *tipURL, *apiKey, *invPath, *obsAddr, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "heuristicd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(busAddr, tipURL, apiKey, invPath string) error {
+func run(busAddr, tipURL, apiKey, invPath, obsAddr string, pprofOn bool) error {
 	inventory := infra.PaperInventory()
 	if invPath != "" {
 		raw, err := os.ReadFile(invPath)
@@ -49,16 +57,30 @@ func run(busAddr, tipURL, apiKey, invPath string) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
 	w, err := worker.New(worker.Config{
 		BusAddr:   busAddr,
 		TIP:       tip.NewClient(tipURL, apiKey),
 		Collector: collector,
+		Metrics:   reg,
 		RIoCSink: func(r heuristic.RIoC) {
 			fmt.Printf("rIoC %s TS=%.4f (%s) nodes=%v\n", r.CVE, r.ThreatScore, r.Priority, r.NodeIDs)
 		},
 	})
 	if err != nil {
 		return err
+	}
+
+	var obsSrv *http.Server
+	if obsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", reg.Handler())
+		if pprofOn {
+			obs.RegisterPprof(mux)
+		}
+		obsSrv = &http.Server{Addr: obsAddr, Handler: mux}
+		go func() { _ = obsSrv.ListenAndServe() }()
+		fmt.Printf("metrics: http://localhost%s/metrics\n", obsAddr)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -75,10 +97,23 @@ func run(busAddr, tipURL, apiKey, invPath string) error {
 	for {
 		select {
 		case <-ctx.Done():
-			<-done
+			// Graceful shutdown: Run's context is cancelled; wait up to the
+			// drain deadline for the analyzer shards to finish in-flight
+			// scores, then report and exit either way.
+			drained := true
+			select {
+			case <-done:
+			case <-time.After(drainDeadline):
+				drained = false
+			}
+			if obsSrv != nil {
+				shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+				_ = obsSrv.Shutdown(shutdownCtx)
+				cancel()
+			}
 			st := w.Stats()
-			fmt.Printf("\nshutting down: received=%d enriched=%d riocs=%d failures=%d\n",
-				st.Received, st.Enriched, st.RIoCs, st.Failures)
+			fmt.Printf("\nshutting down (drained=%v): received=%d enriched=%d riocs=%d failures=%d\n",
+				drained, st.Received, st.Enriched, st.RIoCs, st.Failures)
 			return nil
 		case <-done:
 			return nil

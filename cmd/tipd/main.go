@@ -5,15 +5,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
 	"github.com/caisplatform/caisp/internal/tip"
 )
+
+// drainDeadline bounds how long shutdown waits for in-flight API
+// requests before closing the store anyway.
+const drainDeadline = 3 * time.Second
 
 func main() {
 	var (
@@ -22,22 +31,24 @@ func main() {
 		dataDir = flag.String("data", "", "event store directory (empty = in-memory)")
 		apiKey  = flag.String("key", "", "API key required in the Authorization header (empty disables auth)")
 		name    = flag.String("name", "tipd", "instance name")
+		pprof   = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/")
 	)
 	flag.Parse()
-	if err := run(*addr, *pubAddr, *dataDir, *apiKey, *name); err != nil {
+	if err := run(*addr, *pubAddr, *dataDir, *apiKey, *name, *pprof); err != nil {
 		fmt.Fprintln(os.Stderr, "tipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pubAddr, dataDir, apiKey, name string) error {
-	store, err := storage.Open(dataDir)
+func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
+	reg := obs.NewRegistry()
+	store, err := storage.Open(dataDir, storage.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
 	defer store.Close()
 
-	broker := bus.NewBroker()
+	broker := bus.NewBroker(bus.WithMetrics(reg))
 	defer broker.Close()
 	if pubAddr != "" {
 		listener, err := broker.ListenTCP(pubAddr)
@@ -49,8 +60,40 @@ func run(addr, pubAddr, dataDir, apiKey, name string) error {
 			listener.Addr(), tip.TopicEventAdd, tip.TopicEventEdit)
 	}
 
-	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(name))
+	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(name),
+		tip.WithMetrics(reg))
+
+	// The API is mounted next to the observability surfaces: /metrics
+	// serves the caisp_* families in Prometheus text format.
+	mux := http.NewServeMux()
+	mux.Handle("GET /metrics", reg.Handler())
+	if pprof {
+		obs.RegisterPprof(mux)
+	}
+	mux.Handle("/", tip.NewAPI(service, apiKey))
+	srv := &http.Server{Addr: addr, Handler: mux}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("%s: serving MISP-like REST API on %s (%d events loaded)\n",
 		name, addr, service.Len())
-	return http.ListenAndServe(addr, tip.NewAPI(service, apiKey))
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+	// Graceful shutdown: stop accepting, drain in-flight requests up to
+	// the deadline, then let the deferred store/broker closes run so the
+	// WAL is cleanly released.
+	fmt.Println("\nshutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	return nil
 }

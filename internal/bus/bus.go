@@ -10,6 +10,8 @@ package bus
 import (
 	"sync"
 	"sync/atomic"
+
+	"github.com/caisplatform/caisp/internal/obs"
 )
 
 // Message is one published datum.
@@ -103,6 +105,39 @@ func (o bufSizeOption) apply(b *Broker) { b.bufSize = int(o) }
 
 // WithBuffer sets the per-subscription queue length (default 256).
 func WithBuffer(n int) Option { return bufSizeOption(n) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(b *Broker) { b.registerMetrics(o.reg) }
+
+// WithMetrics registers the broker's caisp_bus_* families into reg. The
+// drop counter is fed by the same atomic deliver bumps at drop time, so
+// losses are visible on the very next scrape — not only when a stats
+// snapshot is polled. A nil registry registers nothing.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
+
+// registerMetrics installs scrape-time views over the broker counters.
+func (b *Broker) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("caisp_bus_published_total",
+		"Messages accepted by Broker.Publish.",
+		func() float64 { return float64(b.Published()) })
+	reg.CounterFunc("caisp_bus_dropped_total",
+		"Messages discarded broker-wide by the drop-oldest policy (live; bumped at drop time).",
+		func() float64 { return float64(b.Dropped()) })
+	reg.GaugeFunc("caisp_bus_subscribers",
+		"Currently attached in-process subscriptions.",
+		func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.subs))
+		})
+	reg.GaugeFunc("caisp_bus_tcp_conns",
+		"Currently attached TCP subscriber connections.",
+		func() float64 { return float64(b.TCPConns()) })
+}
 
 // NewBroker constructs a Broker.
 func NewBroker(opts ...Option) *Broker {

@@ -1,7 +1,10 @@
 package bus
 
 import (
+	"strings"
+
 	"fmt"
+	"github.com/caisplatform/caisp/internal/obs"
 	"sync"
 	"testing"
 	"time"
@@ -313,5 +316,38 @@ func waitForConns(t *testing.T, b *Broker, n int) {
 			t.Fatalf("only %d TCP conns after 5s, want %d", have, n)
 		}
 		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDropCounterLiveOnMetrics asserts that a dropped publish is visible
+// on the metrics surface immediately — at the moment of the drop, not
+// only when a stats snapshot is later polled.
+func TestDropCounterLiveOnMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	b := NewBroker(WithBuffer(1), WithMetrics(reg))
+	defer b.Close()
+	sub := b.Subscribe("")
+	defer sub.Close()
+
+	scrape := func() string {
+		var sb strings.Builder
+		if err := reg.WritePrometheus(&sb); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	if out := scrape(); !strings.Contains(out, "caisp_bus_dropped_total 0") {
+		t.Fatalf("pre-drop exposition:\n%s", out)
+	}
+
+	b.Publish("t", []byte("first"))
+	b.Publish("t", []byte("second")) // evicts "first" from the 1-slot buffer
+
+	// No Stats() poll in between: the scrape alone must see the drop.
+	if out := scrape(); !strings.Contains(out, "caisp_bus_dropped_total 1") {
+		t.Fatalf("post-drop exposition:\n%s", out)
+	}
+	if !strings.Contains(scrape(), "caisp_bus_published_total 2") {
+		t.Fatal("published counter not live")
 	}
 }

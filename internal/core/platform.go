@@ -38,6 +38,7 @@ import (
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/ringset"
 	"github.com/caisplatform/caisp/internal/storage"
 	"github.com/caisplatform/caisp/internal/taxii"
@@ -116,6 +117,18 @@ type Config struct {
 	// RecoveryWorkers bounds the worker pool that rebuilds the correlation
 	// index from the store on restart. Values below 1 use GOMAXPROCS.
 	RecoveryWorkers int
+	// Metrics is the observability registry every stage registers its
+	// caisp_* families into. Nil creates a private registry unless
+	// DisableMetrics is set.
+	Metrics *obs.Registry
+	// DisableMetrics runs the platform without any instrumentation (the
+	// overhead-ablation baseline): no registry, no tracer, and every
+	// per-observation nil check short-circuits.
+	DisableMetrics bool
+	// SlowOpThreshold logs a warning (with stage and event UUID) for any
+	// heuristic evaluation or dashboard push slower than this. Zero
+	// disables slow-op logging.
+	SlowOpThreshold time.Duration
 }
 
 // Stats counts pipeline activity.
@@ -163,6 +176,15 @@ type Platform struct {
 	cfg    Config
 	clk    clock.Clock
 	logger *slog.Logger
+
+	// Observability: reg holds every stage's caisp_* families; tracer
+	// stamps each admitted event's journey through the pipeline. Both are
+	// nil under Config.DisableMetrics (every use is nil-checked or
+	// nil-safe).
+	reg        *obs.Registry
+	tracer     *obs.Tracer
+	flushDur   *obs.Histogram // caisp_pipeline_flush_seconds
+	analyzeDur *obs.Histogram // caisp_pipeline_analyze_seconds
 
 	// Input module. corr is the stateful streaming correlator: cluster
 	// membership accumulates across flush batches (and across restarts,
@@ -226,18 +248,22 @@ func New(cfg Config) (*Platform, error) {
 	if err != nil {
 		return nil, err
 	}
-	store, err := storage.Open(cfg.DataDir)
+	reg := cfg.Metrics
+	if reg == nil && !cfg.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	store, err := storage.Open(cfg.DataDir, storage.WithMetrics(reg))
 	if err != nil {
 		return nil, err
 	}
-	broker := bus.NewBroker()
+	broker := bus.NewBroker(bus.WithMetrics(reg))
 
 	analyzers := cfg.AnalyzerPool
 	if analyzers < 1 {
 		analyzers = runtime.GOMAXPROCS(0)
 	}
 
-	corrOpts := []correlate.Option{}
+	corrOpts := []correlate.Option{correlate.WithMetrics(reg)}
 	if cfg.CorrelationWindow > 0 {
 		corrOpts = append(corrOpts, correlate.WithTimeWindow(cfg.CorrelationWindow))
 	}
@@ -249,7 +275,9 @@ func New(cfg Config) (*Platform, error) {
 		cfg:       cfg,
 		clk:       cfg.Clock,
 		logger:    cfg.Logger,
-		deduper:   dedup.New(),
+		reg:       reg,
+		tracer:    obs.NewTracer(reg),
+		deduper:   dedup.New(dedup.WithMetrics(reg)),
 		corr:      correlate.NewIncremental(corrOpts...),
 		store:     store,
 		broker:    broker,
@@ -262,6 +290,7 @@ func New(cfg Config) (*Platform, error) {
 		compactCh:         make(chan struct{}, 1),
 		compactStop:       make(chan struct{}),
 	}
+	p.registerPipelineMetrics()
 	if cfg.CompactEveryOps > 0 {
 		p.compactAfter = cfg.CompactEveryOps
 	}
@@ -271,12 +300,19 @@ func New(cfg Config) (*Platform, error) {
 	if !cfg.DisableClassifier {
 		p.classifier = textclass.New()
 	}
-	p.tip = tip.NewService(store, tip.WithBroker(broker), tip.WithLogger(cfg.Logger))
+	p.tip = tip.NewService(store, tip.WithBroker(broker), tip.WithLogger(cfg.Logger),
+		tip.WithMetrics(reg))
 	p.engine = heuristic.NewEngine(
 		heuristic.WithInfrastructure(collector),
 		heuristic.WithNow(cfg.Clock.Now),
+		heuristic.WithMetrics(reg),
+		heuristic.WithLogger(cfg.Logger),
+		heuristic.WithSlowThreshold(cfg.SlowOpThreshold),
 	)
-	p.dash = dashboard.NewServer(collector)
+	p.dash = dashboard.NewServer(collector,
+		dashboard.WithMetrics(reg),
+		dashboard.WithLogger(cfg.Logger),
+		dashboard.WithSlowThreshold(cfg.SlowOpThreshold))
 	if cfg.ShareTAXII {
 		p.taxiiSrv = taxii.NewServer("CAISP sharing", "caisp", taxii.WithNow(cfg.Clock.Now))
 		p.taxiiSrv.AddCollection(TAXIICollection, "Enriched IoCs",
@@ -284,7 +320,8 @@ func New(cfg Config) (*Platform, error) {
 	}
 	p.scheduler = feed.NewScheduler(p.ingest,
 		feed.WithClock(cfg.Clock), feed.WithLogger(cfg.Logger),
-		feed.WithConcurrency(cfg.FeedConcurrency))
+		feed.WithConcurrency(cfg.FeedConcurrency),
+		feed.WithMetrics(reg))
 	for _, f := range cfg.Feeds {
 		if err := p.scheduler.Add(f); err != nil {
 			store.Close()
@@ -299,6 +336,58 @@ func New(cfg Config) (*Platform, error) {
 	go p.compactLoop()
 	return p, nil
 }
+
+// registerPipelineMetrics exposes the platform's lock-free stage counters
+// and queue gauges as scrape-time views — the same atomics back Stats(),
+// so /stats and /metrics can never disagree.
+func (p *Platform) registerPipelineMetrics() {
+	reg := p.reg
+	if reg == nil {
+		return
+	}
+	counter := func(name, help string, v *atomic.Int64) {
+		reg.CounterFunc(name, help, func() float64 { return float64(v.Load()) })
+	}
+	counter("caisp_pipeline_collected_total", "Events delivered by the feed scheduler.",
+		&p.counters.collected)
+	counter("caisp_pipeline_unique_total", "Events admitted as unique by the deduper.",
+		&p.counters.unique)
+	counter("caisp_pipeline_duplicates_total", "Events folded into already admitted ones.",
+		&p.counters.duplicates)
+	counter("caisp_pipeline_ciocs_total", "Clusters stored for the first time.",
+		&p.counters.ciocs)
+	counter("caisp_pipeline_cluster_edits_total", "Grown or merged clusters re-stored under their stable UUID.",
+		&p.counters.clusterEdits)
+	counter("caisp_pipeline_cluster_merges_total", "Absorbed cluster identities retracted from the TIP.",
+		&p.counters.clusterMerges)
+	counter("caisp_pipeline_eiocs_total", "Events enriched with a threat score.",
+		&p.counters.eiocs)
+	counter("caisp_pipeline_riocs_total", "Reduced IoCs pushed to the dashboard.",
+		&p.counters.riocs)
+	counter("caisp_pipeline_classified_total", "Unknown-category events tagged by the NLP classifier.",
+		&p.counters.classified)
+	counter("caisp_pipeline_unscorable_total", "Stored events without a scorable SDO.",
+		&p.counters.unscorable)
+	counter("caisp_pipeline_store_failures_total", "cIoCs that failed composition or storage.",
+		&p.counters.storeFailures)
+	reg.GaugeFunc("caisp_pipeline_pending_events",
+		"Unique events buffered for the next correlation flush.",
+		func() float64 {
+			p.mu.Lock()
+			defer p.mu.Unlock()
+			return float64(len(p.pending))
+		})
+	p.flushDur = reg.Histogram("caisp_pipeline_flush_seconds",
+		"composeAndStore latency: correlation delta plus group-committed store.")
+	p.analyzeDur = reg.Histogram("caisp_pipeline_analyze_seconds",
+		"Heuristic analysis of one stored cIoC, including write-back and pushes.")
+}
+
+// Metrics returns the observability registry, or nil when disabled.
+func (p *Platform) Metrics() *obs.Registry { return p.reg }
+
+// Tracer returns the per-event stage tracer, or nil when disabled.
+func (p *Platform) Tracer() *obs.Tracer { return p.tracer }
 
 // rebuildCorrelationIndex reconstructs the streaming correlator's state
 // from the persisted cIoC events after a restart, so a post-crash sighting
@@ -468,10 +557,16 @@ func (p *Platform) ingest(e normalize.Event) {
 	stored, isNew := p.deduper.Offer(e)
 	p.counters.collected.Add(1)
 	if !isNew {
+		// A duplicate never starts a trace: its original may still be
+		// in flight under the same ID.
 		p.counters.duplicates.Add(1)
 		return
 	}
 	p.counters.unique.Add(1)
+	// Trace from the admitted identity (classification may have re-keyed
+	// the event); the correlator adopts this ID at the next flush.
+	p.tracer.Start(stored.ID)
+	p.tracer.Mark(stored.ID, obs.StageIngest)
 	p.mu.Lock()
 	p.pending = append(p.pending, stored)
 	p.mu.Unlock()
@@ -529,9 +624,29 @@ func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, err
 	if len(events) == 0 {
 		return nil, nil
 	}
+	if p.flushDur != nil {
+		defer func(start time.Time) {
+			p.flushDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	delta := p.corr.Add(events)
 	if delta.Empty() {
 		return nil, nil
+	}
+	// Re-key member traces to their cluster identity: the journey of the
+	// earliest member continues under the cluster UUID from here on.
+	if p.tracer != nil {
+		adopt := func(ciocs []correlate.ComposedIoC) {
+			for i := range ciocs {
+				memberIDs := make([]string, len(ciocs[i].Events))
+				for j := range ciocs[i].Events {
+					memberIDs[j] = ciocs[i].Events[j].ID
+				}
+				p.tracer.Adopt(ciocs[i].ID, obs.StageCorrelate, memberIDs)
+			}
+		}
+		adopt(delta.New)
+		adopt(delta.Updated)
 	}
 	var errs []error
 	// Retract absorbed identities first: their members are already carried
@@ -542,6 +657,7 @@ func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, err
 			errs = append(errs, fmt.Errorf("core: retract merged cluster %s: %w", uuid, err))
 		}
 		p.dash.DropEventRIoCs(uuid)
+		p.tracer.Drop(uuid)
 	}
 	now := p.clk.Now()
 	batch := make([]*misp.Event, 0, len(delta.New)+len(delta.Updated))
@@ -564,6 +680,9 @@ func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, err
 	stored, err := p.tip.AddEvents(batch)
 	if err != nil {
 		errs = append(errs, fmt.Errorf("core: store cIoCs: %w", err))
+	}
+	for _, me := range stored {
+		p.tracer.Mark(me.UUID, obs.StageStore)
 	}
 	var added, edited int64
 	for _, me := range stored {
@@ -641,7 +760,13 @@ func (p *Platform) analyze(me *misp.Event) error {
 	// A cluster absorbed by a concurrent merge has been retracted from the
 	// store; analyzing its stale revision would resurrect its rIoCs.
 	if !p.store.Has(me.UUID) {
+		p.tracer.Drop(me.UUID)
 		return nil
+	}
+	if p.analyzeDur != nil {
+		defer func(start time.Time) {
+			p.analyzeDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
 	}
 	// Idempotency is keyed by (UUID, membership hash): a replayed revision
 	// of the same cluster is skipped, while a grown cluster — same stable
@@ -690,8 +815,10 @@ func (p *Platform) analyze(me *misp.Event) error {
 	}
 	if scored == 0 {
 		p.counters.unscorable.Add(1)
+		p.tracer.Drop(me.UUID)
 		return nil
 	}
+	p.tracer.Mark(me.UUID, obs.StageAnalyze)
 	// Write the threat score back into the stored MISP event — "adding the
 	// threat score as a new MISP attribute" (§IV-A) — turning it into the
 	// stored eIoC.
@@ -699,9 +826,11 @@ func (p *Platform) analyze(me *misp.Event) error {
 		"threat-score:"+strconv.FormatFloat(topScore, 'f', 4, 64), now)
 	me.AddTag("caisp:eioc")
 	if _, err := p.tip.AddEvent(me); err != nil {
+		p.tracer.Drop(me.UUID)
 		return fmt.Errorf("core: store eIoC %s: %w", me.UUID, err)
 	}
 	p.counters.eiocs.Add(1)
+	p.tracer.Finish(me.UUID, obs.StagePublish)
 	p.maybeCompact()
 	return nil
 }

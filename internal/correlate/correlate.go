@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/uuid"
 )
 
@@ -70,6 +71,9 @@ type Correlator struct {
 	// recorrelateAll is only meaningful for the streaming Incremental
 	// correlator (WithRecorrelateAll ablation); the batch path ignores it.
 	recorrelateAll bool
+	// registry is only meaningful for the streaming Incremental correlator
+	// (WithMetrics); the batch path ignores it.
+	registry *obs.Registry
 }
 
 // Option configures a Correlator.
@@ -93,6 +97,16 @@ func (o timeWindowOption) apply(c *Correlator) { c.timeWindow = time.Duration(o)
 // long as consecutive sightings stay within d). Zero, the default, imposes
 // no temporal constraint.
 func WithTimeWindow(d time.Duration) Option { return timeWindowOption(d) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(c *Correlator) { c.registry = o.reg }
+
+// WithMetrics registers the streaming correlator's caisp_correlate_*
+// families into reg (Add latency histogram plus cluster-churn views).
+// The batch Correlator ignores this option; a nil registry disables
+// instrumentation.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
 
 // New constructs a Correlator.
 func New(opts ...Option) *Correlator {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/uuid"
 )
 
@@ -34,6 +35,8 @@ type Incremental struct {
 	seq uint64
 
 	stats IncrementalStats
+
+	addDur *obs.Histogram // caisp_correlate_add_seconds; nil without WithMetrics
 
 	// Recorrelate-all ablation state (WithRecorrelateAll): the full event
 	// history plus the previously emitted (uuid → content hash) map.
@@ -131,12 +134,32 @@ func NewIncremental(opts ...Option) *Incremental {
 	if cfg.minClusterSize < 1 {
 		cfg.minClusterSize = 1
 	}
-	return &Incremental{
+	inc := &Incremental{
 		cfg:   cfg,
 		cats:  make(map[string]*catState),
 		known: make(map[string]bool),
 		prev:  make(map[string]string),
 	}
+	if reg := cfg.registry; reg != nil {
+		inc.addDur = reg.Histogram("caisp_correlate_add_seconds",
+			"Incremental.Add latency per flushed batch.")
+		reg.GaugeFunc("caisp_correlate_clusters",
+			"Currently emitted (live) clusters.",
+			func() float64 { return float64(inc.Stats().Clusters) })
+		reg.CounterFunc("caisp_correlate_events_total",
+			"Distinct events folded into the streaming index.",
+			func() float64 { return float64(inc.Stats().Events) })
+		reg.CounterFunc("caisp_correlate_cluster_new_total",
+			"Clusters emitted for the first time.",
+			func() float64 { return float64(inc.Stats().New) })
+		reg.CounterFunc("caisp_correlate_cluster_updated_total",
+			"In-place cluster growth emissions.",
+			func() float64 { return float64(inc.Stats().Updated) })
+		reg.CounterFunc("caisp_correlate_cluster_merges_total",
+			"Absorbed-cluster retractions.",
+			func() float64 { return float64(inc.Stats().Merges) })
+	}
+	return inc
 }
 
 // clusterUUID derives the stable identity of a cluster from its category
@@ -164,6 +187,11 @@ func (inc *Incremental) cat(category string) *catState {
 // delta of emitted clusters. Events already known (same normalized ID) are
 // ignored. Output slices are sorted for determinism.
 func (inc *Incremental) Add(events []normalize.Event) Delta {
+	if inc.addDur != nil {
+		defer func(start time.Time) {
+			inc.addDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	inc.mu.Lock()
 	defer inc.mu.Unlock()
 	if inc.cfg.recorrelateAll {

@@ -12,6 +12,7 @@ package dashboard
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"sort"
 	"strconv"
@@ -21,6 +22,7 @@ import (
 
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/sessions"
 	"github.com/caisplatform/caisp/internal/wsock"
 )
@@ -67,6 +69,11 @@ type Event struct {
 type Server struct {
 	collector *infra.Collector
 	hub       *wsock.Hub
+	logger    *slog.Logger
+	slowAt    time.Duration // slow-push log threshold; 0 disables
+
+	pushDur     *obs.Histogram // caisp_dashboard_push_seconds; nil without WithMetrics
+	revisionLag *obs.Histogram // caisp_dashboard_revision_lag_seconds
 
 	mu    sync.RWMutex
 	riocs []heuristic.RIoC
@@ -93,13 +100,67 @@ type TimelineBucket struct {
 	Alarms int       `json:"alarms"`
 }
 
+// Option configures a Server.
+type Option interface{ apply(*Server) }
+
+type loggerOption struct{ l *slog.Logger }
+
+func (o loggerOption) apply(s *Server) { s.logger = o.l }
+
+// WithLogger sets the dashboard's logger (slow-push reports; see
+// WithSlowThreshold). Nil restores the default logger.
+func WithLogger(l *slog.Logger) Option { return loggerOption{l: l} }
+
+type slowThresholdOption time.Duration
+
+func (o slowThresholdOption) apply(s *Server) { s.slowAt = time.Duration(o) }
+
+// WithSlowThreshold logs a warning with the originating event UUID for
+// every PushRIoC slower than d (store plus WebSocket broadcast). Zero (the
+// default) disables slow-push logging.
+func WithSlowThreshold(d time.Duration) Option { return slowThresholdOption(d) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(s *Server) {
+	if o.reg == nil {
+		return
+	}
+	s.pushDur = o.reg.Histogram("caisp_dashboard_push_seconds",
+		"PushRIoC latency: in-place store plus WebSocket broadcast.")
+	s.revisionLag = o.reg.Histogram("caisp_dashboard_revision_lag_seconds",
+		"Age of a pushed rIoC at dashboard arrival (now minus GeneratedAt).",
+		0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1, 5, 10, 60, 300)
+	o.reg.GaugeFunc("caisp_dashboard_riocs",
+		"Reduced IoCs currently shown on the dashboard.",
+		func() float64 {
+			s.mu.RLock()
+			defer s.mu.RUnlock()
+			return float64(len(s.riocs))
+		})
+	o.reg.GaugeFunc("caisp_dashboard_ws_clients",
+		"Connected WebSocket clients.",
+		func() float64 { return float64(s.hub.Len()) })
+}
+
+// WithMetrics registers the dashboard's caisp_dashboard_* families into
+// reg (nil disables instrumentation).
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
+
 // NewServer builds a dashboard over an infrastructure collector.
-func NewServer(collector *infra.Collector) *Server {
+func NewServer(collector *infra.Collector, opts ...Option) *Server {
 	s := &Server{
 		collector: collector,
 		hub:       wsock.NewHub(),
+		logger:    slog.Default(),
 		riocIdx:   make(map[string]int),
 		mux:       http.NewServeMux(),
+	}
+	for _, o := range opts {
+		o.apply(s)
+	}
+	if s.logger == nil {
+		s.logger = slog.Default()
 	}
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/topology", s.handleTopology)
@@ -168,6 +229,13 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 // a bumped Revision, so dashboard counts never double-count a cluster that
 // grew across flush batches.
 func (s *Server) PushRIoC(r heuristic.RIoC) {
+	var start time.Time
+	if s.pushDur != nil || s.slowAt > 0 {
+		start = time.Now()
+	}
+	if s.revisionLag != nil && !r.GeneratedAt.IsZero() {
+		s.revisionLag.Observe(time.Since(r.GeneratedAt).Seconds())
+	}
 	s.mu.Lock()
 	key := riocKey(&r)
 	if i, ok := s.riocIdx[key]; ok {
@@ -185,6 +253,18 @@ func (s *Server) PushRIoC(r heuristic.RIoC) {
 	s.mark(r.GeneratedAt, "rioc")
 	s.mu.Unlock()
 	s.broadcast(Event{Kind: "rioc", RIoC: &r})
+	if !start.IsZero() {
+		elapsed := time.Since(start)
+		if s.pushDur != nil {
+			s.pushDur.Observe(elapsed.Seconds())
+		}
+		if s.slowAt > 0 && elapsed > s.slowAt {
+			s.logger.Warn("slow dashboard push",
+				"stage", "publish", "event_uuid", r.EventUUID, "rioc_id", r.ID,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"threshold_ms", float64(s.slowAt)/float64(time.Millisecond))
+		}
+	}
 }
 
 // DropEventRIoCs removes every rIoC reduced from the given stored event —

@@ -1,0 +1,37 @@
+package dashboard
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+
+	"github.com/caisplatform/caisp/internal/infra"
+)
+
+// TestSlowPushLogged pins the dashboard slow-op path: a push above the
+// threshold emits one structured warning with the stage and rIoC identity.
+func TestSlowPushLogged(t *testing.T) {
+	collector, err := infra.NewCollector(infra.PaperInventory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	logger := slog.New(slog.NewTextHandler(&sb, nil))
+	s := NewServer(collector, WithLogger(logger), WithSlowThreshold(1)) // 1ns
+	defer s.Close()
+	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
+	out := sb.String()
+	for _, want := range []string{"slow dashboard push", "stage=publish", "rioc_id=rioc--test"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow-push log missing %q:\n%s", want, out)
+		}
+	}
+
+	sb.Reset()
+	quiet := NewServer(collector, WithLogger(logger), WithSlowThreshold(1<<40))
+	defer quiet.Close()
+	quiet.PushRIoC(sampleRIoC([]string{"node4"}, false))
+	if sb.Len() != 0 {
+		t.Fatalf("fast push logged:\n%s", sb.String())
+	}
+}

@@ -2,8 +2,10 @@ package dedup
 
 import (
 	"sync"
+	"time"
 
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 )
 
 // Stats counts the deduper's decisions.
@@ -37,6 +39,7 @@ type options struct {
 	expectedItems int
 	fpRate        float64
 	useBloom      bool
+	registry      *obs.Registry
 }
 
 type expectedItemsOption int
@@ -60,6 +63,15 @@ func (o bloomOption) apply(opts *options) { opts.useBloom = bool(o) }
 // WithBloom toggles the Bloom-filter fast path (used by the ablation bench).
 func WithBloom(enabled bool) Option { return bloomOption(enabled) }
 
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(opts *options) { opts.registry = o.reg }
+
+// WithMetrics registers the deduper's caisp_dedup_* families into reg:
+// scrape-time views over the decision counters plus an Offer latency
+// histogram. A nil registry disables instrumentation.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
+
 // Deduper drops events whose deterministic ID was already admitted and
 // merges the duplicate's observation window and context into the retained
 // event. Safe for concurrent use.
@@ -69,6 +81,8 @@ type Deduper struct {
 	byID   map[string]*normalize.Event
 	stats  Stats
 	useBlm bool
+
+	offerDur *obs.Histogram // nil without WithMetrics
 }
 
 // New constructs a Deduper.
@@ -84,6 +98,22 @@ func New(opts ...Option) *Deduper {
 	if cfg.useBloom {
 		d.bloom = NewBloom(cfg.expectedItems, cfg.fpRate)
 	}
+	if reg := cfg.registry; reg != nil {
+		d.offerDur = reg.Histogram("caisp_dedup_offer_seconds",
+			"Deduper.Offer latency (bloom probe + exact check + merge).")
+		reg.CounterFunc("caisp_dedup_seen_total",
+			"Events offered to the deduper.",
+			func() float64 { return float64(d.Stats().Seen) })
+		reg.CounterFunc("caisp_dedup_unique_total",
+			"Events admitted as new.",
+			func() float64 { return float64(d.Stats().Unique) })
+		reg.CounterFunc("caisp_dedup_duplicates_total",
+			"Events folded into existing ones.",
+			func() float64 { return float64(d.Stats().Duplicates) })
+		reg.CounterFunc("caisp_dedup_bloom_false_positives_total",
+			"Bloom filter hits refuted by the exact set.",
+			func() float64 { return float64(d.Stats().BloomFalsePositives) })
+	}
 	return d
 }
 
@@ -91,6 +121,11 @@ func New(opts ...Option) *Deduper {
 // the returned copy is the stored one — and (stored, false) when it was a
 // duplicate that has been merged into the previously stored event.
 func (d *Deduper) Offer(e normalize.Event) (normalize.Event, bool) {
+	if d.offerDur != nil {
+		defer func(start time.Time) {
+			d.offerDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	d.stats.Seen++

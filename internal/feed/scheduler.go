@@ -11,6 +11,7 @@ import (
 
 	"github.com/caisplatform/caisp/internal/clock"
 	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/obs"
 )
 
 // Feed couples a named source with its fetcher, parser and schedule.
@@ -44,6 +45,7 @@ type Scheduler struct {
 	sink        func(normalize.Event)
 	logger      *slog.Logger
 	concurrency int
+	metrics     *schedMetrics
 
 	mu      sync.Mutex
 	feeds   []Feed
@@ -77,6 +79,46 @@ func (o concurrencyOption) apply(s *Scheduler) { s.concurrency = int(o) }
 // WithConcurrency bounds how many feeds PollOnce fetches and parses in
 // parallel. Values below 1 (the default) use GOMAXPROCS.
 func WithConcurrency(n int) Option { return concurrencyOption(n) }
+
+// schedMetrics are the per-feed caisp_feed_* families. A nil value (no
+// registry) disables instrumentation at one pointer check per poll.
+type schedMetrics struct {
+	fetches     *obs.CounterVec   // caisp_feed_fetches_total{feed}
+	errors      *obs.CounterVec   // caisp_feed_errors_total{feed}
+	notModified *obs.CounterVec   // caisp_feed_not_modified_total{feed}
+	records     *obs.CounterVec   // caisp_feed_records_total{feed}
+	malformed   *obs.CounterVec   // caisp_feed_malformed_total{feed}
+	bytes       *obs.CounterVec   // caisp_feed_fetch_bytes_total{feed}
+	fetchDur    *obs.HistogramVec // caisp_feed_fetch_seconds{feed}
+}
+
+type schedMetricsOption struct{ reg *obs.Registry }
+
+func (o schedMetricsOption) apply(s *Scheduler) {
+	if o.reg == nil {
+		return
+	}
+	s.metrics = &schedMetrics{
+		fetches: o.reg.CounterVec("caisp_feed_fetches_total",
+			"Fetch attempts per feed.", "feed"),
+		errors: o.reg.CounterVec("caisp_feed_errors_total",
+			"Failed fetches or parses per feed.", "feed"),
+		notModified: o.reg.CounterVec("caisp_feed_not_modified_total",
+			"Fetches answered not-modified per feed.", "feed"),
+		records: o.reg.CounterVec("caisp_feed_records_total",
+			"Records parsed and normalized per feed.", "feed"),
+		malformed: o.reg.CounterVec("caisp_feed_malformed_total",
+			"Records rejected by normalization per feed.", "feed"),
+		bytes: o.reg.CounterVec("caisp_feed_fetch_bytes_total",
+			"Bytes fetched per feed.", "feed"),
+		fetchDur: o.reg.HistogramVec("caisp_feed_fetch_seconds",
+			"Fetch wall time per feed, including not-modified probes.", nil, "feed"),
+	}
+}
+
+// WithMetrics registers the scheduler's caisp_feed_* families into reg
+// (nil disables instrumentation).
+func WithMetrics(reg *obs.Registry) Option { return schedMetricsOption{reg: reg} }
 
 // NewScheduler builds a scheduler delivering normalized events to sink.
 func NewScheduler(sink func(normalize.Event), opts ...Option) *Scheduler {
@@ -249,7 +291,16 @@ func (s *Scheduler) pollLoop(ctx context.Context, f Feed) {
 // pollFeed fetches and processes one feed once; it reports success (a
 // not-modified response counts as success).
 func (s *Scheduler) pollFeed(ctx context.Context, f Feed) bool {
+	var fetchStart time.Time
+	if s.metrics != nil {
+		fetchStart = time.Now()
+	}
 	data, notModified, err := f.Fetcher.Fetch(ctx)
+	if s.metrics != nil {
+		s.metrics.fetchDur.With(f.Name).Observe(time.Since(fetchStart).Seconds())
+		s.metrics.fetches.With(f.Name).Inc()
+		s.metrics.bytes.With(f.Name).Add(int64(len(data)))
+	}
 	s.mu.Lock()
 	st := s.stats[f.Name]
 	st.Fetches++
@@ -264,6 +315,9 @@ func (s *Scheduler) pollFeed(ctx context.Context, f Feed) bool {
 		s.mu.Lock()
 		st.NotModified++
 		s.mu.Unlock()
+		if s.metrics != nil {
+			s.metrics.notModified.With(f.Name).Inc()
+		}
 		return true
 	}
 	records, err := f.Parser.Parse(data)
@@ -283,6 +337,9 @@ func (s *Scheduler) pollFeed(ctx context.Context, f Feed) bool {
 			s.mu.Lock()
 			st.Malformed++
 			s.mu.Unlock()
+			if s.metrics != nil {
+				s.metrics.malformed.With(f.Name).Inc()
+			}
 			continue
 		}
 		if len(rec.Context) > 0 {
@@ -294,6 +351,9 @@ func (s *Scheduler) pollFeed(ctx context.Context, f Feed) bool {
 		s.mu.Lock()
 		st.Records++
 		s.mu.Unlock()
+		if s.metrics != nil {
+			s.metrics.records.With(f.Name).Inc()
+		}
 		s.sink(event)
 	}
 	return true
@@ -303,4 +363,7 @@ func (s *Scheduler) bumpErrors(name string) {
 	s.mu.Lock()
 	s.stats[name].Errors++
 	s.mu.Unlock()
+	if s.metrics != nil {
+		s.metrics.errors.With(name).Inc()
+	}
 }

@@ -18,11 +18,13 @@ package heuristic
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/stix"
 )
 
@@ -131,6 +133,9 @@ type Engine struct {
 	registry map[string]*Heuristic
 	infra    *infra.Collector
 	now      func() time.Time
+	logger   *slog.Logger
+	slowAt   time.Duration  // slow-op log threshold; 0 disables
+	evalDur  *obs.Histogram // caisp_heuristic_eval_seconds; nil without WithMetrics
 }
 
 // Option configures an Engine.
@@ -158,18 +163,53 @@ func (o heuristicOption) apply(e *Engine) { e.registry[o.h.SDOType] = o.h }
 // WithHeuristic overrides or adds a heuristic for one SDO type.
 func WithHeuristic(h *Heuristic) Option { return heuristicOption{h: h} }
 
+type loggerOption struct{ l *slog.Logger }
+
+func (o loggerOption) apply(e *Engine) { e.logger = o.l }
+
+// WithLogger sets the engine's logger (slow-op reports; see
+// WithSlowThreshold). Nil restores the default logger.
+func WithLogger(l *slog.Logger) Option { return loggerOption{l: l} }
+
+type slowThresholdOption time.Duration
+
+func (o slowThresholdOption) apply(e *Engine) { e.slowAt = time.Duration(o) }
+
+// WithSlowThreshold logs a warning with the SDO type and object ID for
+// every Evaluate call slower than d. Zero (the default) disables slow-op
+// logging.
+func WithSlowThreshold(d time.Duration) Option { return slowThresholdOption(d) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(e *Engine) {
+	if o.reg == nil {
+		return
+	}
+	e.evalDur = o.reg.Histogram("caisp_heuristic_eval_seconds",
+		"Threat-score evaluation latency per SDO.")
+}
+
+// WithMetrics registers the engine's caisp_heuristic_* families into reg
+// (nil disables instrumentation).
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
+
 // NewEngine builds an engine with the default registry (the six SDO
 // heuristics of Table II).
 func NewEngine(opts ...Option) *Engine {
 	e := &Engine{
 		registry: make(map[string]*Heuristic, 6),
 		now:      time.Now,
+		logger:   slog.Default(),
 	}
 	for _, h := range DefaultHeuristics() {
 		e.registry[h.SDOType] = h
 	}
 	for _, o := range opts {
 		o.apply(e)
+	}
+	if e.logger == nil {
+		e.logger = slog.Default()
 	}
 	return e
 }
@@ -192,13 +232,30 @@ func (e *Engine) Heuristic(sdoType string) *Heuristic {
 // Evaluate computes the threat score of a STIX object using the heuristic
 // registered for its type.
 func (e *Engine) Evaluate(obj stix.Object) (*Result, error) {
-	typ := obj.GetCommon().Type
-	h, ok := e.registry[typ]
+	common := obj.GetCommon()
+	h, ok := e.registry[common.Type]
 	if !ok {
-		return nil, fmt.Errorf("heuristic: no heuristic registered for SDO type %q", typ)
+		return nil, fmt.Errorf("heuristic: no heuristic registered for SDO type %q", common.Type)
+	}
+	var start time.Time
+	if e.evalDur != nil || e.slowAt > 0 {
+		start = time.Now()
 	}
 	ctx := &Context{Now: e.now().UTC(), Infra: e.infra}
-	return evaluate(h, ctx, obj), nil
+	res := evaluate(h, ctx, obj)
+	if !start.IsZero() {
+		elapsed := time.Since(start)
+		if e.evalDur != nil {
+			e.evalDur.Observe(elapsed.Seconds())
+		}
+		if e.slowAt > 0 && elapsed > e.slowAt {
+			e.logger.Warn("slow heuristic evaluation",
+				"stage", "analyze", "sdo_type", common.Type, "id", common.ID,
+				"elapsed_ms", float64(elapsed)/float64(time.Millisecond),
+				"threshold_ms", float64(e.slowAt)/float64(time.Millisecond))
+		}
+	}
+	return res, nil
 }
 
 // evaluate runs every feature, derives Pi over the present features'

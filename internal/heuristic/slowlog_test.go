@@ -1,0 +1,34 @@
+package heuristic
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+// TestSlowEvaluationLogged pins the slow-op path: an evaluation above the
+// threshold emits one structured warning carrying the stage and SDO id.
+func TestSlowEvaluationLogged(t *testing.T) {
+	var sb strings.Builder
+	logger := slog.New(slog.NewTextHandler(&sb, nil))
+	e := NewEngine(WithLogger(logger), WithSlowThreshold(1)) // 1ns: everything is slow
+	if _, err := e.Evaluate(useCaseIoC()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"slow heuristic evaluation", "stage=analyze", "sdo_type=vulnerability", "id="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("slow-op log missing %q:\n%s", want, out)
+		}
+	}
+
+	// Below threshold: silent.
+	sb.Reset()
+	quiet := NewEngine(WithLogger(logger), WithSlowThreshold(1<<40)) // ~18min
+	if _, err := quiet.Evaluate(useCaseIoC()); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("fast evaluation logged:\n%s", sb.String())
+	}
+}

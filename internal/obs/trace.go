@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Pipeline stage names stamped on traces. A trace's stage span is the
+// time between the previous mark (or the trace start) and its own mark,
+// so the five spans partition the end-to-end latency:
+//
+//	ingest     feed sink entry → dedup decision
+//	correlate  dedup → cluster adoption in the flush
+//	store      adoption → group-committed WAL write (fsync)
+//	analyze    store commit → heuristic score computed
+//	publish    score → eIoC write-back + dashboard upsert done
+const (
+	StageIngest    = "ingest"
+	StageCorrelate = "correlate"
+	StageStore     = "store_commit"
+	StageAnalyze   = "analyze"
+	StagePublish   = "publish"
+)
+
+// defaults for NewTracer.
+const (
+	defaultMaxActive   = 8192
+	defaultKeepSlowest = 32
+)
+
+// StageSpan is one stage of a finished trace.
+type StageSpan struct {
+	Stage string  `json:"stage"`
+	MS    float64 `json:"ms"`
+}
+
+// TraceRecord is one finished end-to-end trace.
+type TraceRecord struct {
+	// ID is the identity the trace finished under — the cluster UUID for
+	// adopted pipeline traces, the normalized event ID otherwise.
+	ID string `json:"id"`
+	// Start is when the first member event entered the pipeline.
+	Start time.Time `json:"start"`
+	// TotalMS is the end-to-end wall time in milliseconds.
+	TotalMS float64     `json:"total_ms"`
+	Stages  []StageSpan `json:"stages"`
+}
+
+// trace is an in-flight journey.
+type trace struct {
+	id    string
+	start time.Time
+	marks []stageMark
+}
+
+type stageMark struct {
+	stage string
+	at    time.Time
+}
+
+// Tracer stamps each IoC's journey through the pipeline, feeding
+// per-stage latency histograms and keeping a ring of the N slowest
+// end-to-end traces with stage breakdowns. All methods are safe for
+// concurrent use, and all methods on a nil *Tracer no-op, so the
+// un-instrumented ablation costs one nil check.
+//
+// The active set is bounded: once maxActive journeys are in flight,
+// Start evicts the oldest (counted in caisp_trace_dropped_total), so a
+// stalled pipeline cannot grow the tracer without bound.
+type Tracer struct {
+	mu      sync.Mutex
+	active  map[string]*trace
+	fifo    []string      // Start order, for eviction
+	slowest []TraceRecord // ascending by TotalMS, capped at keep
+
+	maxActive int
+	keep      int
+	now       func() time.Time
+
+	stageHist *HistogramVec // caisp_trace_stage_seconds{stage}
+	e2eHist   *Histogram    // caisp_trace_end_to_end_seconds
+	finished  *Counter      // caisp_trace_finished_total
+	dropped   *Counter      // caisp_trace_dropped_total
+}
+
+// TracerOption configures NewTracer.
+type TracerOption interface{ apply(*Tracer) }
+
+type maxActiveOption int
+
+func (o maxActiveOption) apply(t *Tracer) {
+	if o > 0 {
+		t.maxActive = int(o)
+	}
+}
+
+// WithMaxActive bounds the number of in-flight traces (default 8192).
+func WithMaxActive(n int) TracerOption { return maxActiveOption(n) }
+
+type keepSlowestOption int
+
+func (o keepSlowestOption) apply(t *Tracer) {
+	if o > 0 {
+		t.keep = int(o)
+	}
+}
+
+// WithKeepSlowest sets how many slowest finished traces are retained for
+// GET /debug/traces (default 32).
+func WithKeepSlowest(n int) TracerOption { return keepSlowestOption(n) }
+
+type nowOption struct{ now func() time.Time }
+
+func (o nowOption) apply(t *Tracer) { t.now = o.now }
+
+// WithNow substitutes the tracer clock (tests).
+func WithNow(now func() time.Time) TracerOption { return nowOption{now: now} }
+
+// NewTracer builds a tracer registering its histograms and counters into
+// reg. A nil registry yields a nil tracer — the no-op ablation.
+func NewTracer(reg *Registry, opts ...TracerOption) *Tracer {
+	if reg == nil {
+		return nil
+	}
+	t := &Tracer{
+		active:    make(map[string]*trace),
+		maxActive: defaultMaxActive,
+		keep:      defaultKeepSlowest,
+		now:       time.Now,
+		stageHist: reg.HistogramVec("caisp_trace_stage_seconds",
+			"Per-stage latency of traced IoC journeys.", nil, "stage"),
+		e2eHist: reg.Histogram("caisp_trace_end_to_end_seconds",
+			"End-to-end latency from feed sink entry to dashboard upsert."),
+		finished: reg.Counter("caisp_trace_finished_total",
+			"Traces completed end to end."),
+		dropped: reg.Counter("caisp_trace_dropped_total",
+			"Traces evicted or abandoned before finishing."),
+	}
+	for _, o := range opts {
+		o.apply(t)
+	}
+	return t
+}
+
+// Start begins a trace for id. An existing in-flight trace under the
+// same id is restarted.
+func (t *Tracer) Start(id string) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.active) >= t.maxActive {
+		t.evictOldestLocked()
+	}
+	if _, ok := t.active[id]; !ok {
+		t.fifo = append(t.fifo, id)
+	}
+	t.active[id] = &trace{id: id, start: now}
+}
+
+// evictOldestLocked drops the oldest in-flight trace. Caller holds mu.
+func (t *Tracer) evictOldestLocked() {
+	for len(t.fifo) > 0 {
+		victim := t.fifo[0]
+		t.fifo = t.fifo[1:]
+		if _, ok := t.active[victim]; ok {
+			delete(t.active, victim)
+			t.dropped.Inc()
+			return
+		}
+	}
+}
+
+// Mark stamps the completion of a stage on an in-flight trace. Unknown
+// ids are ignored (the trace was evicted or never started).
+func (t *Tracer) Mark(id, stage string) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if tr, ok := t.active[id]; ok {
+		tr.marks = append(tr.marks, stageMark{stage: stage, at: now})
+	}
+}
+
+// Adopt re-keys the journey of a cluster: the member traces are removed
+// and the earliest-started one continues under newID with stage marked.
+// Used at the flush boundary, where N normalized events become one
+// cluster event. If no member has an in-flight trace, nothing happens.
+func (t *Tracer) Adopt(newID, stage string, memberIDs []string) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var oldest *trace
+	for _, id := range memberIDs {
+		tr, ok := t.active[id]
+		if !ok {
+			continue
+		}
+		delete(t.active, id)
+		if oldest == nil || tr.start.Before(oldest.start) {
+			oldest = tr
+		}
+	}
+	if oldest == nil {
+		return
+	}
+	if _, ok := t.active[newID]; !ok {
+		t.fifo = append(t.fifo, newID)
+	}
+	oldest.id = newID
+	oldest.marks = append(oldest.marks, stageMark{stage: stage, at: now})
+	t.active[newID] = oldest
+}
+
+// Drop abandons an in-flight trace (duplicate event, unscorable
+// cluster, retracted identity).
+func (t *Tracer) Drop(id string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.active[id]; ok {
+		delete(t.active, id)
+		t.dropped.Inc()
+	}
+}
+
+// Finish completes a trace: the final stage is stamped, per-stage and
+// end-to-end histograms observed, and the trace retained if it is among
+// the slowest seen.
+func (t *Tracer) Finish(id, finalStage string) {
+	if t == nil {
+		return
+	}
+	now := t.now()
+	t.mu.Lock()
+	tr, ok := t.active[id]
+	if !ok {
+		t.mu.Unlock()
+		return
+	}
+	delete(t.active, id)
+	tr.marks = append(tr.marks, stageMark{stage: finalStage, at: now})
+
+	total := now.Sub(tr.start)
+	rec := TraceRecord{
+		ID:      tr.id,
+		Start:   tr.start,
+		TotalMS: float64(total) / float64(time.Millisecond),
+		Stages:  make([]StageSpan, 0, len(tr.marks)),
+	}
+	prev := tr.start
+	for _, m := range tr.marks {
+		span := m.at.Sub(prev)
+		if span < 0 {
+			span = 0
+		}
+		rec.Stages = append(rec.Stages, StageSpan{
+			Stage: m.stage,
+			MS:    float64(span) / float64(time.Millisecond),
+		})
+		prev = m.at
+	}
+	t.insertSlowestLocked(rec)
+	t.mu.Unlock()
+
+	// Observe outside the tracer lock: histograms are lock-free.
+	for _, s := range rec.Stages {
+		t.stageHist.With(s.Stage).Observe(s.MS / 1e3)
+	}
+	t.e2eHist.Observe(total.Seconds())
+	t.finished.Inc()
+}
+
+// insertSlowestLocked keeps t.slowest sorted ascending by TotalMS and
+// capped at t.keep. Caller holds mu.
+func (t *Tracer) insertSlowestLocked(rec TraceRecord) {
+	i := sort.Search(len(t.slowest), func(i int) bool {
+		return t.slowest[i].TotalMS >= rec.TotalMS
+	})
+	if len(t.slowest) < t.keep {
+		t.slowest = append(t.slowest, TraceRecord{})
+		copy(t.slowest[i+1:], t.slowest[i:])
+		t.slowest[i] = rec
+		return
+	}
+	if i == 0 {
+		return // faster than everything retained
+	}
+	// Drop the current fastest to make room.
+	copy(t.slowest[:i-1], t.slowest[1:i])
+	t.slowest[i-1] = rec
+}
+
+// Slowest returns the retained slowest traces, slowest first. Nil-safe.
+func (t *Tracer) Slowest() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, len(t.slowest))
+	for i := range t.slowest {
+		out[len(t.slowest)-1-i] = t.slowest[i]
+	}
+	return out
+}
+
+// Active reports the number of in-flight traces. Nil-safe.
+func (t *Tracer) Active() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.active)
+}
+
+// Handler serves the slowest traces as JSON — GET /debug/traces.
+// Nil-safe: a nil tracer serves an empty array.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		recs := t.Slowest()
+		if recs == nil {
+			recs = []TraceRecord{}
+		}
+		_ = json.NewEncoder(w).Encode(recs)
+	})
+}

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
 )
 
 const (
@@ -162,6 +163,19 @@ type Store struct {
 	compactMu      sync.Mutex // serializes Compact; taken before mu
 	compactions    int64
 	lastCompactDur time.Duration
+
+	metrics *storeMetrics // nil without WithMetrics
+}
+
+// storeMetrics are the caisp_store_* latency histograms; scrape-time
+// gauge/counter views over the durability counters are registered
+// alongside them (see WithMetrics).
+type storeMetrics struct {
+	putDur      *obs.Histogram // caisp_store_put_seconds
+	putBatchDur *obs.Histogram // caisp_store_put_batch_seconds
+	batchSize   *obs.Histogram // caisp_store_batch_size_events
+	commitDur   *obs.Histogram // caisp_store_commit_seconds (WAL write+flush+fsync)
+	compactDur  *obs.Histogram // caisp_store_compaction_seconds
 }
 
 // Option configures Open.
@@ -222,6 +236,49 @@ func (o blockingCompactOption) apply(s *Store) { s.blockingCompact = bool(o) }
 // as the ablation baseline for the durability benchmarks. Default off.
 func WithBlockingCompaction(enabled bool) Option { return blockingCompactOption(enabled) }
 
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(s *Store) { s.registerMetrics(o.reg) }
+
+// WithMetrics registers the store's caisp_store_* families into reg:
+// write-path and compaction latency histograms plus scrape-time views
+// over the durability counters (WAL footprint, segment count, event
+// count). A nil registry disables instrumentation.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
+
+func (s *Store) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics = &storeMetrics{
+		putDur: reg.Histogram("caisp_store_put_seconds",
+			"Single-event Put latency (validate, clone, WAL append, index)."),
+		putBatchDur: reg.Histogram("caisp_store_put_batch_seconds",
+			"Group-committed PutBatch latency for the whole batch."),
+		batchSize: reg.Histogram("caisp_store_batch_size_events",
+			"Events per group-committed batch.", obs.SizeBuckets...),
+		commitDur: reg.Histogram("caisp_store_commit_seconds",
+			"WAL group append latency: frame, write, flush and (with WithSync) fsync."),
+		compactDur: reg.Histogram("caisp_store_compaction_seconds",
+			"Wall time of one compaction (capture, stream, merge)."),
+	}
+	reg.GaugeFunc("caisp_store_events",
+		"Live events in the store.",
+		func() float64 { return float64(s.Len()) })
+	reg.GaugeFunc("caisp_store_wal_bytes",
+		"On-disk WAL footprint across all segments.",
+		func() float64 { return float64(s.Durability().WALBytes) })
+	reg.GaugeFunc("caisp_store_wal_segments",
+		"WAL segment files (sealed plus active).",
+		func() float64 { return float64(s.Durability().WALSegments) })
+	reg.GaugeFunc("caisp_store_wal_ops",
+		"Operations appended since the last snapshot.",
+		func() float64 { return float64(s.WALOps()) })
+	reg.CounterFunc("caisp_store_compactions_total",
+		"Snapshots published since Open.",
+		func() float64 { return float64(s.Durability().Compactions) })
+}
+
 // walRecord is one WAL entry.
 type walRecord struct {
 	Seq   uint64      `json:"seq"`
@@ -278,6 +335,11 @@ func Open(dir string, opts ...Option) (*Store, error) {
 // Put stores (or replaces) an event. The store keeps a private copy taken
 // before the write lock; the caller retains ownership of e.
 func (s *Store) Put(e *misp.Event) error {
+	if s.metrics != nil {
+		defer func(start time.Time) {
+			s.metrics.putDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	if err := e.Validate(); err != nil {
 		return err
 	}
@@ -304,6 +366,12 @@ func (s *Store) Put(e *misp.Event) error {
 func (s *Store) PutBatch(events []*misp.Event) error {
 	if len(events) == 0 {
 		return nil
+	}
+	if s.metrics != nil {
+		s.metrics.batchSize.Observe(float64(len(events)))
+		defer func(start time.Time) {
+			s.metrics.putBatchDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
 	}
 	cps := make([]*misp.Event, len(events))
 	for i, e := range events {
@@ -738,6 +806,9 @@ func (s *Store) finishCompactionLocked(snapSeq uint64, ops int, start time.Time)
 	s.walOps -= ops
 	s.compactions++
 	s.lastCompactDur = time.Since(start)
+	if s.metrics != nil {
+		s.metrics.compactDur.Observe(s.lastCompactDur.Seconds())
+	}
 	var covered []string
 	if s.wal != nil {
 		covered = s.wal.dropCovered(snapSeq)
@@ -814,8 +885,15 @@ func (s *Store) Close() error {
 // across recovery. Caller holds the write lock.
 func (s *Store) appendWALGroup(recs []walRecord) error {
 	if s.wal != nil {
+		var start time.Time
+		if s.metrics != nil {
+			start = time.Now()
+		}
 		if err := s.wal.append(recs); err != nil {
 			return err
+		}
+		if s.metrics != nil {
+			s.metrics.commitDur.Observe(time.Since(start).Seconds())
 		}
 	}
 	s.walOps += len(recs)

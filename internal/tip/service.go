@@ -16,6 +16,7 @@ import (
 
 	"github.com/caisplatform/caisp/internal/bus"
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
 )
 
@@ -35,6 +36,8 @@ type Service struct {
 	broker *bus.Broker
 	logger *slog.Logger
 	name   string
+
+	storeOps *obs.CounterVec // caisp_tip_store_total{op}; nil without WithMetrics
 }
 
 // Option configures a Service.
@@ -60,6 +63,24 @@ func (o nameOption) apply(s *Service) { s.name = string(o) }
 
 // WithName labels the instance (log and stats output).
 func WithName(name string) Option { return nameOption(name) }
+
+type metricsOption struct{ reg *obs.Registry }
+
+func (o metricsOption) apply(s *Service) {
+	if o.reg == nil {
+		return
+	}
+	s.storeOps = o.reg.CounterVec("caisp_tip_store_total",
+		"Events stored through the TIP, by operation (add or edit).", "op")
+	o.reg.GaugeFunc("caisp_tip_events",
+		"Events currently held by the TIP store.",
+		func() float64 { return float64(s.store.Len()) })
+}
+
+// WithMetrics registers the service's caisp_tip_* families into reg (nil
+// disables instrumentation). The store and broker register their own
+// families through their respective WithMetrics options.
+func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
 
 // NewService wraps a store.
 func NewService(store *storage.Store, opts ...Option) *Service {
@@ -95,6 +116,7 @@ func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
 		return nil, err
 	}
 	s.publish(topic, e)
+	s.countStore(topic)
 	s.logger.Debug("event stored", "instance", s.name, "uuid", e.UUID, "topic", topic, "correlated", len(correlated))
 	return correlated, nil
 }
@@ -133,6 +155,7 @@ func (s *Service) AddEvents(events []*misp.Event) (stored []*misp.Event, err err
 		}
 		for i, e := range valid {
 			s.publish(topics[i], e)
+			s.countStore(topics[i])
 		}
 		s.logger.Debug("event batch stored", "instance", s.name,
 			"stored", len(valid), "rejected", len(errs))
@@ -352,6 +375,19 @@ func (s *Service) publish(topic string, e *misp.Event) {
 		}
 	}
 	s.broker.Publish(topic, data)
+}
+
+// countStore bumps the store-operation counter, mapping the bus topic to
+// its operation label.
+func (s *Service) countStore(topic string) {
+	if s.storeOps == nil {
+		return
+	}
+	op := "add"
+	if topic == TopicEventEdit {
+		op = "edit"
+	}
+	s.storeOps.With(op).Inc()
 }
 
 func hasValue(e *misp.Event, value string) bool {

@@ -20,6 +20,7 @@ import (
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/ringset"
 	"github.com/caisplatform/caisp/internal/tip"
 )
@@ -50,6 +51,9 @@ type Config struct {
 	// concurrently; values below 1 use GOMAXPROCS. Events are sharded by
 	// UUID so the same event never races with itself.
 	Parallelism int
+	// Metrics registers the worker's caisp_worker_* families into this
+	// registry; nil disables instrumentation.
+	Metrics *obs.Registry
 }
 
 // Stats counts worker activity.
@@ -72,6 +76,8 @@ type Worker struct {
 	mu        sync.Mutex
 	stats     Stats
 	processed *ringset.Set
+
+	analyzeDur *obs.Histogram // caisp_worker_analyze_seconds; nil without Metrics
 
 	client *bus.Client
 	done   chan struct{}
@@ -101,18 +107,40 @@ func New(cfg Config) (*Worker, error) {
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
-	return &Worker{
+	w := &Worker{
 		cfg: cfg,
 		engine: heuristic.NewEngine(
 			heuristic.WithInfrastructure(cfg.Collector),
 			heuristic.WithNow(cfg.Now),
+			heuristic.WithMetrics(cfg.Metrics),
+			heuristic.WithLogger(cfg.Logger),
 		),
 		logger:      cfg.Logger,
 		parallelism: parallelism,
 		processed:   ringset.New(maxProcessedTracked),
 		client:      bus.Dial(cfg.BusAddr, tip.TopicEventAdd),
 		done:        make(chan struct{}),
-	}, nil
+	}
+	if reg := cfg.Metrics; reg != nil {
+		w.analyzeDur = reg.Histogram("caisp_worker_analyze_seconds",
+			"Full analysis of one cIoC: STIX conversion, scoring, write-back.")
+		counter := func(name, help string, field func(Stats) int) {
+			reg.CounterFunc(name, help, func() float64 { return float64(field(w.Stats())) })
+		}
+		counter("caisp_worker_received_total", "Bus payloads received.",
+			func(s Stats) int { return s.Received })
+		counter("caisp_worker_skipped_total", "Payloads skipped (filtered, duplicate or unscorable).",
+			func(s Stats) int { return s.Skipped })
+		counter("caisp_worker_enriched_total", "Events enriched and written back to the TIP.",
+			func(s Stats) int { return s.Enriched })
+		counter("caisp_worker_riocs_total", "Reduced IoCs emitted to the sink.",
+			func(s Stats) int { return s.RIoCs })
+		counter("caisp_worker_failures_total", "Decode or analysis failures.",
+			func(s Stats) int { return s.Failures })
+		counter("caisp_worker_reconnects_total", "Bus reconnections.",
+			func(s Stats) int { return s.Reconnect })
+	}
+	return w, nil
 }
 
 // Run processes bus events until ctx is cancelled, fanning the heuristic
@@ -242,6 +270,11 @@ func (w *Worker) process(me *misp.Event) {
 // Analyze scores one stored cIoC event, writes the eIoC back to the TIP
 // and emits rIoCs. Exported for synchronous use in tests and batch tools.
 func (w *Worker) Analyze(me *misp.Event) error {
+	if w.analyzeDur != nil {
+		defer func(start time.Time) {
+			w.analyzeDur.Observe(time.Since(start).Seconds())
+		}(time.Now())
+	}
 	bundle, err := misp.ToSTIX(me)
 	if err != nil {
 		return err

@@ -1,0 +1,55 @@
+// Instrumentation-overhead ablation (EXPERIMENTS.md §X9): the same
+// end-to-end pipeline batch with the observability layer live
+// (registry + per-event tracer) versus disabled (every metric handle
+// nil, so each instrumentation site is a single pointer check).
+package caisp_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/clock"
+	"github.com/caisplatform/caisp/internal/core"
+	"github.com/caisplatform/caisp/internal/experiments"
+	"github.com/caisplatform/caisp/internal/feedgen"
+)
+
+func benchmarkObsPipeline(b *testing.B, disable bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gen := feedgen.New(feedgen.Config{
+			Seed: int64(i), Items: 200,
+			DuplicationRate: 0.2, OverlapRate: 0.15,
+		})
+		feeds, err := gen.Feeds(time.Hour)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := core.New(core.Config{
+			Feeds:          feeds,
+			Clock:          clock.NewFake(experiments.EvalTime),
+			DisableMetrics: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if err := p.RunBatch(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		if !disable {
+			// The instrumented run must actually have traced events, or
+			// the comparison is vacuous.
+			if p.Metrics() == nil || p.Tracer() == nil {
+				b.Fatal("instrumented run has no observability layer")
+			}
+		}
+		p.Close()
+	}
+}
+
+func BenchmarkObsPipelineInstrumented(b *testing.B) { benchmarkObsPipeline(b, false) }
+func BenchmarkObsPipelineNoop(b *testing.B)         { benchmarkObsPipeline(b, true) }
