@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs vet copyfree metrics-lint check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout wsload-smoke vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -33,6 +33,16 @@ bench-correlate:
 # ablation — the per-event overhead number reported in EXPERIMENTS.md §X9.
 bench-obs:
 	$(GO) test -run '^$$' -bench '^BenchmarkObs' -benchmem .
+
+# Fan-out suite: serial vs sharded broadcast, fast-only vs slow-mix client
+# populations — the EXPERIMENTS.md §X10 numbers.
+bench-fanout:
+	$(GO) test -run '^$$' -bench '^BenchmarkFanout' -benchmem ./internal/wsock/
+
+# Bounded load-harness smoke: 1k in-memory clients with a stalled cohort.
+# The full 100k-client runs are documented in EXPERIMENTS.md §X10.
+wsload-smoke:
+	$(GO) run ./cmd/wsload -clients 1000 -slow 10 -probes 100 -messages 20 -interval 2ms -drain 15s
 
 vet:
 	$(GO) vet ./...
@@ -68,4 +78,4 @@ metrics-lint:
 	fi; \
 	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
 
-check: vet build test race copyfree metrics-lint
+check: vet build test race copyfree metrics-lint wsload-smoke

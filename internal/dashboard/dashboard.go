@@ -58,20 +58,39 @@ type NodeDetail struct {
 	RIoCs  []heuristic.RIoC `json:"riocs"`
 }
 
-// Event is the WebSocket push envelope.
+// Event is the WebSocket push envelope. Seq is the dashboard revision the
+// push produced (rIoC pushes) or was emitted at (alarms); clients keep the
+// highest Seq they have applied and present it as ?since= on reconnect to
+// receive a delta snapshot instead of full state.
 type Event struct {
 	Kind  string          `json:"kind"` // "rioc" or "alarm"
+	Seq   uint64          `json:"seq,omitempty"`
 	RIoC  *heuristic.RIoC `json:"rioc,omitempty"`
 	Alarm *infra.Alarm    `json:"alarm,omitempty"`
+}
+
+// Snapshot is the first WebSocket message a connecting client receives:
+// the rIoC state as of Revision. Full reports whether it is the complete
+// state or only the entries changed since the client's ?since= revision.
+// Individual pushes racing the handshake may arrive before the snapshot;
+// they carry Seq ≤ Revision when already folded into it, so clients
+// merging by Seq converge either way.
+type Snapshot struct {
+	Kind     string           `json:"kind"` // "snapshot"
+	Full     bool             `json:"full"`
+	Revision uint64           `json:"revision"`
+	RIoCs    []heuristic.RIoC `json:"riocs"`
 }
 
 // Server is the dashboard backend.
 type Server struct {
 	collector *infra.Collector
 	hub       *wsock.Hub
+	hubOpts   []wsock.HubOption
 	logger    *slog.Logger
 	slowAt    time.Duration // slow-push log threshold; 0 disables
 
+	metricsReg  *obs.Registry
 	pushDur     *obs.Histogram // caisp_dashboard_push_seconds; nil without WithMetrics
 	revisionLag *obs.Histogram // caisp_dashboard_revision_lag_seconds
 
@@ -80,7 +99,16 @@ type Server struct {
 	// riocIdx maps (event UUID, rIoC ID) → position in riocs, so re-scores
 	// of a grown cluster update the entry in place instead of duplicating
 	// it in every count.
-	riocIdx  map[string]int
+	riocIdx map[string]int
+	// seq is the dashboard revision: it advances on every rIoC push and
+	// drop. seqs[i] records the revision that last wrote riocs[i], driving
+	// the ?since= delta snapshot on connect; baseSeq is the oldest revision
+	// deltas can still be cut from (drops advance it — a removal cannot be
+	// replayed, so older clients fall back to a full snapshot).
+	seq     uint64
+	seqs    []uint64
+	baseSeq uint64
+
 	analyzer *sessions.Analyzer
 	marks    []timelineMark
 
@@ -120,12 +148,21 @@ func (o slowThresholdOption) apply(s *Server) { s.slowAt = time.Duration(o) }
 // default) disables slow-push logging.
 func WithSlowThreshold(d time.Duration) Option { return slowThresholdOption(d) }
 
+type hubOptionsOption struct{ opts []wsock.HubOption }
+
+func (o hubOptionsOption) apply(s *Server) { s.hubOpts = append(s.hubOpts, o.opts...) }
+
+// WithHubOptions forwards options to the broadcast hub: shard count,
+// per-client queue depth, write timeout, the serial-broadcast ablation.
+func WithHubOptions(opts ...wsock.HubOption) Option { return hubOptionsOption{opts: opts} }
+
 type metricsOption struct{ reg *obs.Registry }
 
 func (o metricsOption) apply(s *Server) {
 	if o.reg == nil {
 		return
 	}
+	s.metricsReg = o.reg
 	s.pushDur = o.reg.Histogram("caisp_dashboard_push_seconds",
 		"PushRIoC latency: in-place store plus WebSocket broadcast.")
 	s.revisionLag = o.reg.Histogram("caisp_dashboard_revision_lag_seconds",
@@ -151,7 +188,6 @@ func WithMetrics(reg *obs.Registry) Option { return metricsOption{reg: reg} }
 func NewServer(collector *infra.Collector, opts ...Option) *Server {
 	s := &Server{
 		collector: collector,
-		hub:       wsock.NewHub(),
 		logger:    slog.Default(),
 		riocIdx:   make(map[string]int),
 		mux:       http.NewServeMux(),
@@ -162,6 +198,12 @@ func NewServer(collector *infra.Collector, opts ...Option) *Server {
 	if s.logger == nil {
 		s.logger = slog.Default()
 	}
+	// The hub is built after options so WithHubOptions and WithMetrics can
+	// shape it (the ws_clients gauge above reads s.hub lazily at scrape).
+	if s.metricsReg != nil {
+		s.hubOpts = append(s.hubOpts, wsock.WithHubMetrics(s.metricsReg))
+	}
+	s.hub = wsock.NewHub(s.hubOpts...)
 	s.mux.HandleFunc("GET /", s.handleIndex)
 	s.mux.HandleFunc("GET /api/topology", s.handleTopology)
 	s.mux.HandleFunc("GET /api/nodes/{id}", s.handleNode)
@@ -238,6 +280,8 @@ func (s *Server) PushRIoC(r heuristic.RIoC) {
 	}
 	s.mu.Lock()
 	key := riocKey(&r)
+	s.seq++
+	seq := s.seq
 	if i, ok := s.riocIdx[key]; ok {
 		r.Revision = s.riocs[i].Revision + 1
 		// Copy-on-write replacement: RIoCs() hands out capacity-clipped
@@ -246,13 +290,15 @@ func (s *Server) PushRIoC(r heuristic.RIoC) {
 		copy(fresh, s.riocs)
 		fresh[i] = r
 		s.riocs = fresh
+		s.seqs[i] = seq
 	} else {
 		s.riocIdx[key] = len(s.riocs)
 		s.riocs = append(s.riocs, r)
+		s.seqs = append(s.seqs, seq)
 	}
 	s.mark(r.GeneratedAt, "rioc")
 	s.mu.Unlock()
-	s.broadcast(Event{Kind: "rioc", RIoC: &r})
+	s.broadcast(Event{Kind: "rioc", Seq: seq, RIoC: &r})
 	if !start.IsZero() {
 		elapsed := time.Since(start)
 		if s.pushDur != nil {
@@ -286,16 +332,23 @@ func (s *Server) DropEventRIoCs(eventUUID string) int {
 		return 0
 	}
 	fresh := make([]heuristic.RIoC, 0, len(s.riocs)-dropped)
+	freshSeqs := make([]uint64, 0, len(s.riocs)-dropped)
 	idx := make(map[string]int, len(s.riocs)-dropped)
-	for _, r := range s.riocs {
+	for i, r := range s.riocs {
 		if r.EventUUID == eventUUID {
 			continue
 		}
 		idx[riocKey(&r)] = len(fresh)
 		fresh = append(fresh, r)
+		freshSeqs = append(freshSeqs, s.seqs[i])
 	}
 	s.riocs = fresh
+	s.seqs = freshSeqs
 	s.riocIdx = idx
+	// A removal cannot be expressed as a delta; clients whose ?since=
+	// predates it must take a full snapshot.
+	s.seq++
+	s.baseSeq = s.seq
 	return dropped
 }
 
@@ -310,8 +363,9 @@ func riocKey(r *heuristic.RIoC) string {
 func (s *Server) PushAlarm(a infra.Alarm) {
 	s.mu.Lock()
 	s.mark(a.At, "alarm")
+	seq := s.seq
 	s.mu.Unlock()
-	s.broadcast(Event{Kind: "alarm", Alarm: &a})
+	s.broadcast(Event{Kind: "alarm", Seq: seq, Alarm: &a})
 }
 
 // mark appends to the streaming timeline; caller holds the write lock. The
@@ -389,8 +443,16 @@ func (s *Server) RIoCsForNode(nodeID string) []heuristic.RIoC {
 // ClientCount reports connected WebSocket clients.
 func (s *Server) ClientCount() int { return s.hub.Len() }
 
-// Close drops all WebSocket clients.
-func (s *Server) Close() { s.hub.CloseAll() }
+// Revision returns the current dashboard revision — the value a client
+// would present as ?since= to receive only newer changes.
+func (s *Server) Revision() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// Close drops all WebSocket clients and stops the hub.
+func (s *Server) Close() { s.hub.Close() }
 
 // BuildTopology assembles the Fig. 2 view model.
 func (s *Server) BuildTopology() Topology {
@@ -501,12 +563,18 @@ func (s *Server) handleRIoCDetail(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
+	var since uint64
+	if raw := r.URL.Query().Get("since"); raw != "" {
+		if v, err := strconv.ParseUint(raw, 10, 64); err == nil {
+			since = v
+		}
+	}
 	conn, err := wsock.Accept(w, r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	s.hub.Add(conn)
+	snap := s.connectSnapshot(conn, since)
 	// Reader loop: answers pings, detects close, evicts on error.
 	go func() {
 		for {
@@ -517,14 +585,44 @@ func (s *Server) handleWS(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}()
+	if data, err := json.Marshal(snap); err == nil {
+		_ = conn.WriteText(data)
+	}
 }
 
+// connectSnapshot registers conn with the hub and cuts its greeting
+// snapshot in one read-locked critical section, so no push can fall
+// between the snapshot revision and broadcast registration. A client
+// presenting since ≥ baseSeq gets only the entries written after its
+// revision; anything older — including a revision from before a drop, or
+// from a previous server life — falls back to the full state.
+func (s *Server) connectSnapshot(conn *wsock.Conn, since uint64) Snapshot {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.hub.Add(conn)
+	snap := Snapshot{Kind: "snapshot", Revision: s.seq}
+	if since == 0 || since < s.baseSeq || since > s.seq {
+		snap.Full = true
+		// Capacity-clipped copy-free view; see RIoCs.
+		snap.RIoCs = s.riocs[:len(s.riocs):len(s.riocs)]
+		return snap
+	}
+	for i := range s.riocs {
+		if s.seqs[i] > since {
+			snap.RIoCs = append(snap.RIoCs, s.riocs[i])
+		}
+	}
+	return snap
+}
+
+// broadcast pushes one event to every client: a single JSON encode and a
+// single frame assembly per message, shared by all connections.
 func (s *Server) broadcast(ev Event) {
 	data, err := json.Marshal(ev)
 	if err != nil {
 		return
 	}
-	s.hub.Broadcast(data)
+	s.hub.BroadcastPrepared(wsock.PrepareText(data))
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

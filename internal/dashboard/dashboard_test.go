@@ -168,14 +168,36 @@ func TestAllNodesRIoCCountsEverywhere(t *testing.T) {
 	}
 }
 
-func TestWebSocketPush(t *testing.T) {
-	s, collector, srv := testServer(t)
-	wsURL := "ws" + strings.TrimPrefix(srv.URL, "http") + "/ws"
+// dialWS connects a WebSocket client and returns it with its greeting
+// snapshot (the first message every client receives).
+func dialWS(t *testing.T, srv *httptest.Server, query string) (*wsock.Conn, Snapshot) {
+	t.Helper()
+	wsURL := "ws" + strings.TrimPrefix(srv.URL, "http") + "/ws" + query
 	conn, err := wsock.Dial(wsURL)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer conn.Close()
+	t.Cleanup(func() { conn.Close() })
+	_, payload, err := conn.ReadMessage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(payload, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Kind != "snapshot" {
+		t.Fatalf("first message kind = %q, want snapshot", snap.Kind)
+	}
+	return conn, snap
+}
+
+func TestWebSocketPush(t *testing.T) {
+	s, collector, srv := testServer(t)
+	conn, snap := dialWS(t, srv, "")
+	if !snap.Full || len(snap.RIoCs) != 0 || snap.Revision != 0 {
+		t.Fatalf("greeting snapshot = %+v", snap)
+	}
 	waitFor(t, func() bool { return s.ClientCount() == 1 })
 
 	s.PushRIoC(sampleRIoC([]string{"node4"}, false))
@@ -189,6 +211,9 @@ func TestWebSocketPush(t *testing.T) {
 	}
 	if ev.Kind != "rioc" || ev.RIoC == nil || ev.RIoC.CVE != "CVE-2017-9805" {
 		t.Fatalf("event = %+v", ev)
+	}
+	if ev.Seq != 1 {
+		t.Fatalf("push seq = %d, want 1", ev.Seq)
 	}
 
 	alarm, err := collector.AddAlarm(infra.Alarm{NodeID: "node1", Severity: infra.SeverityHigh, Description: "live", At: now})
@@ -205,6 +230,95 @@ func TestWebSocketPush(t *testing.T) {
 	}
 	if ev.Kind != "alarm" || ev.Alarm == nil || ev.Alarm.Description != "live" {
 		t.Fatalf("alarm event = %+v", ev)
+	}
+}
+
+// pushSample loads n distinct rIoCs, returning the server revision.
+func pushSample(s *Server, n int) uint64 {
+	for i := 0; i < n; i++ {
+		r := sampleRIoC([]string{"node4"}, false)
+		r.ID = fmt.Sprintf("rioc--%d", i)
+		r.EventUUID = fmt.Sprintf("event-%d", i%2)
+		s.PushRIoC(r)
+	}
+	return s.Revision()
+}
+
+func TestConnectFullSnapshot(t *testing.T) {
+	s, _, srv := testServer(t)
+	rev := pushSample(s, 3)
+
+	_, snap := dialWS(t, srv, "")
+	if !snap.Full || snap.Revision != rev || len(snap.RIoCs) != 3 {
+		t.Fatalf("snapshot = full:%v rev:%d n:%d, want full rev %d with 3 entries",
+			snap.Full, snap.Revision, len(snap.RIoCs), rev)
+	}
+}
+
+func TestConnectDeltaSnapshot(t *testing.T) {
+	s, _, srv := testServer(t)
+	rev := pushSample(s, 3)
+
+	// A client current through rev reconnects after two more changes: one
+	// new entry and one in-place re-score of an existing entry.
+	r := sampleRIoC([]string{"node4"}, false)
+	r.ID, r.EventUUID = "rioc--new", "event-9"
+	s.PushRIoC(r)
+	rescored := sampleRIoC([]string{"node4"}, false)
+	rescored.ID, rescored.EventUUID = "rioc--1", "event-1"
+	rescored.ThreatScore = 9.9
+	s.PushRIoC(rescored)
+
+	_, snap := dialWS(t, srv, fmt.Sprintf("?since=%d", rev))
+	if snap.Full {
+		t.Fatalf("snapshot full = true, want delta")
+	}
+	if snap.Revision != rev+2 || len(snap.RIoCs) != 2 {
+		t.Fatalf("delta = rev:%d n:%d, want rev %d with 2 entries", snap.Revision, len(snap.RIoCs), rev+2)
+	}
+	got := map[string]float64{}
+	for _, x := range snap.RIoCs {
+		got[x.ID] = x.ThreatScore
+	}
+	if _, ok := got["rioc--new"]; !ok {
+		t.Fatalf("delta missing new entry: %v", got)
+	}
+	if got["rioc--1"] != 9.9 {
+		t.Fatalf("delta missing re-scored entry: %v", got)
+	}
+
+	// An up-to-date client gets an empty delta.
+	_, empty := dialWS(t, srv, fmt.Sprintf("?since=%d", s.Revision()))
+	if empty.Full || len(empty.RIoCs) != 0 {
+		t.Fatalf("up-to-date delta = full:%v n:%d", empty.Full, len(empty.RIoCs))
+	}
+}
+
+func TestConnectSinceBeforeDropFallsBackToFull(t *testing.T) {
+	s, _, srv := testServer(t)
+	rev := pushSample(s, 4) // event-0: rioc--0, rioc--2; event-1: rioc--1, rioc--3
+
+	if n := s.DropEventRIoCs("event-0"); n != 2 {
+		t.Fatalf("dropped %d, want 2", n)
+	}
+	// rev predates the drop, which cannot be replayed as a delta.
+	_, snap := dialWS(t, srv, fmt.Sprintf("?since=%d", rev))
+	if !snap.Full {
+		t.Fatal("snapshot after drop not full")
+	}
+	if len(snap.RIoCs) != 2 {
+		t.Fatalf("post-drop snapshot has %d entries, want 2", len(snap.RIoCs))
+	}
+	for _, x := range snap.RIoCs {
+		if x.EventUUID == "event-0" {
+			t.Fatalf("dropped entry %s still in snapshot", x.ID)
+		}
+	}
+
+	// A since from the future (e.g. a previous server life) is also full.
+	_, future := dialWS(t, srv, fmt.Sprintf("?since=%d", s.Revision()+100))
+	if !future.Full {
+		t.Fatal("future since did not fall back to full snapshot")
 	}
 }
 

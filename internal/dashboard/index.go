@@ -116,8 +116,24 @@ async function showBreakdown(id) {
   document.getElementById('breakdown').textContent = text || 'no breakdown';
 }
 refresh();
-const ws = new WebSocket((location.protocol === 'https:' ? 'wss://' : 'ws://') + location.host + '/ws');
-ws.onmessage = refresh;
+// The first WebSocket message is a snapshot carrying the server revision;
+// pushes carry the revision they produced. Tracking the highest seen lets a
+// reconnect present ?since= and receive only the changes it missed.
+let revision = 0;
+function connect() {
+  const since = revision > 0 ? '?since=' + revision : '';
+  const ws = new WebSocket((location.protocol === 'https:' ? 'wss://' : 'ws://') + location.host + '/ws' + since);
+  ws.onmessage = (e) => {
+    try {
+      const msg = JSON.parse(e.data);
+      if (msg.kind === 'snapshot') revision = Math.max(revision, msg.revision || 0);
+      else revision = Math.max(revision, msg.seq || 0);
+    } catch (err) { /* refresh regardless */ }
+    refresh();
+  };
+  ws.onclose = () => setTimeout(connect, 1000 + Math.random() * 2000);
+}
+connect();
 setInterval(refresh, 15000);
 </script>
 </body>

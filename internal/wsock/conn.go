@@ -11,6 +11,8 @@ import (
 	"net/url"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // magicGUID is the key-acceptance constant from RFC 6455 §1.3.
@@ -23,11 +25,76 @@ type Conn struct {
 	rw     *bufio.ReadWriter
 	client bool // true: this side masks its frames
 
+	// writeTimeout bounds each write syscall burst; 0 disables deadlines.
+	// Atomic so the hub can arm it after the connection is established.
+	writeTimeout atomic.Int64
+
 	writeMu sync.Mutex
 	closed  bool
+	lastArm time.Time // last deadline arming; writeMu held
 
 	fragOp  Opcode
 	fragBuf []byte
+}
+
+// NewConn wraps an already-established transport (TCP, net.Pipe, …) in a
+// WebSocket connection without performing the HTTP upgrade — both sides
+// must agree out-of-band that the byte stream speaks RFC 6455 frames.
+// client selects masking: true for the connecting side, false for the
+// accepting side. Load harnesses use this to drive the hub over in-memory
+// pipes at client counts no kernel socket table could hold.
+func NewConn(nc net.Conn, client bool) *Conn {
+	return NewConnBuffered(nc, client, 0, 0)
+}
+
+// NewConnBuffered is NewConn with explicit bufio buffer sizes (≤0 picks
+// the bufio default). Small buffers keep per-connection memory flat when
+// a single process holds 100k+ connections.
+func NewConnBuffered(nc net.Conn, client bool, readBuf, writeBuf int) *Conn {
+	if readBuf <= 0 {
+		readBuf = 4096
+	}
+	if writeBuf <= 0 {
+		writeBuf = 4096
+	}
+	return &Conn{
+		conn:   nc,
+		rw:     bufio.NewReadWriter(bufio.NewReaderSize(nc, readBuf), bufio.NewWriterSize(nc, writeBuf)),
+		client: client,
+	}
+}
+
+// SetWriteTimeout bounds every subsequent write (data, ping and close
+// frames) to d; a write that cannot complete in time fails with a
+// net.Error whose Timeout() is true. Zero (the default) disables the
+// deadline and restores write-forever semantics. Safe for concurrent use.
+func (c *Conn) SetWriteTimeout(d time.Duration) { c.writeTimeout.Store(int64(d)) }
+
+// armWriteDeadline applies the configured write timeout to the underlying
+// transport. Arming is amortized: a deadline set within the last quarter
+// of the timeout is reused, so steady-state writes skip the per-write
+// timer/syscall cost and an individual write waits between 0.75·d and d
+// before failing. Callers hold writeMu.
+func (c *Conn) armWriteDeadline() {
+	d := time.Duration(c.writeTimeout.Load())
+	if d <= 0 || c.conn == nil {
+		return
+	}
+	now := time.Now()
+	if now.Sub(c.lastArm) < d/4 {
+		return
+	}
+	c.lastArm = now
+	_ = c.conn.SetWriteDeadline(now.Add(d))
+}
+
+// abort moves the transport deadline into the past, failing any blocked
+// or future read/write immediately. The hub uses it to cut loose a
+// stalled client without waiting out its write timeout.
+func (c *Conn) abort() {
+	if c.conn != nil {
+		_ = c.conn.SetDeadline(time.Unix(1, 0))
+	}
 }
 
 // Accept upgrades an HTTP request to a WebSocket connection (server side).
@@ -196,12 +263,33 @@ func (c *Conn) Close() error {
 	return err
 }
 
+// WritePrepared writes a pre-assembled broadcast frame. On server
+// connections the shared bytes go to the wire verbatim — no per-client
+// encode, mask or copy; client connections fall back to the masking path
+// since RFC 6455 forbids unmasked client frames.
+func (c *Conn) WritePrepared(pf *PreparedFrame) error {
+	if c.client {
+		return c.write(frame{fin: true, opcode: pf.opcode, payload: pf.Payload()})
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	if c.closed {
+		return ErrClosed
+	}
+	c.armWriteDeadline()
+	if _, err := c.rw.Write(pf.data); err != nil {
+		return err
+	}
+	return c.rw.Flush()
+}
+
 func (c *Conn) write(f frame) error {
 	c.writeMu.Lock()
 	defer c.writeMu.Unlock()
 	if c.closed {
 		return ErrClosed
 	}
+	c.armWriteDeadline()
 	if err := writeFrame(c.rw.Writer, f, c.client); err != nil {
 		return err
 	}
@@ -215,6 +303,7 @@ func (c *Conn) writeCloseLocked(payload []byte) error {
 		return nil
 	}
 	c.closed = true
+	c.armWriteDeadline()
 	if err := writeFrame(c.rw.Writer, frame{fin: true, opcode: OpClose, payload: payload}, c.client); err != nil {
 		return err
 	}

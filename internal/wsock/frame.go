@@ -41,6 +41,24 @@ type frame struct {
 
 // readFrame parses a single frame, unmasking if needed.
 func readFrame(r io.Reader) (frame, error) {
+	return readFrameInto(r, nil)
+}
+
+// ReadFrameInto decodes the next frame from r, reusing buf for the
+// payload when it is large enough (a fresh slice is allocated otherwise).
+// Unlike ReadMessage it performs no control-frame handling or
+// reassembly — it is the allocation-free read path for load-harness
+// clients that consume server broadcasts at six-figure connection counts.
+// The returned payload aliases buf and is only valid until the next call.
+func ReadFrameInto(r io.Reader, buf []byte) (Opcode, []byte, error) {
+	f, err := readFrameInto(r, buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return f.opcode, f.payload, nil
+}
+
+func readFrameInto(r io.Reader, buf []byte) (frame, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return frame{}, err
@@ -77,7 +95,11 @@ func readFrame(r io.Reader) (frame, error) {
 			return frame{}, err
 		}
 	}
-	f.payload = make([]byte, length)
+	if uint64(cap(buf)) >= length {
+		f.payload = buf[:length]
+	} else {
+		f.payload = make([]byte, length)
+	}
 	if _, err := io.ReadFull(r, f.payload); err != nil {
 		return frame{}, err
 	}
