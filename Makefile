@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout wsload-smoke vet copyfree metrics-lint check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs wsload-smoke subload-smoke vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,19 @@ bench-fanout:
 wsload-smoke:
 	$(GO) run ./cmd/wsload -clients 1000 -slow 10 -probes 100 -messages 20 -interval 2ms -drain 15s
 
+# Subscription suite: indexed pattern evaluation vs the WithLinearScan
+# ablation across 1k/10k/100k standing patterns, registration churn, and
+# the parse-time regexp precompilation deltas — the EXPERIMENTS.md §X11
+# numbers.
+bench-subs:
+	$(GO) test -run '^$$' -bench '^BenchmarkSubs' -benchmem ./internal/subscribe/ ./internal/stixpattern/
+
+# Streaming-detection smoke: 1k standing patterns, a 10%-hot event stream
+# and live match fan-out. Exits nonzero if no matches fire or no frames
+# reach the watchers. The 100k-pattern runs are in EXPERIMENTS.md §X11.
+subload-smoke:
+	$(GO) run ./cmd/subload -patterns 1000 -clients 8 -events 5000 -drain 15s
+
 vet:
 	$(GO) vet ./...
 
@@ -76,6 +89,10 @@ metrics-lint:
 		echo "$$dup"; \
 		exit 1; \
 	fi; \
+	for want in caisp_subs_registered caisp_subs_eval_seconds caisp_subs_matches_total caisp_subs_candidates_per_event caisp_subs_rejected_total; do \
+		echo "$$names" | grep -qx "\"$$want\"" || { \
+			echo "metrics-lint: required subscription metric $$want is not registered"; exit 1; }; \
+	done; \
 	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
 
-check: vet build test race copyfree metrics-lint wsload-smoke
+check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke

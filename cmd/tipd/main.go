@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/subscribe"
 	"github.com/caisplatform/caisp/internal/tip"
 )
 
@@ -63,13 +65,46 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(name),
 		tip.WithMetrics(reg))
 
+	// Streaming detection: clients register STIX patterns over REST and
+	// receive match frames on /ws/matches. Every event stored through the
+	// API is published on the bus; the drain goroutine evaluates each one
+	// against the live pattern set.
+	subs := subscribe.NewEngine(
+		subscribe.WithMetrics(reg),
+		subscribe.WithHubMetrics(reg),
+	)
+	defer subs.Close()
+	busSub := broker.Subscribe(tip.TopicEventPrefix)
+	defer busSub.Close()
+	go func() {
+		for msg := range busSub.C() {
+			me, err := misp.UnmarshalWrapped(msg.Payload)
+			if err != nil {
+				continue
+			}
+			stage := subscribe.StageCIoC
+			if me.HasTag("caisp:eioc") {
+				stage = subscribe.StageEIoC
+			}
+			subs.EvaluateMISP(me, stage, -1)
+		}
+	}()
+
 	// The API is mounted next to the observability surfaces: /metrics
-	// serves the caisp_* families in Prometheus text format.
+	// serves the caisp_* families in Prometheus text format. Specific
+	// routes (subscriptions, match stream) sit in front of the TIP
+	// catch-all.
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
 	if pprof {
 		obs.RegisterPprof(mux)
 	}
+	subAPI := subscribe.NewAPI(subs)
+	mux.Handle("POST /subscriptions", subAPI)
+	mux.Handle("GET /subscriptions", subAPI)
+	mux.Handle("GET /subscriptions/{rest...}", subAPI)
+	mux.Handle("DELETE /subscriptions/{id}", subAPI)
+	mux.Handle("GET /ws/matches", subAPI)
 	mux.Handle("/", tip.NewAPI(service, apiKey))
 	srv := &http.Server{Addr: addr, Handler: mux}
 

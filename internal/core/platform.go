@@ -41,6 +41,7 @@ import (
 	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/ringset"
 	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/subscribe"
 	"github.com/caisplatform/caisp/internal/taxii"
 	"github.com/caisplatform/caisp/internal/textclass"
 	"github.com/caisplatform/caisp/internal/tip"
@@ -129,6 +130,10 @@ type Config struct {
 	// heuristic evaluation or dashboard push slower than this. Zero
 	// disables slow-op logging.
 	SlowOpThreshold time.Duration
+	// SubscriptionLinearScan switches the streaming-detection engine into
+	// the O(all-patterns) ablation (subscribe.WithLinearScan) instead of
+	// the pattern index. For benchmarking only.
+	SubscriptionLinearScan bool
 }
 
 // Stats counts pipeline activity.
@@ -201,9 +206,12 @@ type Platform struct {
 	engine    *heuristic.Engine
 	analyzers int
 
-	// Output module.
+	// Output module. subs is the streaming-detection engine: standing
+	// STIX-pattern subscriptions evaluated against every admitted
+	// cIoC/eIoC, with matches pushed over its own WebSocket hub.
 	collector *infra.Collector
 	dash      *dashboard.Server
+	subs      *subscribe.Engine
 	taxiiSrv  *taxii.Server
 
 	mu      sync.Mutex // guards pending
@@ -309,10 +317,22 @@ func New(cfg Config) (*Platform, error) {
 		heuristic.WithLogger(cfg.Logger),
 		heuristic.WithSlowThreshold(cfg.SlowOpThreshold),
 	)
+	subOpts := []subscribe.Option{
+		subscribe.WithMetrics(reg),
+		subscribe.WithLogger(cfg.Logger),
+		subscribe.WithNow(cfg.Clock.Now),
+	}
+	if cfg.SubscriptionLinearScan {
+		subOpts = append(subOpts, subscribe.WithLinearScan())
+	}
+	p.subs = subscribe.NewEngine(subOpts...)
 	p.dash = dashboard.NewServer(collector,
 		dashboard.WithMetrics(reg),
 		dashboard.WithLogger(cfg.Logger),
 		dashboard.WithSlowThreshold(cfg.SlowOpThreshold))
+	// The streaming-detection surface rides the dashboard listener:
+	// /subscriptions REST plus the /ws/matches push stream.
+	p.dash.SetSubscriptions(subscribe.NewAPI(p.subs))
 	if cfg.ShareTAXII {
 		p.taxiiSrv = taxii.NewServer("CAISP sharing", "caisp", taxii.WithNow(cfg.Clock.Now))
 		p.taxiiSrv.AddCollection(TAXIICollection, "Enriched IoCs",
@@ -450,6 +470,9 @@ func (p *Platform) Collector() *infra.Collector { return p.collector }
 
 // Dashboard returns the output module's dashboard server.
 func (p *Platform) Dashboard() *dashboard.Server { return p.dash }
+
+// Subscriptions returns the streaming-detection engine.
+func (p *Platform) Subscriptions() *subscribe.Engine { return p.subs }
 
 // TAXII returns the sharing server, or nil when disabled.
 func (p *Platform) TAXII() *taxii.Server { return p.taxiiSrv }
@@ -684,6 +707,13 @@ func (p *Platform) composeAndStore(events []normalize.Event) ([]*misp.Event, err
 	for _, me := range stored {
 		p.tracer.Mark(me.UUID, obs.StageStore)
 	}
+	// Streaming detection: every admitted cIoC runs against the live
+	// subscription set. Direct dispatch on the flush path — the same
+	// loss-free route the incremental correlator uses — so standing
+	// detections never drop under bus backpressure.
+	for _, me := range stored {
+		p.subs.EvaluateMISP(me, subscribe.StageCIoC, -1)
+	}
 	var added, edited int64
 	for _, me := range stored {
 		if newUUIDs[me.UUID] {
@@ -830,6 +860,10 @@ func (p *Platform) analyze(me *misp.Event) error {
 		return fmt.Errorf("core: store eIoC %s: %w", me.UUID, err)
 	}
 	p.counters.eiocs.Add(1)
+	// Streaming detection: the scored eIoC re-runs against the live
+	// subscription set with its threat score exposed as
+	// x-caisp:threat-score, so score-gated patterns can fire.
+	p.subs.EvaluateMISP(me, subscribe.StageEIoC, topScore)
 	p.tracer.Finish(me.UUID, obs.StagePublish)
 	p.maybeCompact()
 	return nil
@@ -1058,6 +1092,7 @@ func (p *Platform) Close() error {
 	p.Stop()
 	p.stopCompactor()
 	p.dash.Close()
+	p.subs.Close()
 	p.broker.Close()
 	return p.store.Close()
 }

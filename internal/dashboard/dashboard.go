@@ -217,6 +217,20 @@ func NewServer(collector *infra.Collector, opts ...Option) *Server {
 	return s
 }
 
+// SetSubscriptions mounts the streaming-detection surface (subscribe.API)
+// on the dashboard listener: /subscriptions REST plus the /ws/matches
+// match stream. Registered patterns are more specific than the GET /
+// index catch-all, so mounting order does not matter.
+func (s *Server) SetSubscriptions(h http.Handler) {
+	// Method-qualified patterns: a bare "/subscriptions" would conflict
+	// with the "GET /" index catch-all under the 1.22 mux rules.
+	s.mux.Handle("POST /subscriptions", h)
+	s.mux.Handle("GET /subscriptions", h)
+	s.mux.Handle("GET /subscriptions/{rest...}", h)
+	s.mux.Handle("DELETE /subscriptions/{id}", h)
+	s.mux.Handle("GET /ws/matches", h)
+}
+
 // SetSessionAnalyzer attaches the §II-B user-activity analyzer; the
 // /api/sessions endpoints serve its summaries.
 func (s *Server) SetSessionAnalyzer(a *sessions.Analyzer) {

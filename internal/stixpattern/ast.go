@@ -2,6 +2,7 @@ package stixpattern
 
 import (
 	"fmt"
+	"regexp"
 	"strconv"
 	"strings"
 	"time"
@@ -139,6 +140,33 @@ type Comparison struct {
 	Negated bool
 	// Values holds one literal, or several for IN.
 	Values []Literal
+	// matcher is the LIKE/MATCHES regexp, compiled once at parse time.
+	// Hand-built Comparisons leave it nil and fall back to per-evaluation
+	// compilation in the evaluator.
+	matcher *regexp.Regexp
+}
+
+// compileMatcher precompiles the LIKE/MATCHES regexp so evaluation never
+// recompiles it. A no-op for other operators or empty value lists.
+func (c *Comparison) compileMatcher() error {
+	if len(c.Values) == 0 {
+		return nil
+	}
+	var src string
+	switch c.Op {
+	case OpLike:
+		src = likeRegexpSource(c.Values[0].text())
+	case OpMatches:
+		src = c.Values[0].text()
+	default:
+		return nil
+	}
+	re, err := regexp.Compile(src)
+	if err != nil {
+		return fmt.Errorf("bad %s regexp %q: %v", c.Op, c.Values[0].text(), err)
+	}
+	c.matcher = re
+	return nil
 }
 
 func (Comparison) isCompareExpr() {}

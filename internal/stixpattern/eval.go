@@ -157,7 +157,7 @@ func evalComparison(cmp Comparison, obs Observation) (bool, error) {
 		return false, nil
 	}
 	for _, v := range values {
-		ok, err := compareValue(v, cmp.Op, cmp.Values)
+		ok, err := cmp.compareValue(v)
 		if err != nil {
 			return false, err
 		}
@@ -195,14 +195,15 @@ func lookup(obs Observation, path string) ([]string, bool) {
 	return nil, false
 }
 
-func compareValue(value, op string, literals []Literal) (bool, error) {
-	switch op {
+func (cmp Comparison) compareValue(value string) (bool, error) {
+	literals := cmp.Values
+	switch cmp.Op {
 	case OpEq:
 		return equalValue(value, literals[0]), nil
 	case OpNeq:
 		return !equalValue(value, literals[0]), nil
 	case OpLt, OpGt, OpLe, OpGe:
-		return compareOrdered(value, op, literals[0])
+		return compareOrdered(value, cmp.Op, literals[0])
 	case OpIn:
 		for _, lit := range literals {
 			if equalValue(value, lit) {
@@ -211,8 +212,15 @@ func compareValue(value, op string, literals []Literal) (bool, error) {
 		}
 		return false, nil
 	case OpLike:
+		if cmp.matcher != nil {
+			return cmp.matcher.MatchString(value), nil
+		}
 		return likeMatch(value, literals[0].text()), nil
 	case OpMatches:
+		if cmp.matcher != nil {
+			return cmp.matcher.MatchString(value), nil
+		}
+		// Hand-built AST without a precompiled matcher: compile ad hoc.
 		re, err := regexp.Compile(literals[0].text())
 		if err != nil {
 			return false, fmt.Errorf("stixpattern: bad MATCHES regexp: %w", err)
@@ -223,7 +231,7 @@ func compareValue(value, op string, literals []Literal) (bool, error) {
 	case OpIsSuperset:
 		return cidrContains(value, literals[0].text())
 	default:
-		return false, fmt.Errorf("stixpattern: unknown operator %q", op)
+		return false, fmt.Errorf("stixpattern: unknown operator %q", cmp.Op)
 	}
 }
 
@@ -266,8 +274,15 @@ func compareOrdered(value, op string, lit Literal) (bool, error) {
 }
 
 // likeMatch implements the STIX LIKE operator: '%' matches any run of
-// characters, '_' matches exactly one.
+// characters, '_' matches exactly one. Fallback path for hand-built ASTs;
+// parsed patterns carry the compiled form on the Comparison node.
 func likeMatch(value, pattern string) bool {
+	matched, err := regexp.MatchString(likeRegexpSource(pattern), value)
+	return err == nil && matched
+}
+
+// likeRegexpSource translates a LIKE pattern into an anchored regexp.
+func likeRegexpSource(pattern string) string {
 	var re strings.Builder
 	re.WriteString("^(?s)")
 	for _, r := range pattern {
@@ -281,8 +296,7 @@ func likeMatch(value, pattern string) bool {
 		}
 	}
 	re.WriteString("$")
-	matched, err := regexp.MatchString(re.String(), value)
-	return err == nil && matched
+	return re.String()
 }
 
 // cidrContains reports whether the network `outer` (CIDR or single IP)

@@ -1,0 +1,148 @@
+package stixpattern
+
+// Table-driven coverage of the evaluator's operator matrix: EQ/NEQ (string,
+// numeric and negated forms), the ordered operators, IN, LIKE with %/_ edge
+// cases, MATCHES on the precompiled path, and CIDR ISSUBSET/ISSUPERSET
+// boundary conditions.
+
+import "testing"
+
+func TestEvalOperatorMatrix(t *testing.T) {
+	tests := []struct {
+		name    string
+		pattern string
+		fields  map[string][]string
+		want    bool
+		wantErr bool
+	}{
+		// EQ / NEQ
+		{"eq string hit", "[domain-name:value = 'evil.example']",
+			map[string][]string{"domain-name:value": {"evil.example"}}, true, false},
+		{"eq string miss", "[domain-name:value = 'evil.example']",
+			map[string][]string{"domain-name:value": {"ok.example"}}, false, false},
+		{"eq absent path is false", "[domain-name:value = 'evil.example']",
+			map[string][]string{"url:value": {"http://x"}}, false, false},
+		{"eq numeric canonicalises observed value", "[x:port = 443]",
+			map[string][]string{"x:port": {"0443.0"}}, true, false},
+		{"eq numeric literal vs non-numeric value", "[x:port = 443]",
+			map[string][]string{"x:port": {"https"}}, false, false},
+		{"neq hit", "[x:proto != 'udp']",
+			map[string][]string{"x:proto": {"tcp"}}, true, false},
+		{"neq miss", "[x:proto != 'udp']",
+			map[string][]string{"x:proto": {"udp"}}, false, false},
+		{"neq absent path still false", "[x:proto != 'udp']",
+			map[string][]string{}, false, false},
+		{"negated eq", "[x:proto NOT = 'udp']",
+			map[string][]string{"x:proto": {"tcp"}}, true, false},
+		{"negated eq any-value semantics", "[x:proto NOT = 'udp']",
+			map[string][]string{"x:proto": {"udp", "tcp"}}, true, false},
+
+		// Ordered
+		{"lt numeric", "[x:score < 5]", map[string][]string{"x:score": {"4.5"}}, true, false},
+		{"lt numeric boundary", "[x:score < 5]", map[string][]string{"x:score": {"5"}}, false, false},
+		{"le boundary", "[x:score <= 5]", map[string][]string{"x:score": {"5"}}, true, false},
+		{"gt numeric", "[x:score > 5]", map[string][]string{"x:score": {"5.01"}}, true, false},
+		{"ge boundary", "[x:score >= 5]", map[string][]string{"x:score": {"5"}}, true, false},
+		{"ordered non-numeric value never orders", "[x:score > 5]",
+			map[string][]string{"x:score": {"high"}}, false, false},
+		{"ordered string comparison", "[x:name > 'alpha']",
+			map[string][]string{"x:name": {"beta"}}, true, false},
+
+		// IN
+		{"in hit", "[ipv4-addr:value IN ('10.0.0.1', '10.0.0.2')]",
+			map[string][]string{"ipv4-addr:value": {"10.0.0.2"}}, true, false},
+		{"in miss", "[ipv4-addr:value IN ('10.0.0.1', '10.0.0.2')]",
+			map[string][]string{"ipv4-addr:value": {"10.0.0.3"}}, false, false},
+		{"in mixed numeric literal", "[x:port IN (80, 443)]",
+			map[string][]string{"x:port": {"443.0"}}, true, false},
+		{"not in", "[x:port NOT IN (80, 443)]",
+			map[string][]string{"x:port": {"8080"}}, true, false},
+
+		// LIKE: % any run (incl. empty), _ exactly one.
+		{"like percent empty run", "[url:value LIKE 'http%://x/']",
+			map[string][]string{"url:value": {"http://x/"}}, true, false},
+		{"like percent long run", "[url:value LIKE '%/mal/%']",
+			map[string][]string{"url:value": {"http://a/mal/b.bin"}}, true, false},
+		{"like underscore exactly one", "[file:name LIKE 'a_c']",
+			map[string][]string{"file:name": {"abc"}}, true, false},
+		{"like underscore not zero", "[file:name LIKE 'a_c']",
+			map[string][]string{"file:name": {"ac"}}, false, false},
+		{"like underscore not two", "[file:name LIKE 'a_c']",
+			map[string][]string{"file:name": {"abbc"}}, false, false},
+		{"like is anchored", "[file:name LIKE 'mal']",
+			map[string][]string{"file:name": {"malware.exe"}}, false, false},
+		{"like regexp metachars are literal", "[file:name LIKE 'a.b+c']",
+			map[string][]string{"file:name": {"a.b+c"}}, true, false},
+		{"like regexp metachars do not expand", "[file:name LIKE 'a.b+c']",
+			map[string][]string{"file:name": {"aXbbc"}}, false, false},
+		{"like percent crosses newline", "[x:body LIKE 'a%b']",
+			map[string][]string{"x:body": {"a\nb"}}, true, false},
+
+		// MATCHES (precompiled at parse time).
+		{"matches unanchored", "[file:name MATCHES 'mal.*\\\\.exe']",
+			map[string][]string{"file:name": {"prefix-malware.exe"}}, true, false},
+		{"matches anchored miss", "[file:name MATCHES '^mal']",
+			map[string][]string{"file:name": {"not-mal"}}, false, false},
+		{"matches alternation", "[domain-name:value MATCHES '(evil|bad)\\\\.example']",
+			map[string][]string{"domain-name:value": {"bad.example"}}, true, false},
+
+		// ISSUBSET boundaries: value must fall inside the literal network
+		// with an equal-or-narrower mask.
+		{"issubset ip inside", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.7"}}, true, false},
+		{"issubset network boundary low", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.0"}}, true, false},
+		{"issubset network boundary high", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.255"}}, true, false},
+		{"issubset just outside", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.101.0"}}, false, false},
+		{"issubset narrower cidr value", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.128/25"}}, true, false},
+		{"issubset same cidr", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.0/24"}}, true, false},
+		{"issubset broader cidr value", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"198.51.0.0/16"}}, false, false},
+		{"issubset bad value errors", "[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+			map[string][]string{"ipv4-addr:value": {"not-an-ip"}}, false, true},
+		{"issuperset value contains literal", "[ipv4-addr:value ISSUPERSET '198.51.100.7']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.0/24"}}, true, false},
+		{"issuperset miss", "[ipv4-addr:value ISSUPERSET '203.0.113.1']",
+			map[string][]string{"ipv4-addr:value": {"198.51.100.0/24"}}, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := mustParse(t, tt.pattern)
+			got, err := p.MatchOne(obs(tt.fields))
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("MatchOne(%q) did not error", tt.pattern)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MatchOne(%q): %v", tt.pattern, err)
+			}
+			if got != tt.want {
+				t.Fatalf("MatchOne(%q) = %v, want %v", tt.pattern, got, tt.want)
+			}
+		})
+	}
+}
+
+// TestParsedMatchersPrecompiled pins the satellite fix: parsing stores the
+// compiled LIKE/MATCHES regexp on the Comparison node.
+func TestParsedMatchersPrecompiled(t *testing.T) {
+	for _, src := range []string{
+		"[file:name LIKE '%.exe']",
+		"[file:name MATCHES '^mal.*']",
+	} {
+		p := mustParse(t, src)
+		cmp, ok := p.Root.(ObsTest).Expr.(Comparison)
+		if !ok {
+			t.Fatalf("%q: root is not a Comparison", src)
+		}
+		if cmp.matcher == nil {
+			t.Fatalf("%q: matcher not compiled at parse time", src)
+		}
+	}
+}

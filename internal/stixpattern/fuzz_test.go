@@ -25,6 +25,42 @@ func TestParseNeverPanics(t *testing.T) {
 	}
 }
 
+// FuzzParseMatch is a native fuzz target over the full parse→match path.
+// Its seed corpus runs under plain `go test` and includes LIKE/MATCHES
+// entries that exercise the parse-time-compiled regexp path.
+func FuzzParseMatch(f *testing.F) {
+	seeds := []string{
+		"[domain-name:value = 'evil.example']",
+		"[ipv4-addr:value ISSUBSET '198.51.100.0/24']",
+		// Compiled-regexp path: LIKE with %/_ runs and quoted metachars,
+		// MATCHES with anchors and alternation.
+		"[file:name LIKE '%mal_ware.v_']",
+		"[url:value LIKE 'http%://x.y/%.bin']",
+		"[file:name MATCHES '^mal(ware)?\\\\.exe$']",
+		"[domain-name:value MATCHES '(evil|bad)\\\\.example' AND x:score > 2.5]",
+		"[a:b MATCHES '('", // unbalanced regexp AND bracket: must just error
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	obs := Observation{At: time.Unix(0, 0), Fields: map[string][]string{
+		"a:b": {"x"}, "domain-name:value": {"evil.example"},
+		"file:name": {"malware.exe"}, "url:value": {"http://x.y/a.bin"},
+		"ipv4-addr:value": {"198.51.100.7"},
+	}}
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := Parse(input)
+		if err != nil {
+			return
+		}
+		_, _ = p.Match([]Observation{obs})
+		canon := p.String()
+		if _, err := Parse(canon); err != nil {
+			t.Fatalf("canonical form of %q does not reparse: %q: %v", input, canon, err)
+		}
+	})
+}
+
 // TestParseStructuredFuzz builds random-ish pattern strings from valid
 // fragments, which reach much deeper into the grammar than raw random
 // bytes.

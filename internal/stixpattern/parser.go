@@ -332,11 +332,18 @@ func (p *parser) parseComparison() (CompareExpr, error) {
 		}
 		return cmp, nil
 	}
+	litPos := p.cur.pos
 	lit, err := p.parseLiteral()
 	if err != nil {
 		return nil, err
 	}
 	cmp.Values = []Literal{lit}
+	// Compile LIKE/MATCHES once here so evaluation never recompiles, and so
+	// an unparsable MATCHES regexp is a positioned parse error rather than a
+	// per-evaluation failure.
+	if err := cmp.compileMatcher(); err != nil {
+		return nil, syntaxErrf(litPos, "%v", err)
+	}
 	return cmp, nil
 }
 

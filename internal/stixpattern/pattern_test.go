@@ -1,6 +1,7 @@
 package stixpattern
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -218,9 +219,27 @@ func TestMatchObservationCombinators(t *testing.T) {
 }
 
 func TestMatchBadRegexpReportsError(t *testing.T) {
-	p := mustParse(t, "[a:b MATCHES '(']")
+	// Since regexps compile at parse time, a bad MATCHES literal is a
+	// positioned parse error rather than a per-evaluation failure.
+	_, err := Parse("[a:b MATCHES '(']")
+	if err == nil {
+		t.Fatal("bad regexp did not error at parse time")
+	}
+	var serr *SyntaxError
+	if !errors.As(err, &serr) {
+		t.Fatalf("Parse error = %T, want *SyntaxError", err)
+	}
+	if serr.Pos != 13 {
+		t.Fatalf("SyntaxError.Pos = %d, want 13 (the literal)", serr.Pos)
+	}
+
+	// Hand-built ASTs skip parse-time compilation; the evaluator still
+	// reports the bad regexp as an error.
+	p := &Pattern{Root: ObsTest{Expr: Comparison{
+		Path: "a:b", Op: OpMatches, Values: []Literal{StringLit("(")},
+	}}}
 	if _, err := p.MatchOne(obs(map[string][]string{"a:b": {"x"}})); err == nil {
-		t.Fatal("bad regexp did not error")
+		t.Fatal("bad regexp did not error at eval time")
 	}
 }
 

@@ -1,0 +1,144 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+
+	"github.com/caisplatform/caisp/internal/stixpattern"
+	"github.com/caisplatform/caisp/internal/wsock"
+)
+
+// API is the HTTP front of the subscription engine, mounted on both tipd
+// and caispd:
+//
+//	POST   /subscriptions            register {"client_id": ..., "pattern": ...}
+//	GET    /subscriptions?client=ID  list subscriptions (optionally one client's)
+//	GET    /subscriptions/stats      engine counters
+//	DELETE /subscriptions/{id}       unsubscribe
+//	GET    /ws/matches               WebSocket match stream
+//
+// Registration failures are structured: syntax errors return 400 with the
+// parser's byte offset, oversized patterns 400 with the cap, exhausted
+// per-client quotas 429.
+type API struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewAPI builds the HTTP handler around an engine.
+func NewAPI(e *Engine) *API {
+	a := &API{engine: e, mux: http.NewServeMux()}
+	a.mux.HandleFunc("POST /subscriptions", a.handleRegister)
+	a.mux.HandleFunc("GET /subscriptions", a.handleList)
+	a.mux.HandleFunc("GET /subscriptions/stats", a.handleStats)
+	a.mux.HandleFunc("DELETE /subscriptions/{id}", a.handleUnsubscribe)
+	a.mux.HandleFunc("GET /ws/matches", a.handleWS)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+// registerRequest is the POST /subscriptions body.
+type registerRequest struct {
+	ClientID string `json:"client_id"`
+	Pattern  string `json:"pattern"`
+}
+
+// apiError is the structured error body.
+type apiError struct {
+	Error string `json:"error"`
+	// Position is the byte offset of a pattern syntax error.
+	Position *int `json:"position,omitempty"`
+	// Length/Limit describe cap violations (pattern size, client quota).
+	Length int `json:"length,omitempty"`
+	Limit  int `json:"limit,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req registerRequest
+	body := http.MaxBytesReader(w, r.Body, 1<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Pattern == "" {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing pattern"})
+		return
+	}
+	sub, err := a.engine.Register(req.ClientID, req.Pattern)
+	if err != nil {
+		var serr *stixpattern.SyntaxError
+		var tooLarge *PatternTooLargeError
+		var limit *ClientLimitError
+		switch {
+		case errors.As(err, &serr):
+			pos := serr.Pos
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Position: &pos})
+		case errors.As(err, &tooLarge):
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error(), Length: tooLarge.Length, Limit: tooLarge.Limit})
+		case errors.As(err, &limit):
+			writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error(), Limit: limit.Limit})
+		default:
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		}
+		return
+	}
+	writeJSON(w, http.StatusCreated, sub)
+}
+
+func (a *API) handleList(w http.ResponseWriter, r *http.Request) {
+	subs := a.engine.List(r.URL.Query().Get("client"))
+	if subs == nil {
+		subs = []*Subscription{}
+	}
+	writeJSON(w, http.StatusOK, subs)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, a.engine.Stats())
+}
+
+func (a *API) handleUnsubscribe(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := a.engine.Unsubscribe(id); err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// wsHello greets each new match-stream watcher.
+type wsHello struct {
+	Kind       string `json:"kind"` // "hello"
+	Registered int    `json:"registered"`
+}
+
+func (a *API) handleWS(w http.ResponseWriter, r *http.Request) {
+	conn, err := wsock.Accept(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.engine.AddWatcher(conn)
+	// Reader loop: answers pings, detects close, evicts on error.
+	go func() {
+		for {
+			if _, _, err := conn.ReadMessage(); err != nil {
+				a.engine.RemoveWatcher(conn)
+				_ = conn.Close()
+				return
+			}
+		}
+	}()
+	if data, err := json.Marshal(wsHello{Kind: "hello", Registered: a.engine.Len()}); err == nil {
+		_ = conn.WriteText(data)
+	}
+}

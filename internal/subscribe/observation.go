@@ -1,0 +1,125 @@
+package subscribe
+
+import (
+	"encoding/json"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/correlate"
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/normalize"
+	"github.com/caisplatform/caisp/internal/stixpattern"
+	"github.com/caisplatform/caisp/internal/wsock"
+)
+
+// Extension object paths the platform adds beyond the members' own STIX
+// fields, so patterns can select on cluster category and analyzer score:
+//
+//	[x-caisp:category = 'vulnerability-exploitation']
+//	[x-caisp:threat-score >= 0.5]
+const (
+	PathCategory    = "x-caisp:category"
+	PathThreatScore = "x-caisp:threat-score"
+)
+
+// EventFrame is the WebSocket payload pushed to /ws/matches watchers: one
+// admitted event and every subscription it satisfied. The frame is JSON- and
+// WebSocket-encoded once and fanned out prepared.
+type EventFrame struct {
+	Kind  string `json:"kind"` // "match"
+	Stage Stage  `json:"stage"`
+	Event string `json:"event_uuid"`
+	Info  string `json:"info"`
+	// At is the admitted event's MISP timestamp; PushedUnixNano stamps hub
+	// submission so consumers can measure push lag.
+	At             time.Time `json:"at"`
+	PushedUnixNano int64     `json:"pushed_unix_nano"`
+	Matches        []Match   `json:"matches"`
+}
+
+// ObservationFromMISP projects a stored MISP event onto STIX object paths.
+// For admitted cIoCs the cluster members rebuild exactly as the correlator
+// stored them; for other events (e.g. raw events posted to tipd) each
+// attribute value normalizes individually. threatScore < 0 means unscored.
+func ObservationFromMISP(me *misp.Event, threatScore float64) stixpattern.Observation {
+	fields := make(map[string][]string, 8)
+	members := correlate.MembersFromMISP(me)
+	if members == nil {
+		for i := range me.Attributes {
+			a := &me.Attributes[i]
+			if a.Type == "comment" {
+				continue
+			}
+			ev, err := normalize.New(a.Value, "", "", normalize.SourceOSINT, a.Timestamp.Time)
+			if err != nil {
+				continue
+			}
+			members = append(members, ev)
+		}
+	}
+	for _, m := range members {
+		for path, vals := range m.ObservationFields() {
+			fields[path] = append(fields[path], vals...)
+		}
+	}
+	if cat := correlate.CategoryOf(me); cat != "" {
+		fields[PathCategory] = []string{cat}
+	}
+	if threatScore < 0 {
+		// Stored eIoCs carry the score as a comment attribute; recover it
+		// so bus-driven evaluation (tipd) sees the same fields as in-core
+		// dispatch.
+		threatScore, _ = ThreatScoreOf(me)
+	}
+	if threatScore >= 0 {
+		fields[PathThreatScore] = []string{strconv.FormatFloat(threatScore, 'f', -1, 64)}
+	}
+	return stixpattern.Observation{At: me.Timestamp.Time, Fields: fields}
+}
+
+// ThreatScoreOf recovers the analyzer score written back into a stored eIoC
+// ("threat-score:0.6250" comment attribute). Returns -1, false when absent.
+func ThreatScoreOf(me *misp.Event) (float64, bool) {
+	for i := range me.Attributes {
+		a := &me.Attributes[i]
+		if a.Type != "comment" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(a.Value, "threat-score:"); ok {
+			if f, err := strconv.ParseFloat(rest, 64); err == nil {
+				return f, true
+			}
+		}
+	}
+	return -1, false
+}
+
+// EvaluateMISP evaluates an admitted MISP event against the live pattern
+// set and, on any match, pushes one encode-once frame to every watcher.
+// It returns the number of matched subscriptions.
+func (e *Engine) EvaluateMISP(me *misp.Event, stage Stage, threatScore float64) int {
+	if e.count.Load() == 0 {
+		return 0
+	}
+	matches := e.Evaluate(ObservationFromMISP(me, threatScore))
+	if len(matches) == 0 {
+		return 0
+	}
+	frame := EventFrame{
+		Kind:    "match",
+		Stage:   stage,
+		Event:   me.UUID,
+		Info:    me.Info,
+		At:      me.Timestamp.Time,
+		Matches: matches,
+	}
+	frame.PushedUnixNano = time.Now().UnixNano()
+	payload, err := json.Marshal(frame)
+	if err != nil {
+		e.logger.Warn("subscribe: encode match frame", "error", err)
+		return len(matches)
+	}
+	e.hub.BroadcastPrepared(wsock.PrepareText(payload))
+	return len(matches)
+}

@@ -1,0 +1,597 @@
+// Package subscribe is the platform's streaming detection engine: clients
+// register standing STIX 2 patterns over REST and receive match frames over
+// WebSocket whenever an admitted cIoC/eIoC satisfies one. This is the
+// SIEM-integration surface — a standing set of machine-readable detections
+// evaluated continuously against live intelligence.
+//
+// The core is a pattern index built at registration time. Each parsed
+// pattern's comparison expressions decompose into (object-path,
+// operator-class, value) keys:
+//
+//   - non-negated equality and IN predicates hash-dispatch: an exact
+//     (path, value) probe finds them in O(1) regardless of how many
+//     patterns are registered;
+//   - ordered, CIDR, LIKE, MATCHES, negated and != predicates land in a
+//     per-path candidate list, sized by how many such patterns watch that
+//     path.
+//
+// Per admitted event the engine probes the index with the event's observed
+// fields and runs the full evaluator only on candidates, so evaluation cost
+// scales with matching candidates, not registered patterns. The index is
+// sound because the evaluator treats absent object paths as false (even for
+// negated comparisons): a pattern can only match an observation if at least
+// one of its comparisons sees a present path, and every comparison's path
+// is indexed.
+package subscribe
+
+import (
+	"errors"
+	"fmt"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/stixpattern"
+	"github.com/caisplatform/caisp/internal/uuid"
+	"github.com/caisplatform/caisp/internal/wsock"
+)
+
+// Registration limits (overridable via options).
+const (
+	DefaultMaxPatternBytes = 4096
+	DefaultMaxPerClient    = 1024
+)
+
+// DefaultMatchQueueDepth sizes each watcher's send queue. Batch admission
+// pushes match frames in microsecond bursts (one flush can admit hundreds
+// of events), far faster than a TCP peer drains them — the hub's
+// drop-slowest eviction would cut healthy watchers off mid-burst at the
+// wsock default of 64. Queue entries are frame pointers, so depth is cheap.
+// Override with WithHubOptions(wsock.WithQueueDepth(n)).
+const DefaultMatchQueueDepth = 4096
+
+// Stage labels which admission point produced a matched event.
+type Stage string
+
+// Admission stages.
+const (
+	StageCIoC Stage = "cioc" // composed cluster admitted by the correlator
+	StageEIoC Stage = "eioc" // scored event admitted by the analyzer
+)
+
+// ErrNotFound reports an unsubscribe for an unknown subscription ID.
+var ErrNotFound = errors.New("subscribe: no such subscription")
+
+// PatternTooLargeError rejects a registration whose pattern source exceeds
+// the engine's length cap.
+type PatternTooLargeError struct {
+	Length, Limit int
+}
+
+// Error describes the violated cap.
+func (e *PatternTooLargeError) Error() string {
+	return fmt.Sprintf("subscribe: pattern is %d bytes, limit %d", e.Length, e.Limit)
+}
+
+// ClientLimitError rejects a registration that would push a client past its
+// subscription quota. The API layer maps it to 429.
+type ClientLimitError struct {
+	ClientID string
+	Limit    int
+}
+
+// Error describes the exhausted quota.
+func (e *ClientLimitError) Error() string {
+	return fmt.Sprintf("subscribe: client %q has reached the subscription limit (%d)", e.ClientID, e.Limit)
+}
+
+// Subscription is the REST representation of one registered pattern — a
+// plain-data snapshot, freely copyable.
+type Subscription struct {
+	ID        string    `json:"id"`
+	ClientID  string    `json:"client_id"`
+	Pattern   string    `json:"pattern"`
+	CreatedAt time.Time `json:"created_at"`
+	// Matches is the number of admitted events this subscription matched
+	// at snapshot time.
+	Matches int64 `json:"matches"`
+}
+
+// subscription is the engine's live record: the public data plus parsed
+// form, index keys and the match counter. Always held by pointer.
+type subscription struct {
+	Subscription
+	parsed  *stixpattern.Pattern
+	slot    int      // dense index into Engine.slots
+	eqKeys  []string // equality-index keys this pattern occupies
+	pathVal []string // per-path candidate lists this pattern occupies
+	matched atomic.Int64
+}
+
+// Match reports one subscription satisfied by an admitted event.
+type Match struct {
+	SubscriptionID string `json:"subscription_id"`
+	ClientID       string `json:"client_id"`
+	Pattern        string `json:"pattern"`
+}
+
+// Engine owns the live pattern set, its index, and the WebSocket hub that
+// match frames fan out on.
+type Engine struct {
+	linear      bool
+	maxBytes    int
+	maxPer      int
+	logger      *slog.Logger
+	now         func() time.Time
+	hub         *wsock.Hub
+	evalSeconds *obs.Histogram
+	candidates  *obs.Histogram
+	matchTotal  *obs.Counter
+	rejected    *obs.CounterVec
+	// hubOpts accumulates hub options until NewEngine builds the hub.
+	hubOpts []wsock.HubOption
+
+	count     atomic.Int64 // live subscriptions, read lock-free on the hot path
+	evaluated atomic.Int64
+	matches   atomic.Int64
+
+	mu       sync.RWMutex
+	subs     map[string]*subscription
+	byClient map[string]map[string]*subscription
+	slots    []*subscription // dense storage; index lists hold slot numbers
+	free     []int
+	eq       map[string][]int // (path \x00 value) → candidate slots
+	byPath   map[string][]int // path → candidate slots for non-hashable ops
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithMetrics registers the caisp_subs_* families on reg.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) {
+		reg.GaugeFunc("caisp_subs_registered",
+			"Live STIX-pattern subscriptions.",
+			func() float64 { return float64(e.count.Load()) })
+		e.evalSeconds = reg.Histogram("caisp_subs_eval_seconds",
+			"Per-event subscription evaluation latency: index probe plus full evaluator runs on candidates.")
+		e.candidates = reg.Histogram("caisp_subs_candidates_per_event",
+			"Candidate patterns the index selects per admitted event.", obs.SizeBuckets...)
+		e.matchTotal = reg.Counter("caisp_subs_matches_total",
+			"Subscription matches pushed to watchers.")
+		e.rejected = reg.CounterVec("caisp_subs_rejected_total",
+			"Registrations rejected, by reason (syntax, too_large, limit).", "reason")
+	}
+}
+
+// WithHubMetrics additionally registers the match hub's caisp_wsock_*
+// families on reg. Standalone daemons (tipd, subload) want this; inside
+// caispd the dashboard hub already owns those families, so the match hub
+// must stay unregistered to keep the one-registration metric contract.
+func WithHubMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) { e.hubOpts = append(e.hubOpts, wsock.WithHubMetrics(reg)) }
+}
+
+// WithLinearScan disables the index: every registered pattern runs the full
+// evaluator on every event. This is the O(all-patterns) ablation that
+// `make bench-subs` compares against; never enable it in production.
+func WithLinearScan() Option {
+	return func(e *Engine) { e.linear = true }
+}
+
+// WithMaxPatternBytes caps registered pattern source length.
+func WithMaxPatternBytes(n int) Option {
+	return func(e *Engine) { e.maxBytes = n }
+}
+
+// WithMaxPerClient caps live subscriptions per client ID.
+func WithMaxPerClient(n int) Option {
+	return func(e *Engine) { e.maxPer = n }
+}
+
+// WithLogger sets the engine's logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Engine) {
+		if l != nil {
+			e.logger = l
+		}
+	}
+}
+
+// WithNow injects a clock for deterministic tests.
+func WithNow(now func() time.Time) Option {
+	return func(e *Engine) {
+		if now != nil {
+			e.now = now
+		}
+	}
+}
+
+// WithHubOptions forwards options to the match-push hub.
+func WithHubOptions(opts ...wsock.HubOption) Option {
+	return func(e *Engine) { e.hubOpts = append(e.hubOpts, opts...) }
+}
+
+// NewEngine builds an empty engine and its match-push hub.
+func NewEngine(opts ...Option) *Engine {
+	e := &Engine{
+		maxBytes: DefaultMaxPatternBytes,
+		maxPer:   DefaultMaxPerClient,
+		logger:   slog.Default(),
+		now:      time.Now,
+		subs:     make(map[string]*subscription),
+		byClient: make(map[string]map[string]*subscription),
+		eq:       make(map[string][]int),
+		byPath:   make(map[string][]int),
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	hubOpts := append([]wsock.HubOption{wsock.WithQueueDepth(DefaultMatchQueueDepth)}, e.hubOpts...)
+	e.hub = wsock.NewHub(hubOpts...)
+	return e
+}
+
+// Close shuts down the match-push hub.
+func (e *Engine) Close() { e.hub.Close() }
+
+// AddWatcher attaches a WebSocket connection to the match stream.
+func (e *Engine) AddWatcher(c *wsock.Conn) { e.hub.Add(c) }
+
+// RemoveWatcher detaches a connection.
+func (e *Engine) RemoveWatcher(c *wsock.Conn) { e.hub.Remove(c) }
+
+// Watchers returns the number of attached match-stream connections.
+func (e *Engine) Watchers() int { return e.hub.Len() }
+
+// Len returns the number of live subscriptions.
+func (e *Engine) Len() int { return int(e.count.Load()) }
+
+// Register parses, validates, indexes and stores a pattern for clientID.
+func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
+	if clientID == "" {
+		clientID = "default"
+	}
+	if len(pattern) > e.maxBytes {
+		e.reject("too_large")
+		return nil, &PatternTooLargeError{Length: len(pattern), Limit: e.maxBytes}
+	}
+	parsed, err := stixpattern.Parse(pattern)
+	if err != nil {
+		e.reject("syntax")
+		return nil, err
+	}
+	eqKeys, pathKeys := decompose(parsed.Root)
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.byClient[clientID]) >= e.maxPer {
+		e.reject("limit")
+		return nil, &ClientLimitError{ClientID: clientID, Limit: e.maxPer}
+	}
+	sub := &subscription{
+		Subscription: Subscription{
+			ID:        uuid.NewV4().String(),
+			ClientID:  clientID,
+			Pattern:   pattern,
+			CreatedAt: e.now().UTC(),
+		},
+		parsed:  parsed,
+		eqKeys:  eqKeys,
+		pathVal: pathKeys,
+	}
+	if n := len(e.free); n > 0 {
+		sub.slot = e.free[n-1]
+		e.free = e.free[:n-1]
+		e.slots[sub.slot] = sub
+	} else {
+		sub.slot = len(e.slots)
+		e.slots = append(e.slots, sub)
+	}
+	for _, k := range eqKeys {
+		e.eq[k] = append(e.eq[k], sub.slot)
+	}
+	for _, k := range pathKeys {
+		e.byPath[k] = append(e.byPath[k], sub.slot)
+	}
+	e.subs[sub.ID] = sub
+	cl := e.byClient[clientID]
+	if cl == nil {
+		cl = make(map[string]*subscription)
+		e.byClient[clientID] = cl
+	}
+	cl[sub.ID] = sub
+	e.count.Add(1)
+	return sub.snapshot(), nil
+}
+
+// Unsubscribe removes a subscription and its index entries.
+func (e *Engine) Unsubscribe(id string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	sub, ok := e.subs[id]
+	if !ok {
+		return ErrNotFound
+	}
+	delete(e.subs, id)
+	cl := e.byClient[sub.ClientID]
+	delete(cl, id)
+	if len(cl) == 0 {
+		delete(e.byClient, sub.ClientID)
+	}
+	for _, k := range sub.eqKeys {
+		e.eq[k] = dropSlot(e.eq[k], sub.slot)
+		if len(e.eq[k]) == 0 {
+			delete(e.eq, k)
+		}
+	}
+	for _, k := range sub.pathVal {
+		e.byPath[k] = dropSlot(e.byPath[k], sub.slot)
+		if len(e.byPath[k]) == 0 {
+			delete(e.byPath, k)
+		}
+	}
+	e.slots[sub.slot] = nil
+	e.free = append(e.free, sub.slot)
+	e.count.Add(-1)
+	return nil
+}
+
+// List snapshots subscriptions, optionally filtered to one client.
+func (e *Engine) List(clientID string) []*Subscription {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var out []*Subscription
+	if clientID != "" {
+		for _, sub := range e.byClient[clientID] {
+			out = append(out, sub.snapshot())
+		}
+	} else {
+		for _, sub := range e.subs {
+			out = append(out, sub.snapshot())
+		}
+	}
+	return out
+}
+
+// Get snapshots one subscription by ID.
+func (e *Engine) Get(id string) (*Subscription, bool) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sub, ok := e.subs[id]
+	if !ok {
+		return nil, false
+	}
+	return sub.snapshot(), true
+}
+
+func (s *subscription) snapshot() *Subscription {
+	out := s.Subscription
+	out.Matches = s.matched.Load()
+	return &out
+}
+
+// Stats summarises engine state for the REST stats endpoint.
+type Stats struct {
+	Registered int   `json:"registered"`
+	Clients    int   `json:"clients"`
+	EqKeys     int   `json:"indexed_eq_keys"`
+	PathKeys   int   `json:"indexed_path_keys"`
+	Watchers   int   `json:"watchers"`
+	Evaluated  int64 `json:"events_evaluated"`
+	Matches    int64 `json:"matches"`
+}
+
+// Stats returns current engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	st := Stats{
+		Registered: len(e.subs),
+		Clients:    len(e.byClient),
+		EqKeys:     len(e.eq),
+		PathKeys:   len(e.byPath),
+	}
+	e.mu.RUnlock()
+	st.Watchers = e.hub.Len()
+	st.Evaluated = e.evaluated.Load()
+	st.Matches = e.matches.Load()
+	return st
+}
+
+// EvalSnapshot bundles the evaluation histograms and counters so load
+// harnesses (cmd/subload) can report percentiles without scraping the
+// Prometheus text endpoint. Histograms are nil without WithMetrics.
+type EvalSnapshot struct {
+	Registered int
+	Evaluated  int64
+	Matches    int64
+	Eval       *obs.HistogramSnapshot
+	Candidates *obs.HistogramSnapshot
+}
+
+// EvalSnapshot returns current evaluation statistics.
+func (e *Engine) EvalSnapshot() EvalSnapshot {
+	s := EvalSnapshot{
+		Registered: e.Len(),
+		Evaluated:  e.evaluated.Load(),
+		Matches:    e.matches.Load(),
+	}
+	if e.evalSeconds != nil {
+		s.Eval = e.evalSeconds.Snapshot()
+		s.Candidates = e.candidates.Snapshot()
+	}
+	return s
+}
+
+func (e *Engine) reject(reason string) {
+	if e.rejected != nil {
+		e.rejected.With(reason).Inc()
+	}
+}
+
+// Evaluate runs the observation against the live pattern set and returns
+// every satisfied subscription. Evaluation errors (e.g. a CIDR comparison
+// against a non-IP value) disqualify only the erroring pattern.
+func (e *Engine) Evaluate(o stixpattern.Observation) []Match {
+	if e.count.Load() == 0 {
+		return nil
+	}
+	start := time.Now()
+	e.evaluated.Add(1)
+
+	var out []Match
+	ncand := 0
+	e.mu.RLock()
+	if e.linear {
+		for _, sub := range e.subs {
+			ncand++
+			if ok, err := sub.parsed.MatchOne(o); err == nil && ok {
+				sub.matched.Add(1)
+				out = append(out, Match{SubscriptionID: sub.ID, ClientID: sub.ClientID, Pattern: sub.Pattern})
+			}
+		}
+	} else {
+		seen := make(map[int]struct{}, 8)
+		try := func(slots []int) {
+			for _, slot := range slots {
+				if _, dup := seen[slot]; dup {
+					continue
+				}
+				seen[slot] = struct{}{}
+				ncand++
+				sub := e.slots[slot]
+				if ok, err := sub.parsed.MatchOne(o); err == nil && ok {
+					sub.matched.Add(1)
+					out = append(out, Match{SubscriptionID: sub.ID, ClientID: sub.ClientID, Pattern: sub.Pattern})
+				}
+			}
+		}
+		for path, values := range o.Fields {
+			try(e.byPath[path])
+			for _, v := range values {
+				try(e.eq[path+"\x00"+v])
+				// Numeric literals compare by value, not text: "0443.0"
+				// equals literal 443. Probe the canonical float form too so
+				// the hash index agrees with the evaluator.
+				if canon, ok := canonicalNumber(v); ok && canon != v {
+					try(e.eq[path+"\x00"+canon])
+				}
+			}
+		}
+	}
+	e.mu.RUnlock()
+
+	e.matches.Add(int64(len(out)))
+	if e.evalSeconds != nil {
+		e.evalSeconds.Observe(time.Since(start).Seconds())
+		e.candidates.Observe(float64(ncand))
+		e.matchTotal.Add(int64(len(out)))
+	}
+	return out
+}
+
+// decompose walks a parsed pattern and derives its index keys: eq keys for
+// hash-dispatchable predicates, path keys for everything else. Keys are
+// deduplicated per pattern.
+func decompose(root stixpattern.ObservationExpr) (eqKeys, pathKeys []string) {
+	eqSet := make(map[string]struct{})
+	pathSet := make(map[string]struct{})
+	var walkCmp func(stixpattern.CompareExpr)
+	walkCmp = func(expr stixpattern.CompareExpr) {
+		switch c := expr.(type) {
+		case stixpattern.BoolCombine:
+			walkCmp(c.Left)
+			walkCmp(c.Right)
+		case stixpattern.Comparison:
+			base := basePath(c.Path)
+			if !c.Negated && c.Op == stixpattern.OpEq && len(c.Values) == 1 {
+				eqSet[base+"\x00"+literalText(c.Values[0])] = struct{}{}
+				return
+			}
+			if !c.Negated && c.Op == stixpattern.OpIn {
+				for _, lit := range c.Values {
+					eqSet[base+"\x00"+literalText(lit)] = struct{}{}
+				}
+				return
+			}
+			pathSet[base] = struct{}{}
+		}
+	}
+	var walkObs func(stixpattern.ObservationExpr)
+	walkObs = func(expr stixpattern.ObservationExpr) {
+		switch o := expr.(type) {
+		case stixpattern.ObsTest:
+			walkCmp(o.Expr)
+		case stixpattern.ObsCombine:
+			walkObs(o.Left)
+			walkObs(o.Right)
+		case stixpattern.ObsQualified:
+			walkObs(o.Expr)
+		}
+	}
+	walkObs(root)
+	for k := range eqSet {
+		eqKeys = append(eqKeys, k)
+	}
+	for k := range pathSet {
+		pathKeys = append(pathKeys, k)
+	}
+	return eqKeys, pathKeys
+}
+
+// basePath strips a trailing [N]/[*] index selector: the evaluator resolves
+// selector paths against the base path's value list, and observations key
+// their fields by base path.
+func basePath(path string) string {
+	if i := strings.LastIndexByte(path, '['); i > 0 && strings.HasSuffix(path, "]") {
+		return path[:i]
+	}
+	return path
+}
+
+// literalText mirrors Literal.text(): the comparable string form the
+// evaluator uses for equality.
+func literalText(l stixpattern.Literal) string {
+	switch l.Kind {
+	case stixpattern.LitString:
+		return l.Str
+	case stixpattern.LitNumber:
+		return strconv.FormatFloat(l.Num, 'f', -1, 64)
+	case stixpattern.LitTimestamp:
+		return l.Time.UTC().Format(time.RFC3339Nano)
+	default:
+		return ""
+	}
+}
+
+// canonicalNumber reduces an observed value to the canonical form numeric
+// literals index under.
+func canonicalNumber(v string) (string, bool) {
+	if len(v) == 0 || len(v) > 64 {
+		return "", false
+	}
+	c := v[0]
+	if c != '-' && c != '+' && c != '.' && (c < '0' || c > '9') {
+		return "", false
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return "", false
+	}
+	return strconv.FormatFloat(f, 'f', -1, 64), true
+}
+
+// dropSlot removes one occurrence of slot via swap-remove.
+func dropSlot(slots []int, slot int) []int {
+	for i, s := range slots {
+		if s == slot {
+			slots[i] = slots[len(slots)-1]
+			return slots[:len(slots)-1]
+		}
+	}
+	return slots
+}
