@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs wsload-smoke subload-smoke vet copyfree metrics-lint check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs bench-mesh wsload-smoke subload-smoke meshload-smoke vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -57,6 +57,19 @@ bench-subs:
 subload-smoke:
 	$(GO) run ./cmd/subload -patterns 1000 -clients 8 -events 5000 -drain 15s
 
+# Mesh suite: concurrent vs serial fan-in over simulated WAN peers — the
+# EXPERIMENTS.md §X12 orchestration numbers.
+bench-mesh:
+	$(GO) test -run '^$$' -bench '^BenchmarkFanIn' -benchmem ./internal/mesh/
+
+# Federation smoke: a 3-node replication ring over real loopback HTTP
+# with a crash/restart mid-ingest. Exits nonzero unless every node
+# converges to the identical event set (counts via /metrics + store
+# digest) with zero steady-state re-imports. The 5-node runs and the
+# serial-sync ablation are in EXPERIMENTS.md §X12.
+meshload-smoke:
+	$(GO) run ./cmd/meshload -nodes 3 -topology ring -events 600 -interval 15ms -drain 30s
+
 vet:
 	$(GO) vet ./...
 
@@ -89,10 +102,12 @@ metrics-lint:
 		echo "$$dup"; \
 		exit 1; \
 	fi; \
-	for want in caisp_subs_registered caisp_subs_eval_seconds caisp_subs_matches_total caisp_subs_candidates_per_event caisp_subs_rejected_total; do \
+	for want in caisp_subs_registered caisp_subs_eval_seconds caisp_subs_matches_total caisp_subs_candidates_per_event caisp_subs_rejected_total \
+		caisp_mesh_pages_total caisp_mesh_events_pulled_total caisp_mesh_events_imported_total caisp_mesh_echo_suppressed_total \
+		caisp_mesh_conflicts_total caisp_mesh_lag_seconds caisp_mesh_sync_seconds; do \
 		echo "$$names" | grep -qx "\"$$want\"" || { \
-			echo "metrics-lint: required subscription metric $$want is not registered"; exit 1; }; \
+			echo "metrics-lint: required metric $$want is not registered"; exit 1; }; \
 	done; \
 	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
 
-check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke
+check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke meshload-smoke

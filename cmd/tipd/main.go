@@ -1,7 +1,9 @@
 // Command tipd runs a standalone threat-intelligence-platform instance
 // (the MISP-equivalent of the paper's Operational Module): a MISP-format
 // event store with REST API, export modules and a TCP publish socket that
-// plays the role of MISP's zeroMQ plugin.
+// plays the role of MISP's zeroMQ plugin. With one or more -peer flags it
+// also joins a federation mesh, continuously pull-replicating from the
+// named peers with durable cursors and echo suppression (internal/mesh).
 package main
 
 import (
@@ -9,12 +11,16 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/mesh"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
@@ -26,25 +32,73 @@ import (
 // requests before closing the store anyway.
 const drainDeadline = 3 * time.Second
 
+// peerFlags collects repeatable -peer values ("name=url" or a bare URL,
+// in which case the host:port becomes the peer name).
+type peerFlags []string
+
+func (p *peerFlags) String() string     { return strings.Join(*p, ",") }
+func (p *peerFlags) Set(v string) error { *p = append(*p, v); return nil }
+
+// config is everything run needs, parsed from flags.
+type config struct {
+	addr, pubAddr, dataDir, apiKey, name string
+	pprof                                bool
+
+	peers        peerFlags
+	peerKey      string
+	syncInterval time.Duration
+	syncPage     int
+	serialSync   bool
+	subsFile     string
+}
+
 func main() {
-	var (
-		addr    = flag.String("listen", ":8440", "REST API listen address")
-		pubAddr = flag.String("publish", "", "TCP publish-socket address (empty disables)")
-		dataDir = flag.String("data", "", "event store directory (empty = in-memory)")
-		apiKey  = flag.String("key", "", "API key required in the Authorization header (empty disables auth)")
-		name    = flag.String("name", "tipd", "instance name")
-		pprof   = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/")
-	)
+	var cfg config
+	flag.StringVar(&cfg.addr, "listen", ":8440", "REST API listen address")
+	flag.StringVar(&cfg.pubAddr, "publish", "", "TCP publish-socket address (empty disables)")
+	flag.StringVar(&cfg.dataDir, "data", "", "event store directory (empty = in-memory)")
+	flag.StringVar(&cfg.apiKey, "key", "", "API key required in the Authorization header (empty disables auth)")
+	flag.StringVar(&cfg.name, "name", "tipd", "instance name")
+	flag.BoolVar(&cfg.pprof, "pprof", false, "expose pprof profiles under /debug/pprof/")
+	flag.Var(&cfg.peers, "peer", "replication peer as name=url or url (repeatable)")
+	flag.StringVar(&cfg.peerKey, "peer-key", "", "API key presented to peers")
+	flag.DurationVar(&cfg.syncInterval, "sync-interval", mesh.DefaultInterval, "base anti-entropy poll interval per peer (jittered)")
+	flag.IntVar(&cfg.syncPage, "sync-page", mesh.DefaultBasePage, "starting sync page size (adapts up to the peer's cap)")
+	flag.BoolVar(&cfg.serialSync, "serial-sync", false, "sync one peer at a time (measured ablation; default is concurrent)")
+	flag.StringVar(&cfg.subsFile, "subs-file", "", "subscription sidecar path (default <data>/subscriptions.json; empty with no -data disables)")
 	flag.Parse()
-	if err := run(*addr, *pubAddr, *dataDir, *apiKey, *name, *pprof); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tipd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
+// parsePeers resolves the -peer flags into mesh peers.
+func parsePeers(cfg config) ([]mesh.Peer, error) {
+	peers := make([]mesh.Peer, 0, len(cfg.peers))
+	for _, raw := range cfg.peers {
+		name, target := "", raw
+		if i := strings.Index(raw, "="); i > 0 && !strings.Contains(raw[:i], "/") {
+			name, target = raw[:i], raw[i+1:]
+		}
+		u, err := url.Parse(target)
+		if err != nil || u.Host == "" {
+			return nil, fmt.Errorf("bad -peer %q (want name=url or url)", raw)
+		}
+		if name == "" {
+			name = u.Host
+		}
+		peers = append(peers, mesh.Peer{
+			Name:   name,
+			Remote: tip.NewClient(target, cfg.peerKey),
+		})
+	}
+	return peers, nil
+}
+
+func run(cfg config) error {
 	reg := obs.NewRegistry()
-	store, err := storage.Open(dataDir, storage.WithMetrics(reg))
+	store, err := storage.Open(cfg.dataDir, storage.WithMetrics(reg))
 	if err != nil {
 		return err
 	}
@@ -52,8 +106,8 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 
 	broker := bus.NewBroker(bus.WithMetrics(reg))
 	defer broker.Close()
-	if pubAddr != "" {
-		listener, err := broker.ListenTCP(pubAddr)
+	if cfg.pubAddr != "" {
+		listener, err := broker.ListenTCP(cfg.pubAddr)
 		if err != nil {
 			return err
 		}
@@ -62,18 +116,64 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 			listener.Addr(), tip.TopicEventAdd, tip.TopicEventEdit)
 	}
 
-	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(name),
+	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(cfg.name),
 		tip.WithMetrics(reg))
+
+	// Federation: each -peer gets a jittered anti-entropy pull worker.
+	// Cursors persist next to the event store so a restarted node
+	// resumes from its high-water marks.
+	peers, err := parsePeers(cfg)
+	if err != nil {
+		return err
+	}
+	if len(peers) > 0 {
+		var cursors mesh.CursorStore = mesh.NewMemCursors()
+		if cfg.dataDir != "" {
+			cursors = mesh.NewFileCursors(filepath.Join(cfg.dataDir, "mesh-cursors.json"))
+		}
+		meshOpts := []mesh.Option{
+			mesh.WithInterval(cfg.syncInterval),
+			mesh.WithPageSize(cfg.syncPage, mesh.DefaultMaxPage),
+			mesh.WithMetrics(reg),
+		}
+		if cfg.serialSync {
+			meshOpts = append(meshOpts, mesh.WithSerialSync())
+		}
+		engine, err := mesh.New(service, peers, cursors, meshOpts...)
+		if err != nil {
+			return err
+		}
+		engine.Start()
+		defer engine.Close()
+		names := make([]string, len(peers))
+		for i, p := range peers {
+			names[i] = p.Name
+		}
+		fmt.Printf("mesh replication from %d peer(s): %s (interval %s, serial=%v)\n",
+			len(peers), strings.Join(names, ", "), cfg.syncInterval, cfg.serialSync)
+	}
 
 	// Streaming detection: clients register STIX patterns over REST and
 	// receive match frames on /ws/matches. Every event stored through the
 	// API is published on the bus; the drain goroutine evaluates each one
-	// against the live pattern set.
-	subs := subscribe.NewEngine(
+	// against the live pattern set. The pattern set persists across
+	// restarts through the sidecar file.
+	subsFile := cfg.subsFile
+	if subsFile == "" && cfg.dataDir != "" {
+		subsFile = filepath.Join(cfg.dataDir, "subscriptions.json")
+	}
+	subOpts := []subscribe.Option{
 		subscribe.WithMetrics(reg),
 		subscribe.WithHubMetrics(reg),
-	)
+	}
+	if subsFile != "" {
+		subOpts = append(subOpts, subscribe.WithPersistPath(subsFile))
+	}
+	subs := subscribe.NewEngine(subOpts...)
 	defer subs.Close()
+	if subsFile != "" && subs.Len() > 0 {
+		fmt.Printf("restored %d standing subscription(s) from %s\n", subs.Len(), subsFile)
+	}
 	busSub := broker.Subscribe(tip.TopicEventPrefix)
 	defer busSub.Close()
 	go func() {
@@ -96,7 +196,7 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 	// catch-all.
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
-	if pprof {
+	if cfg.pprof {
 		obs.RegisterPprof(mux)
 	}
 	subAPI := subscribe.NewAPI(subs)
@@ -105,8 +205,8 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 	mux.Handle("GET /subscriptions/{rest...}", subAPI)
 	mux.Handle("DELETE /subscriptions/{id}", subAPI)
 	mux.Handle("GET /ws/matches", subAPI)
-	mux.Handle("/", tip.NewAPI(service, apiKey))
-	srv := &http.Server{Addr: addr, Handler: mux}
+	mux.Handle("/", tip.NewAPI(service, cfg.apiKey))
+	srv := &http.Server{Addr: cfg.addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -114,7 +214,7 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- srv.ListenAndServe() }()
 	fmt.Printf("%s: serving MISP-like REST API on %s (%d events loaded)\n",
-		name, addr, service.Len())
+		cfg.name, cfg.addr, service.Len())
 
 	select {
 	case err := <-errCh:
@@ -122,8 +222,8 @@ func run(addr, pubAddr, dataDir, apiKey, name string, pprof bool) error {
 	case <-ctx.Done():
 	}
 	// Graceful shutdown: stop accepting, drain in-flight requests up to
-	// the deadline, then let the deferred store/broker closes run so the
-	// WAL is cleanly released.
+	// the deadline, then let the deferred engine/store/broker closes run
+	// so cursors and the WAL are cleanly released.
 	fmt.Println("\nshutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainDeadline)
 	defer cancel()

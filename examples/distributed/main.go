@@ -102,7 +102,7 @@ func run() error {
 		return err
 	}
 	collectorClient := tip.NewClient(api.URL, "shared-key")
-	if _, err := collectorClient.AddEvent(me); err != nil {
+	if _, err := collectorClient.AddEvent(context.Background(), me); err != nil {
 		return err
 	}
 	fmt.Println("collector:       cIoC posted to the TIP")

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/http/httptest"
@@ -45,7 +46,7 @@ func run() error {
 	}
 	defer partnerStore.Close()
 	partner := tip.NewService(partnerStore, tip.WithName("partner"))
-	imported, err := partner.SyncFrom(tip.NewClient(producerAPI.URL, "producer-key"), time.Time{})
+	imported, err := partner.SyncFrom(context.Background(), tip.NewClient(producerAPI.URL, "producer-key"), time.Time{})
 	if err != nil {
 		return err
 	}

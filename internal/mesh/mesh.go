@@ -1,0 +1,586 @@
+// Package mesh is the platform's federation engine: it turns a set of
+// independent TIP nodes into an N-node anti-entropy mesh, the multi-peer
+// replacement for the one-shot serial tip.SyncFrom. This is the paper's
+// Output Module grown horizontal — org-to-org intelligence exchange
+// between peer MISP-like instances (§IV-A) at replication speeds that
+// keep up with ingest.
+//
+// Each configured peer gets its own sync worker goroutine that pulls the
+// peer's paginated ingest-sequence change feed (GET /events/changes) on
+// a jittered interval, with exponential backoff while the peer is down.
+// Workers run concurrently under a bounded semaphore, so a 16-peer node
+// catches up against all peers at once instead of one at a time
+// (WithSerialSync is the measured ablation). The hot path is loss-free
+// and echo-free:
+//
+//   - Sound cursors: replication pages over the peer's local ingest
+//     sequence, not event modification time. A (timestamp, uuid) cursor
+//     is unsound on a mesh — when the peer imports an event late (from a
+//     third node) with an equal or older timestamp, it lands *behind* an
+//     already-advanced time cursor and is never served again. On the
+//     seq feed a late import always lands at the tail, past every
+//     cursor already handed out.
+//   - Durable cursors: every synced page advances a per-peer sequence
+//     high-water mark persisted through a CursorStore, so a restarted
+//     node resumes where it stopped instead of re-pulling history. A
+//     page whose import fails outright does not advance the cursor —
+//     the events are re-pulled next round.
+//   - Echo suppression: before importing, each pulled event is checked
+//     against the local store by UUID + timestamp. An event the node
+//     already owns at the same or newer timestamp is skipped, so A→B→A
+//     round-trips re-import nothing and trigger no re-analysis.
+//   - Conflict resolution: concurrent edits of the same (cluster) UUID
+//     resolve newest-timestamp-wins — a strictly newer remote revision
+//     replaces the local one through the store's edit path, a strictly
+//     older one is dropped. Ties keep the local copy.
+//   - Batch import: pages land through the service's group-committed
+//     AddEvents, so replication rides the same 10.9× durable batch path
+//     as local ingest, and the page size adapts upward (doubling to
+//     MaxPage) while full pages keep coming.
+package mesh
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
+)
+
+// Local is the importing side of the engine: the node's own TIP service.
+// *tip.Service satisfies it.
+type Local interface {
+	// AddEvents imports a batch through the group-commit path and
+	// returns the events actually stored.
+	AddEvents(events []*misp.Event) ([]*misp.Event, error)
+	// GetEvent returns the locally stored revision of uuid, or an error
+	// when the node does not hold it.
+	GetEvent(uuid string) (*misp.Event, error)
+}
+
+// Remote is one peer's paginated pull surface: its ingest-sequence
+// change feed. *tip.Client satisfies it.
+type Remote interface {
+	ChangesPage(ctx context.Context, afterSeq uint64, limit int) ([]*misp.Event, uint64, bool, error)
+}
+
+// Peer names one replication source.
+type Peer struct {
+	// Name keys the peer's durable cursor and metric labels. It must be
+	// unique and stable across restarts.
+	Name   string
+	Remote Remote
+}
+
+// Defaults for Engine tuning knobs.
+const (
+	DefaultInterval   = 30 * time.Second
+	DefaultBackoffMin = time.Second
+	DefaultBackoffMax = 5 * time.Minute
+	// DefaultBasePage is the starting pull page size; full pages double
+	// it up to DefaultMaxPage. The raised ceiling (vs SyncFrom's fixed
+	// 500) amortizes HTTP and JSON overhead during catch-up, and gzip
+	// keeps the larger pages cheap on the wire.
+	DefaultBasePage = 500
+	DefaultMaxPage  = 5000
+)
+
+// Totals are the engine's lifetime counters, also exported as
+// caisp_mesh_* metric families when a registry is attached.
+type Totals struct {
+	Pages          int64 // pages pulled across all peers
+	Pulled         int64 // events received from peers
+	Imported       int64 // events actually imported (stored)
+	EchoSuppressed int64 // already-owned events skipped (same timestamp)
+	ConflictLocal  int64 // concurrent edits resolved keeping the local copy
+	ConflictRemote int64 // concurrent edits resolved importing the remote copy
+	Errors         int64 // failed sync attempts (transport or import)
+	Rounds         int64 // completed sync rounds (one peer drained to head)
+}
+
+// Engine drives continuous anti-entropy pull replication against the
+// configured peers.
+type Engine struct {
+	local   Local
+	cursors CursorStore
+	peers   []*peerState
+
+	interval   time.Duration
+	backoffMin time.Duration
+	backoffMax time.Duration
+	basePage   int
+	maxPage    int
+	workers    int
+	logger     *slog.Logger
+
+	sem chan struct{} // bounds concurrent per-peer syncs
+
+	mu  sync.Mutex // guards cur
+	cur map[string]Cursor
+
+	pages          atomic.Int64
+	pulled         atomic.Int64
+	imported       atomic.Int64
+	echoSuppressed atomic.Int64
+	conflictLocal  atomic.Int64
+	conflictRemote atomic.Int64
+	errorsN        atomic.Int64
+	rounds         atomic.Int64
+
+	// metric families; nil without WithMetrics.
+	mPages     *obs.CounterVec   // {peer}
+	mPulled    *obs.CounterVec   // {peer}
+	mImported  *obs.CounterVec   // {peer}
+	mEcho      *obs.CounterVec   // {peer}
+	mConflicts *obs.CounterVec   // {peer, winner}
+	mErrors    *obs.CounterVec   // {peer}
+	mSync      *obs.Histogram    // sync round latency
+	mLag       *obs.GaugeVec     // {peer} seconds behind the peer head
+	mBackoff   *obs.GaugeVec     // {peer} current backoff, 0 when healthy
+
+	runCtx  context.Context
+	cancel  context.CancelFunc
+	stopped chan struct{}
+	wg      sync.WaitGroup
+	started atomic.Bool
+}
+
+// peerState is one peer's mutable sync state, touched only by the peer's
+// worker (or by SyncOnce, which the engine serializes per peer).
+type peerState struct {
+	name    string
+	remote  Remote
+	page    int           // adaptive page size
+	backoff time.Duration // 0 while healthy
+	busy    sync.Mutex    // serializes overlapping syncs of one peer
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithInterval sets the base poll interval; each worker jitters its
+// actual sleep in [interval/2, 3·interval/2) so peers do not phase-lock.
+func WithInterval(d time.Duration) Option {
+	return func(e *Engine) { e.interval = d }
+}
+
+// WithBackoff bounds the exponential backoff applied while a peer fails.
+func WithBackoff(min, max time.Duration) Option {
+	return func(e *Engine) { e.backoffMin, e.backoffMax = min, max }
+}
+
+// WithPageSize sets the starting and maximum pull page size. Full pages
+// double the size toward max; any sync error resets it to base.
+func WithPageSize(base, max int) Option {
+	return func(e *Engine) { e.basePage, e.maxPage = base, max }
+}
+
+// WithConcurrency bounds how many peers sync at once (default: all).
+func WithConcurrency(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithSerialSync is the ablation baseline: one peer syncs at a time,
+// the way serial SyncFrom loops over peers. Measured in EXPERIMENTS.md
+// §X12 against the default concurrent pool.
+func WithSerialSync() Option { return WithConcurrency(1) }
+
+// WithLogger sets the engine logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(e *Engine) {
+		if l != nil {
+			e.logger = l
+		}
+	}
+}
+
+// WithMetrics registers the caisp_mesh_* families on reg (nil disables).
+func WithMetrics(reg *obs.Registry) Option {
+	return func(e *Engine) {
+		if reg == nil {
+			return
+		}
+		reg.GaugeFunc("caisp_mesh_peers",
+			"Configured replication peers.",
+			func() float64 { return float64(len(e.peers)) })
+		e.mPages = reg.CounterVec("caisp_mesh_pages_total",
+			"Pages pulled from each peer.", "peer")
+		e.mPulled = reg.CounterVec("caisp_mesh_events_pulled_total",
+			"Events received from each peer before suppression.", "peer")
+		e.mImported = reg.CounterVec("caisp_mesh_events_imported_total",
+			"Events imported into the local store from each peer.", "peer")
+		e.mEcho = reg.CounterVec("caisp_mesh_echo_suppressed_total",
+			"Already-owned events skipped without re-import or re-analysis.", "peer")
+		e.mConflicts = reg.CounterVec("caisp_mesh_conflicts_total",
+			"Concurrent edits of one UUID resolved newest-timestamp-wins.", "peer", "winner")
+		e.mErrors = reg.CounterVec("caisp_mesh_errors_total",
+			"Failed sync attempts per peer (transport or import).", "peer")
+		e.mSync = reg.Histogram("caisp_mesh_sync_seconds",
+			"Wall time of one sync round: drain a peer's backlog to its head.")
+		e.mLag = reg.GaugeVec("caisp_mesh_lag_seconds",
+			"Replication lag per peer: age of the newest event pulled in the last drained round, zero when caught up.", "peer")
+		e.mBackoff = reg.GaugeVec("caisp_mesh_backoff_seconds",
+			"Current failure backoff per peer; zero while healthy.", "peer")
+	}
+}
+
+// New builds an engine over the local import surface and the given
+// peers, loading durable cursors from cursors (NewMemCursors for a
+// memory-only node). Call Start to begin replicating.
+func New(local Local, peers []Peer, cursors CursorStore, opts ...Option) (*Engine, error) {
+	if local == nil {
+		return nil, errors.New("mesh: nil local service")
+	}
+	if cursors == nil {
+		cursors = NewMemCursors()
+	}
+	e := &Engine{
+		local:      local,
+		cursors:    cursors,
+		interval:   DefaultInterval,
+		backoffMin: DefaultBackoffMin,
+		backoffMax: DefaultBackoffMax,
+		basePage:   DefaultBasePage,
+		maxPage:    DefaultMaxPage,
+		logger:     slog.Default(),
+		stopped:    make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, p := range peers {
+		if p.Name == "" || p.Remote == nil {
+			return nil, fmt.Errorf("mesh: peer needs a name and a remote")
+		}
+		if seen[p.Name] {
+			return nil, fmt.Errorf("mesh: duplicate peer %q", p.Name)
+		}
+		seen[p.Name] = true
+		e.peers = append(e.peers, &peerState{name: p.Name, remote: p.Remote})
+	}
+	for _, o := range opts {
+		o(e)
+	}
+	if e.interval <= 0 {
+		e.interval = DefaultInterval
+	}
+	if e.basePage <= 0 {
+		e.basePage = DefaultBasePage
+	}
+	if e.maxPage < e.basePage {
+		e.maxPage = e.basePage
+	}
+	if e.workers <= 0 || e.workers > len(e.peers) {
+		e.workers = len(e.peers)
+	}
+	if e.workers < 1 {
+		e.workers = 1
+	}
+	for _, ps := range e.peers {
+		ps.page = e.basePage
+	}
+	cur, err := e.cursors.Load()
+	if err != nil {
+		return nil, err
+	}
+	e.cur = cur
+	e.sem = make(chan struct{}, e.workers)
+	e.runCtx, e.cancel = context.WithCancel(context.Background())
+	return e, nil
+}
+
+// Peers reports the configured peer count.
+func (e *Engine) Peers() int { return len(e.peers) }
+
+// Totals snapshots the lifetime counters.
+func (e *Engine) Totals() Totals {
+	return Totals{
+		Pages:          e.pages.Load(),
+		Pulled:         e.pulled.Load(),
+		Imported:       e.imported.Load(),
+		EchoSuppressed: e.echoSuppressed.Load(),
+		ConflictLocal:  e.conflictLocal.Load(),
+		ConflictRemote: e.conflictRemote.Load(),
+		Errors:         e.errorsN.Load(),
+		Rounds:         e.rounds.Load(),
+	}
+}
+
+// Cursor returns the current high-water mark for a peer.
+func (e *Engine) Cursor(peer string) Cursor {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.cur[peer]
+}
+
+func (e *Engine) setCursor(peer string, c Cursor) {
+	e.mu.Lock()
+	e.cur[peer] = c
+	snapshot := make(map[string]Cursor, len(e.cur))
+	for k, v := range e.cur {
+		snapshot[k] = v
+	}
+	e.mu.Unlock()
+	if err := e.cursors.Save(snapshot); err != nil {
+		// A lost save costs a re-pulled suffix (idempotent via echo
+		// suppression), never lost events — log and continue.
+		e.logger.Warn("mesh: cursor save failed", "peer", peer, "error", err)
+	}
+}
+
+// Start launches one sync worker per peer. It is a no-op the second time.
+func (e *Engine) Start() {
+	if !e.started.CompareAndSwap(false, true) {
+		return
+	}
+	for _, ps := range e.peers {
+		e.wg.Add(1)
+		go e.runPeer(ps)
+	}
+}
+
+// Close stops the workers, waits for in-flight syncs to finish, and
+// leaves the durable cursors at their latest high-water marks.
+func (e *Engine) Close() {
+	e.cancel()
+	select {
+	case <-e.stopped:
+	default:
+		close(e.stopped)
+	}
+	e.wg.Wait()
+}
+
+// runPeer is one peer's poll loop: jittered interval while healthy,
+// exponential backoff while failing, bounded by the engine semaphore so
+// at most `workers` peers sync concurrently.
+func (e *Engine) runPeer(ps *peerState) {
+	defer e.wg.Done()
+	// Initial jitter staggers the fleet so N workers do not fire their
+	// first pull at the same instant.
+	timer := time.NewTimer(time.Duration(rand.Int63n(int64(e.interval)/2 + 1)))
+	defer timer.Stop()
+	for {
+		select {
+		case <-e.runCtx.Done():
+			return
+		case <-timer.C:
+		}
+		select {
+		case e.sem <- struct{}{}:
+		case <-e.runCtx.Done():
+			return
+		}
+		_, err := e.syncPeer(e.runCtx, ps)
+		<-e.sem
+		next := e.jittered(e.interval)
+		if err != nil && e.runCtx.Err() == nil {
+			if ps.backoff == 0 {
+				ps.backoff = e.backoffMin
+			} else if ps.backoff < e.backoffMax {
+				ps.backoff *= 2
+				if ps.backoff > e.backoffMax {
+					ps.backoff = e.backoffMax
+				}
+			}
+			next = e.jittered(ps.backoff)
+			e.logger.Warn("mesh: sync failed", "peer", ps.name, "backoff", ps.backoff, "error", err)
+		} else {
+			ps.backoff = 0
+		}
+		if e.mBackoff != nil {
+			e.mBackoff.With(ps.name).Set(ps.backoff.Seconds())
+		}
+		timer.Reset(next)
+	}
+}
+
+// jittered spreads d over [d/2, 3d/2) so poll rounds decorrelate.
+func (e *Engine) jittered(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// SyncOnce drains every peer's backlog once, respecting the concurrency
+// bound, and returns the total number of events imported. It is the
+// synchronous form the poll workers drive continuously — also the hook
+// meshload and tests use for deterministic rounds.
+func (e *Engine) SyncOnce(ctx context.Context) (int, error) {
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total int
+		errs  []error
+	)
+	for _, ps := range e.peers {
+		select {
+		case e.sem <- struct{}{}:
+		case <-ctx.Done():
+			return total, ctx.Err()
+		}
+		wg.Add(1)
+		go func(ps *peerState) {
+			defer wg.Done()
+			defer func() { <-e.sem }()
+			n, err := e.syncPeer(ctx, ps)
+			mu.Lock()
+			total += n
+			if err != nil {
+				errs = append(errs, fmt.Errorf("peer %s: %w", ps.name, err))
+			}
+			mu.Unlock()
+		}(ps)
+	}
+	wg.Wait()
+	return total, errors.Join(errs...)
+}
+
+// syncPeer drains one peer's backlog from the durable cursor to the
+// peer's head: pull a page, suppress echoes, resolve conflicts, batch
+// import, advance the cursor, repeat while pages remain.
+func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
+	ps.busy.Lock()
+	defer ps.busy.Unlock()
+	start := time.Now()
+	cur := e.Cursor(ps.name)
+	imported := 0
+	var newest time.Time // newest event timestamp pulled this round
+	for {
+		if err := ctx.Err(); err != nil {
+			return imported, err
+		}
+		events, next, more, err := ps.remote.ChangesPage(ctx, cur.Seq, ps.page)
+		if err != nil {
+			ps.page = e.basePage
+			e.countErr(ps)
+			return imported, err
+		}
+		e.pages.Add(1)
+		e.pulled.Add(int64(len(events)))
+		if e.mPages != nil {
+			e.mPages.With(ps.name).Inc()
+			e.mPulled.With(ps.name).Add(int64(len(events)))
+		}
+		if len(events) > 0 {
+			n, err := e.importPage(ps, events)
+			imported += n
+			if err != nil {
+				// Nothing from this page landed: do not advance the
+				// cursor, the page is re-pulled after backoff.
+				ps.page = e.basePage
+				e.countErr(ps)
+				return imported, err
+			}
+			if ts := events[len(events)-1].Timestamp.Time; ts.After(newest) {
+				newest = ts
+			}
+		}
+		if next > cur.Seq {
+			// The peer scanned up to next even when every entry there was
+			// stale; advancing past those entries is loss-free because a
+			// re-put always reappears later in the feed.
+			cur = Cursor{Seq: next}
+			e.setCursor(ps.name, cur)
+		}
+		// Adaptive sizing: a full page means backlog — double toward the
+		// ceiling so catch-up takes fewer round-trips.
+		if len(events) == ps.page && ps.page < e.maxPage {
+			ps.page *= 2
+			if ps.page > e.maxPage {
+				ps.page = e.maxPage
+			}
+		}
+		if !more {
+			break
+		}
+	}
+	e.rounds.Add(1)
+	if e.mSync != nil {
+		e.mSync.Observe(time.Since(start).Seconds())
+	}
+	if e.mLag != nil {
+		// Drained to the peer's head: lag is how stale the newest event
+		// pulled this round was on arrival, zero when already caught up.
+		lag := 0.0
+		if !newest.IsZero() {
+			lag = time.Since(newest).Seconds()
+		}
+		e.mLag.With(ps.name).Set(lag)
+	}
+	return imported, nil
+}
+
+// importPage filters one pulled page against the local store and batch
+// imports what remains. The error is non-nil only when the whole batch
+// failed to land (the caller then refuses to advance the cursor);
+// per-event validation rejections are logged and skipped, matching
+// AddEvents' partial-failure tolerance.
+func (e *Engine) importPage(ps *peerState, events []*misp.Event) (int, error) {
+	fresh := make([]*misp.Event, 0, len(events))
+	for _, ev := range events {
+		local, err := e.local.GetEvent(ev.UUID)
+		if err == nil {
+			// Already own this UUID: newest timestamp wins. Compare at
+			// Unix-second (wire) granularity — the local original may keep
+			// sub-second precision its round-tripped copy lost, and that
+			// precision difference is not an edit.
+			switch lts, rts := local.Timestamp.Unix(), ev.Timestamp.Unix(); {
+			case lts == rts:
+				// The echo case — our own event coming back around the
+				// mesh (A→B→A) or a copy both sides already replicated.
+				e.echoSuppressed.Add(1)
+				if e.mEcho != nil {
+					e.mEcho.With(ps.name).Inc()
+				}
+				continue
+			case lts > rts:
+				// Local revision is newer: drop the stale remote copy.
+				e.conflictLocal.Add(1)
+				if e.mConflicts != nil {
+					e.mConflicts.With(ps.name, "local").Inc()
+				}
+				continue
+			default:
+				// Remote revision is newer: import through the edit path.
+				e.conflictRemote.Add(1)
+				if e.mConflicts != nil {
+					e.mConflicts.With(ps.name, "remote").Inc()
+				}
+			}
+		}
+		fresh = append(fresh, ev)
+	}
+	if len(fresh) == 0 {
+		return 0, nil
+	}
+	stored, err := e.local.AddEvents(fresh)
+	if err != nil && len(stored) == 0 {
+		return 0, fmt.Errorf("mesh: import: %w", err)
+	}
+	if err != nil {
+		e.logger.Warn("mesh: partial import", "peer", ps.name,
+			"stored", len(stored), "pulled", len(fresh), "error", err)
+	}
+	e.imported.Add(int64(len(stored)))
+	if e.mImported != nil {
+		e.mImported.With(ps.name).Add(int64(len(stored)))
+	}
+	return len(stored), nil
+}
+
+func (e *Engine) countErr(ps *peerState) {
+	e.errorsN.Add(1)
+	if e.mErrors != nil {
+		e.mErrors.With(ps.name).Inc()
+	}
+}

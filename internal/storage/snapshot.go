@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 
 	"github.com/caisplatform/caisp/internal/misp"
@@ -26,6 +27,18 @@ type snapshotHeader struct {
 	Version int    `json:"caisp_snapshot"`
 	Seq     uint64 `json:"seq"`
 	Count   int    `json:"count"`
+}
+
+// snapshotRecord is one version-2 snapshot line: the event plus the WAL
+// sequence that installed it. Persisting the per-event seq keeps the
+// ingest-sequence change log — and every replication cursor a peer
+// holds against this node — stable across a compaction + restart.
+// Version-1 snapshots carried bare event lines; they load with
+// synthesized sequences (cursors predating the change feed never
+// referenced them).
+type snapshotRecord struct {
+	Seq   uint64      `json:"seq"`
+	Event *misp.Event `json:"event"`
 }
 
 // parallelDecode runs decode(0..n-1) across a worker pool, joining any
@@ -80,12 +93,12 @@ func (s *Store) writeSnapshotFile(events map[string]*storedEvent, seq uint64) er
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	enc := json.NewEncoder(w)
-	err = enc.Encode(snapshotHeader{Version: 1, Seq: seq, Count: len(events)})
+	err = enc.Encode(snapshotHeader{Version: 2, Seq: seq, Count: len(events)})
 	for _, se := range events {
 		if err != nil {
 			break
 		}
-		err = enc.Encode(se.event)
+		err = enc.Encode(snapshotRecord{Seq: se.seq, Event: se.event})
 	}
 	if err == nil {
 		err = w.Flush()
@@ -143,23 +156,43 @@ func (s *Store) loadSnapshot(workers int) error {
 	if len(lines) != hdr.Count {
 		return fmt.Errorf("storage: snapshot truncated: %d of %d events", len(lines), hdr.Count)
 	}
-	events := make([]*misp.Event, hdr.Count)
+	recs := make([]snapshotRecord, hdr.Count)
 	if err := parallelDecode(hdr.Count, workers, func(i int) error {
-		e := new(misp.Event)
-		if err := json.Unmarshal(lines[i], e); err != nil {
+		if hdr.Version == 1 {
+			// Bare event lines; sequences are synthesized by line order
+			// below.
+			e := new(misp.Event)
+			if err := json.Unmarshal(lines[i], e); err != nil {
+				return fmt.Errorf("storage: decode snapshot event %d: %w", i, err)
+			}
+			recs[i] = snapshotRecord{Event: e}
+			return nil
+		}
+		if err := json.Unmarshal(lines[i], &recs[i]); err != nil || recs[i].Event == nil {
 			return fmt.Errorf("storage: decode snapshot event %d: %w", i, err)
 		}
-		events[i] = e
 		return nil
 	}); err != nil {
 		return err
 	}
-	s.seq = hdr.Seq
+	if hdr.Version == 1 {
+		for i := range recs {
+			recs[i].Seq = uint64(i) + 1
+		}
+	} else {
+		// Applies must run in sequence order so the change log rebuilds
+		// sorted; the writer streams the event map in arbitrary order.
+		sort.Slice(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	}
 	s.loading = true
-	for _, e := range events {
-		s.apply(e)
+	for _, rec := range recs {
+		s.seq = rec.Seq
+		s.apply(rec.Event, rec.Seq)
 	}
 	s.loading = false
+	if hdr.Seq > s.seq {
+		s.seq = hdr.Seq
+	}
 	s.sortTimeIndex()
 	return nil
 }
@@ -173,12 +206,15 @@ func (s *Store) loadLegacySnapshot(data []byte) error {
 	if err := json.Unmarshal(data, &snap); err != nil {
 		return fmt.Errorf("storage: decode snapshot: %w", err)
 	}
-	s.seq = snap.Seq
 	s.loading = true
 	for _, e := range snap.Events {
-		s.apply(e)
+		s.seq++ // synthesized: the legacy format kept no per-event seq
+		s.apply(e, s.seq)
 	}
 	s.loading = false
+	if snap.Seq > s.seq {
+		s.seq = snap.Seq
+	}
 	s.sortTimeIndex()
 	return nil
 }
@@ -250,7 +286,7 @@ func (s *Store) applyWALRecord(rec walRecord) error {
 	switch rec.Op {
 	case "put":
 		if rec.Event != nil {
-			s.apply(rec.Event)
+			s.apply(rec.Event, rec.Seq)
 		}
 	case "delete":
 		s.applyDelete(rec.UUID)

@@ -53,6 +53,7 @@ var ErrNotFound = errors.New("storage: event not found")
 // fresh storedEvent, so cached bytes can never describe a stale revision.
 type storedEvent struct {
 	event   *misp.Event
+	seq     uint64 // WAL sequence of the operation that installed this revision
 	wrapped atomic.Pointer[[]byte]
 }
 
@@ -125,6 +126,12 @@ type timeEntry struct {
 	uuid string
 }
 
+// changeEntry is one element of the ingest-sequence change log.
+type changeEntry struct {
+	seq  uint64
+	uuid string
+}
+
 // Store is a concurrency-safe embedded event store. Construct with Open.
 type Store struct {
 	mu sync.RWMutex
@@ -146,6 +153,16 @@ type Store struct {
 	byType  map[string]*postings // attribute type  -> event UUIDs
 	byTag   map[string]*postings // tag name        -> event UUIDs
 	byTime  []timeEntry          // ascending (timestamp, uuid)
+
+	// changes is the ingest-sequence change log: one entry per applied
+	// put, ascending by seq. It is what replication cursors page over
+	// (ChangesPage) — unlike the (timestamp, uuid) time index, a
+	// late-imported event always lands at the log's tail, so a peer
+	// cursor can never skip it. An entry is live while the installed
+	// revision still carries its seq; re-puts and deletes leave stale
+	// entries behind, compacted away once they outnumber the live ones.
+	changes      []changeEntry
+	staleChanges int
 
 	walOps     int // operations appended since last snapshot
 	indexing   bool
@@ -351,7 +368,7 @@ func (s *Store) Put(e *misp.Event) error {
 		s.seq--
 		return err
 	}
-	s.apply(cp)
+	s.apply(cp, s.seq)
 	return nil
 }
 
@@ -394,8 +411,8 @@ func (s *Store) PutBatch(events []*misp.Event) error {
 		s.seq -= uint64(len(cps)) // nothing was committed; roll the sequence back
 		return err
 	}
-	for _, cp := range cps {
-		s.apply(cp)
+	for i, cp := range cps {
+		s.apply(cp, recs[i].Seq) // each event at its own record's seq
 	}
 	return nil
 }
@@ -671,6 +688,43 @@ func (s *Store) UpdatedSincePage(t time.Time, afterUUID string, limit int) ([]*m
 	return out, more, nil
 }
 
+// ChangesPage returns up to limit live events from the ingest-sequence
+// change log, strictly after afterSeq, oldest-ingested first. It also
+// returns the sequence to resume from (the last log entry scanned —
+// stale entries advance it too, so pages over a churned log still make
+// progress) and whether entries remain beyond the returned page. This
+// is the sound replication feed: an event imported late still appears
+// after every cursor handed out before it, which the (timestamp, uuid)
+// index cannot guarantee. A limit of 0 or less returns everything.
+func (s *Store) ChangesPage(afterSeq uint64, limit int) ([]*misp.Event, uint64, bool, error) {
+	s.mu.RLock()
+	i := sort.Search(len(s.changes), func(i int) bool {
+		return s.changes[i].seq > afterSeq
+	})
+	out := make([]*misp.Event, 0, min(len(s.changes)-i, max(limit, 0)))
+	next := afterSeq
+	more := false
+	for _, ent := range s.changes[i:] {
+		if limit > 0 && len(out) == limit {
+			more = true
+			break
+		}
+		next = ent.seq
+		if se, ok := s.lookup(ent.uuid); ok && se.seq == ent.seq {
+			out = append(out, se.event)
+		}
+	}
+	s.mu.RUnlock()
+	if s.cloneReads {
+		cloned := make([]*misp.Event, len(out))
+		for j, e := range out {
+			cloned[j] = e.Clone() // unlocked: ablation copies taken after the lock was released
+		}
+		return cloned, next, more, nil
+	}
+	return out, next, more, nil
+}
+
 // Correlated returns the UUIDs of events sharing at least one attribute
 // value with the given event — MISP's automatic correlation. With
 // indexing disabled the fallback builds a transient set of the queried
@@ -900,17 +954,21 @@ func (s *Store) appendWALGroup(recs []walRecord) error {
 	return nil
 }
 
-// apply installs a put into memory state as a fresh frozen revision.
-// Caller holds the write lock.
-func (s *Store) apply(e *misp.Event) {
+// apply installs a put into memory state as a fresh frozen revision at
+// sequence seq (each put consumes one WAL sequence, so within a batch
+// every event applies at its own record's seq). Caller holds the write
+// lock and must only apply ascending sequences, which keeps the change
+// log sorted.
+func (s *Store) apply(e *misp.Event, seq uint64) {
 	old, existed := s.lookup(e.UUID)
 	if existed {
 		s.unindex(old.event)
 		s.timeRemove(old.event.Timestamp.Time, e.UUID)
+		s.staleChanges++ // the old revision's change entry is now dead
 	} else {
 		s.count++
 	}
-	se := &storedEvent{event: e}
+	se := &storedEvent{event: e, seq: seq}
 	if s.overlay != nil {
 		s.overlay[e.UUID] = se
 	} else {
@@ -918,6 +976,8 @@ func (s *Store) apply(e *misp.Event) {
 	}
 	s.index(e)
 	s.timeInsert(e.Timestamp.Time, e.UUID)
+	s.changes = append(s.changes, changeEntry{seq: seq, uuid: e.UUID})
+	s.compactChanges()
 }
 
 func (s *Store) applyDelete(uuid string) {
@@ -928,11 +988,32 @@ func (s *Store) applyDelete(uuid string) {
 	s.unindex(old.event)
 	s.timeRemove(old.event.Timestamp.Time, uuid)
 	s.count--
+	s.staleChanges++ // the deleted revision's change entry is now dead
 	if s.overlay != nil {
 		s.overlay[uuid] = nil // tombstone shadowing the frozen base
 	} else {
 		delete(s.events, uuid)
 	}
+	s.compactChanges()
+}
+
+// compactChanges drops stale change-log entries once they outnumber the
+// live ones (amortized O(1) per apply). Skipped during snapshot
+// bulk-load, where every entry is live anyway. Caller holds the write
+// lock.
+func (s *Store) compactChanges() {
+	if s.loading || s.staleChanges < 1024 || s.staleChanges*2 < len(s.changes) {
+		return
+	}
+	live := s.changes[:0]
+	for _, ent := range s.changes {
+		if se, ok := s.lookup(ent.uuid); ok && se.seq == ent.seq {
+			live = append(live, ent)
+		}
+	}
+	clear(s.changes[len(live):])
+	s.changes = live
+	s.staleChanges = 0
 }
 
 func (s *Store) index(e *misp.Event) {

@@ -134,6 +134,10 @@ type Engine struct {
 	rejected    *obs.CounterVec
 	// hubOpts accumulates hub options until NewEngine builds the hub.
 	hubOpts []wsock.HubOption
+	// persistPath, when non-empty, is the JSON sidecar the live pattern
+	// set is mirrored to on every mutation and reloaded from on boot.
+	persistPath string
+	persistMu   sync.Mutex
 
 	count     atomic.Int64 // live subscriptions, read lock-free on the hot path
 	evaluated atomic.Int64
@@ -233,6 +237,7 @@ func NewEngine(opts ...Option) *Engine {
 	}
 	hubOpts := append([]wsock.HubOption{wsock.WithQueueDepth(DefaultMatchQueueDepth)}, e.hubOpts...)
 	e.hub = wsock.NewHub(hubOpts...)
+	e.loadPersisted()
 	return e
 }
 
@@ -253,6 +258,19 @@ func (e *Engine) Len() int { return int(e.count.Load()) }
 
 // Register parses, validates, indexes and stores a pattern for clientID.
 func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
+	sub, err := e.register(uuid.NewV4().String(), time.Time{}, clientID, pattern)
+	if err != nil {
+		return nil, err
+	}
+	e.persist()
+	return sub, nil
+}
+
+// register is Register with caller-controlled identity: the persistence
+// loader replays saved subscriptions through it with their original IDs
+// and creation stamps so client-held handles stay valid across restarts.
+// A zero createdAt means "now".
+func (e *Engine) register(id string, createdAt time.Time, clientID, pattern string) (*Subscription, error) {
 	if clientID == "" {
 		clientID = "default"
 	}
@@ -266,6 +284,9 @@ func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
 		return nil, err
 	}
 	eqKeys, pathKeys := decompose(parsed.Root)
+	if createdAt.IsZero() {
+		createdAt = e.now().UTC()
+	}
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -275,10 +296,10 @@ func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
 	}
 	sub := &subscription{
 		Subscription: Subscription{
-			ID:        uuid.NewV4().String(),
+			ID:        id,
 			ClientID:  clientID,
 			Pattern:   pattern,
-			CreatedAt: e.now().UTC(),
+			CreatedAt: createdAt,
 		},
 		parsed:  parsed,
 		eqKeys:  eqKeys,
@@ -311,6 +332,14 @@ func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
 
 // Unsubscribe removes a subscription and its index entries.
 func (e *Engine) Unsubscribe(id string) error {
+	if err := e.unsubscribe(id); err != nil {
+		return err
+	}
+	e.persist()
+	return nil
+}
+
+func (e *Engine) unsubscribe(id string) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	sub, ok := e.subs[id]

@@ -88,7 +88,7 @@ func TestHTTPBatchRoundTrip(t *testing.T) {
 		sampleEvent(t, "a", "a.example"),
 		sampleEvent(t, "b", "b.example"),
 	}
-	uuids, err := client.AddEvents(batch)
+	uuids, err := client.AddEvents(t.Context(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +99,7 @@ func TestHTTPBatchRoundTrip(t *testing.T) {
 		t.Fatalf("len = %d", s.Len())
 	}
 	for _, u := range uuids {
-		if _, err := client.GetEvent(u); err != nil {
+		if _, err := client.GetEvent(t.Context(), u); err != nil {
 			t.Fatalf("stored event %s unreadable: %v", u, err)
 		}
 	}
@@ -113,7 +113,7 @@ func TestHTTPBatchPartialRejection(t *testing.T) {
 
 	bad := sampleEvent(t, "bad", "bad.example")
 	bad.UUID = "not-a-uuid"
-	uuids, err := client.AddEvents([]*misp.Event{sampleEvent(t, "good", "good.example"), bad})
+	uuids, err := client.AddEvents(t.Context(), []*misp.Event{sampleEvent(t, "good", "good.example"), bad})
 	if err == nil {
 		t.Fatal("rejection not reported")
 	}

@@ -2,6 +2,7 @@ package tip
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,25 +15,68 @@ import (
 	"github.com/caisplatform/caisp/internal/misp"
 )
 
+// defaultRequestTimeout bounds each request issued by a Client when the
+// caller's context carries no deadline of its own. Without it a hung
+// remote (accepted connection, no response) would wedge a mesh sync
+// worker forever; with it the worker gets an error and backs off.
+const defaultRequestTimeout = 30 * time.Second
+
 // Client talks to a TIP instance's REST API — the role PyMISP plays in the
-// paper's information-sharing process (§IV-A).
+// paper's information-sharing process (§IV-A). Every method takes a
+// context; when the context has no deadline the client applies its
+// per-request timeout (WithRequestTimeout, 30s by default) so no call can
+// block indefinitely on an unresponsive peer.
 type Client struct {
-	baseURL string
-	apiKey  string
-	http    *http.Client
+	baseURL    string
+	apiKey     string
+	http       *http.Client
+	reqTimeout time.Duration
+}
+
+// ClientOption configures a Client.
+type ClientOption func(*Client)
+
+// WithRequestTimeout sets the deadline applied to each request whose
+// context does not already carry one. Zero disables the default and
+// leaves deadline control entirely to the caller's context.
+func WithRequestTimeout(d time.Duration) ClientOption {
+	return func(c *Client) { c.reqTimeout = d }
+}
+
+// WithHTTPClient substitutes the underlying *http.Client (custom
+// transports, TLS configuration, test doubles).
+func WithHTTPClient(h *http.Client) ClientOption {
+	return func(c *Client) { c.http = h }
 }
 
 // NewClient builds a client for the instance at baseURL.
-func NewClient(baseURL, apiKey string) *Client {
-	return &Client{
-		baseURL: baseURL,
-		apiKey:  apiKey,
-		http:    &http.Client{Timeout: 30 * time.Second},
+func NewClient(baseURL, apiKey string, opts ...ClientOption) *Client {
+	c := &Client{
+		baseURL:    baseURL,
+		apiKey:     apiKey,
+		http:       &http.Client{},
+		reqTimeout: defaultRequestTimeout,
 	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// withDeadline applies the client's default per-request timeout when ctx
+// has none of its own.
+func (c *Client) withDeadline(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if _, ok := ctx.Deadline(); !ok && c.reqTimeout > 0 {
+		return context.WithTimeout(ctx, c.reqTimeout)
+	}
+	return ctx, func() {}
 }
 
 // AddEvent stores an event remotely and returns the correlated UUIDs.
-func (c *Client) AddEvent(e *misp.Event) ([]string, error) {
+func (c *Client) AddEvent(ctx context.Context, e *misp.Event) ([]string, error) {
 	body, err := misp.MarshalWrapped(e)
 	if err != nil {
 		return nil, err
@@ -41,7 +85,7 @@ func (c *Client) AddEvent(e *misp.Event) ([]string, error) {
 		UUID       string   `json:"uuid"`
 		Correlated []string `json:"correlated"`
 	}
-	if err := c.do(http.MethodPost, "/events", body, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/events", body, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Correlated, nil
@@ -51,7 +95,7 @@ func (c *Client) AddEvent(e *misp.Event) ([]string, error) {
 // endpoint and returns the UUIDs actually stored. Per-event rejections do
 // not fail the call; they are reported as a joined error alongside the
 // stored UUIDs.
-func (c *Client) AddEvents(events []*misp.Event) ([]string, error) {
+func (c *Client) AddEvents(ctx context.Context, events []*misp.Event) ([]string, error) {
 	wrapped := make([]misp.Wrapped, 0, len(events))
 	for _, e := range events {
 		wrapped = append(wrapped, misp.Wrapped{Event: e})
@@ -64,7 +108,7 @@ func (c *Client) AddEvents(events []*misp.Event) ([]string, error) {
 		Stored   []string `json:"stored"`
 		Rejected []string `json:"rejected"`
 	}
-	if err := c.do(http.MethodPost, "/events/batch", body, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/events/batch", body, &resp); err != nil {
 		return nil, err
 	}
 	if len(resp.Rejected) > 0 {
@@ -75,9 +119,9 @@ func (c *Client) AddEvents(events []*misp.Event) ([]string, error) {
 }
 
 // GetEvent fetches one event by UUID.
-func (c *Client) GetEvent(uuid string) (*misp.Event, error) {
+func (c *Client) GetEvent(ctx context.Context, uuid string) (*misp.Event, error) {
 	var wrapped misp.Wrapped
-	if err := c.do(http.MethodGet, "/events/"+url.PathEscape(uuid), nil, &wrapped); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/events/"+url.PathEscape(uuid), nil, &wrapped); err != nil {
 		return nil, err
 	}
 	if wrapped.Event == nil {
@@ -87,18 +131,18 @@ func (c *Client) GetEvent(uuid string) (*misp.Event, error) {
 }
 
 // DeleteEvent removes one event by UUID.
-func (c *Client) DeleteEvent(uuid string) error {
-	return c.do(http.MethodDelete, "/events/"+url.PathEscape(uuid), nil, nil)
+func (c *Client) DeleteEvent(ctx context.Context, uuid string) error {
+	return c.do(ctx, http.MethodDelete, "/events/"+url.PathEscape(uuid), nil, nil)
 }
 
 // Search runs a query remotely.
-func (c *Client) Search(q SearchQuery) ([]*misp.Event, error) {
+func (c *Client) Search(ctx context.Context, q SearchQuery) ([]*misp.Event, error) {
 	body, err := json.Marshal(q)
 	if err != nil {
 		return nil, err
 	}
 	var wrapped []misp.Wrapped
-	if err := c.do(http.MethodPost, "/events/search", body, &wrapped); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/events/search", body, &wrapped); err != nil {
 		return nil, err
 	}
 	return unwrap(wrapped), nil
@@ -107,8 +151,9 @@ func (c *Client) Search(q SearchQuery) ([]*misp.Event, error) {
 // EventsPage fetches one page of up to limit events updated at or after
 // t, resuming strictly past the cursor (t, afterUUID) when afterUUID is
 // non-empty. The second result reports whether more pages remain (from
-// the X-CAISP-More response header).
-func (c *Client) EventsPage(t time.Time, afterUUID string, limit int) ([]*misp.Event, bool, error) {
+// the X-CAISP-More response header). The underlying transport negotiates
+// gzip transparently, so large pages travel compressed on the wire.
+func (c *Client) EventsPage(ctx context.Context, t time.Time, afterUUID string, limit int) ([]*misp.Event, bool, error) {
 	q := url.Values{}
 	if !t.IsZero() {
 		q.Set("since", t.UTC().Format(time.RFC3339))
@@ -124,23 +169,53 @@ func (c *Client) EventsPage(t time.Time, afterUUID string, limit int) ([]*misp.E
 		path += "?" + q.Encode()
 	}
 	var wrapped []misp.Wrapped
-	hdr, err := c.doHeader(http.MethodGet, path, nil, &wrapped)
+	hdr, err := c.doHeader(ctx, http.MethodGet, path, nil, &wrapped)
 	if err != nil {
 		return nil, false, err
 	}
 	return unwrap(wrapped), hdr.Get(MoreHeader) == "true", nil
 }
 
+// ChangesPage fetches one page of the remote's ingest-sequence change
+// feed, strictly after afterSeq. It returns the events, the sequence to
+// resume the next page after (from the X-CAISP-Seq header) and whether
+// more entries remain. The feed is what mesh replication cursors page
+// over — see Service.ChangesPage for why it is sound where the
+// (timestamp, uuid) index is not.
+func (c *Client) ChangesPage(ctx context.Context, afterSeq uint64, limit int) ([]*misp.Event, uint64, bool, error) {
+	q := url.Values{}
+	if afterSeq > 0 {
+		q.Set("after", strconv.FormatUint(afterSeq, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/events/changes"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var wrapped []misp.Wrapped
+	hdr, err := c.doHeader(ctx, http.MethodGet, path, nil, &wrapped)
+	if err != nil {
+		return nil, afterSeq, false, err
+	}
+	next, err := strconv.ParseUint(hdr.Get(SeqHeader), 10, 64)
+	if err != nil {
+		return nil, afterSeq, false, fmt.Errorf("tip: bad %s header %q", SeqHeader, hdr.Get(SeqHeader))
+	}
+	return unwrap(wrapped), next, hdr.Get(MoreHeader) == "true", nil
+}
+
 // EventsSince lists events updated at or after t, paging through the
 // remote instance until the backlog is exhausted.
-func (c *Client) EventsSince(t time.Time) ([]*misp.Event, error) {
+func (c *Client) EventsSince(ctx context.Context, t time.Time) ([]*misp.Event, error) {
 	var (
 		out    []*misp.Event
 		cursor = t
 		after  string
 	)
 	for {
-		events, more, err := c.EventsPage(cursor, after, syncPageSize)
+		events, more, err := c.EventsPage(ctx, cursor, after, syncPageSize)
 		if err != nil {
 			return out, err
 		}
@@ -154,8 +229,10 @@ func (c *Client) EventsSince(t time.Time) ([]*misp.Event, error) {
 }
 
 // Export retrieves one event in the requested format.
-func (c *Client) Export(uuid, format string) ([]byte, error) {
-	req, err := c.request(http.MethodGet,
+func (c *Client) Export(ctx context.Context, uuid, format string) ([]byte, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := c.request(ctx, http.MethodGet,
 		"/events/"+url.PathEscape(uuid)+"/export?format="+url.QueryEscape(format), nil)
 	if err != nil {
 		return nil, err
@@ -177,33 +254,35 @@ func (c *Client) Export(uuid, format string) ([]byte, error) {
 
 // ImportSTIX uploads a STIX 2.0 bundle for storage; it returns the UUID of
 // the stored event.
-func (c *Client) ImportSTIX(bundle []byte) (string, error) {
+func (c *Client) ImportSTIX(ctx context.Context, bundle []byte) (string, error) {
 	var resp struct {
 		UUID string `json:"uuid"`
 	}
-	if err := c.do(http.MethodPost, "/import/stix", bundle, &resp); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/import/stix", bundle, &resp); err != nil {
 		return "", err
 	}
 	return resp.UUID, nil
 }
 
 // Stats fetches instance counters.
-func (c *Client) Stats() (Stats, error) {
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
 	var st Stats
-	if err := c.do(http.MethodGet, "/stats", nil, &st); err != nil {
+	if err := c.do(ctx, http.MethodGet, "/stats", nil, &st); err != nil {
 		return Stats{}, err
 	}
 	return st, nil
 }
 
-func (c *Client) do(method, path string, body []byte, out any) error {
-	_, err := c.doHeader(method, path, body, out)
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	_, err := c.doHeader(ctx, method, path, body, out)
 	return err
 }
 
 // doHeader is do plus access to the response headers (pagination state).
-func (c *Client) doHeader(method, path string, body []byte, out any) (http.Header, error) {
-	req, err := c.request(method, path, body)
+func (c *Client) doHeader(ctx context.Context, method, path string, body []byte, out any) (http.Header, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	req, err := c.request(ctx, method, path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -234,12 +313,12 @@ func (c *Client) doHeader(method, path string, body []byte, out any) (http.Heade
 	return resp.Header, nil
 }
 
-func (c *Client) request(method, path string, body []byte) (*http.Request, error) {
+func (c *Client) request(ctx context.Context, method, path string, body []byte) (*http.Request, error) {
 	var reader io.Reader
 	if body != nil {
 		reader = bytes.NewReader(body)
 	}
-	req, err := http.NewRequest(method, c.baseURL+path, reader)
+	req, err := http.NewRequestWithContext(ctx, method, c.baseURL+path, reader)
 	if err != nil {
 		return nil, fmt.Errorf("tip: build request: %w", err)
 	}

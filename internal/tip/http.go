@@ -2,6 +2,7 @@ package tip
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -45,6 +46,7 @@ func NewAPI(service *Service, apiKey string) *API {
 	a.mux.HandleFunc("POST /events", a.handleAddEvent)
 	a.mux.HandleFunc("POST /events/batch", a.handleAddEventBatch)
 	a.mux.HandleFunc("GET /events", a.handleListEvents)
+	a.mux.HandleFunc("GET /events/changes", a.handleListChanges)
 	a.mux.HandleFunc("GET /events/{uuid}", a.handleGetEvent)
 	a.mux.HandleFunc("DELETE /events/{uuid}", a.handleDeleteEvent)
 	a.mux.HandleFunc("GET /events/{uuid}/export", a.handleExport)
@@ -138,6 +140,10 @@ const (
 // remain beyond the returned one ("true"/"false").
 const MoreHeader = "X-CAISP-More"
 
+// SeqHeader is the GET /events/changes response header carrying the
+// ingest sequence the next page should resume after.
+const SeqHeader = "X-CAISP-Seq"
+
 func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	since := time.Time{}
@@ -167,7 +173,44 @@ func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set(MoreHeader, strconv.FormatBool(more))
-	a.writeEventList(w, events)
+	a.writeEventList(w, r, events)
+}
+
+// handleListChanges serves the ingest-sequence change feed the mesh
+// replicates over: GET /events/changes?after=<seq>&limit=<n>. The
+// response carries the resume sequence in SeqHeader and the usual
+// MoreHeader pagination flag.
+func (a *API) handleListChanges(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var after uint64
+	if raw := q.Get("after"); raw != "" {
+		parsed, err := strconv.ParseUint(raw, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "bad after parameter")
+			return
+		}
+		after = parsed
+	}
+	limit := defaultPageLimit
+	if raw := q.Get("limit"); raw != "" {
+		parsed, err := strconv.Atoi(raw)
+		if err != nil || parsed < 1 {
+			httpError(w, http.StatusBadRequest, "bad limit parameter")
+			return
+		}
+		limit = parsed
+	}
+	if limit > maxPageLimit {
+		limit = maxPageLimit
+	}
+	events, next, more, err := a.service.ChangesPage(after, limit)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set(SeqHeader, strconv.FormatUint(next, 10))
+	w.Header().Set(MoreHeader, strconv.FormatBool(more))
+	a.writeEventList(w, r, events)
 }
 
 func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
@@ -248,7 +291,7 @@ func (a *API) handleSearch(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	a.writeEventList(w, events)
+	a.writeEventList(w, r, events)
 }
 
 func (a *API) handleImportSTIX(w http.ResponseWriter, r *http.Request) {
@@ -291,9 +334,16 @@ func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
 	return body, nil
 }
 
+// gzipMinBytes is the smallest event-list payload worth compressing:
+// below it the gzip header and flush overhead outweigh the wire savings.
+const gzipMinBytes = 1 << 10
+
 // writeEventList streams a JSON array of wrapped events, splicing each
-// event's cached wire encoding instead of re-marshaling it.
-func (a *API) writeEventList(w http.ResponseWriter, events []*misp.Event) {
+// event's cached wire encoding instead of re-marshaling it. Payloads
+// above gzipMinBytes are gzip-compressed when the request advertises
+// Accept-Encoding: gzip — replication pages are highly repetitive JSON,
+// so sync traffic between mesh peers typically shrinks ~10×.
+func (a *API) writeEventList(w http.ResponseWriter, r *http.Request, events []*misp.Event) {
 	var buf bytes.Buffer
 	buf.WriteByte('[')
 	for i, e := range events {
@@ -309,8 +359,27 @@ func (a *API) writeEventList(w http.ResponseWriter, events []*misp.Event) {
 	}
 	buf.WriteString("]\n")
 	w.Header().Set("Content-Type", "application/json")
+	if buf.Len() >= gzipMinBytes && acceptsGzip(r) {
+		w.Header().Set("Content-Encoding", "gzip")
+		w.WriteHeader(http.StatusOK)
+		gz := gzip.NewWriter(w)
+		_, _ = gz.Write(buf.Bytes())
+		_ = gz.Close()
+		return
+	}
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write(buf.Bytes())
+}
+
+// acceptsGzip reports whether the request allows a gzip response body.
+func acceptsGzip(r *http.Request) bool {
+	for _, enc := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc = strings.TrimSpace(enc)
+		if enc == "gzip" || strings.HasPrefix(enc, "gzip;") {
+			return true
+		}
+	}
+	return false
 }
 
 // writeRawJSON writes pre-encoded (possibly cached, shared) JSON bytes.

@@ -110,7 +110,7 @@ func TestClientEventsSincePagesThroughBacklog(t *testing.T) {
 	defer srv.Close()
 	c := NewClient(srv.URL, "")
 
-	page, more, err := c.EventsPage(time.Time{}, "", 5)
+	page, more, err := c.EventsPage(t.Context(), time.Time{}, "", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestClientEventsSincePagesThroughBacklog(t *testing.T) {
 		t.Fatalf("EventsPage = %d events, more=%v; want 5, true", len(page), more)
 	}
 
-	all, err := c.EventsSince(time.Time{})
+	all, err := c.EventsSince(t.Context(), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +142,7 @@ func TestSyncFromPagesThroughRemote(t *testing.T) {
 	defer srv.Close()
 
 	local := newService(t, WithName("local"))
-	n, err := local.SyncFrom(NewClient(srv.URL, ""), time.Time{})
+	n, err := local.SyncFrom(t.Context(), NewClient(srv.URL, ""), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package tip
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -254,6 +255,16 @@ func (s *Service) EventsPage(t time.Time, afterUUID string, limit int) ([]*misp.
 	return s.store.UpdatedSincePage(t, afterUUID, limit)
 }
 
+// ChangesPage lists up to limit events from the node's ingest-sequence
+// change feed, strictly after afterSeq, plus the sequence to resume from
+// and whether more entries remain. This is the feed the mesh replicates
+// over: unlike EventsPage's (timestamp, uuid) order, an event this node
+// imports late still lands past every cursor already handed out, so a
+// peer paging the feed can never skip it.
+func (s *Service) ChangesPage(afterSeq uint64, limit int) ([]*misp.Event, uint64, bool, error) {
+	return s.store.ChangesPage(afterSeq, limit)
+}
+
 // Len reports the number of stored events.
 func (s *Service) Len() int { return s.store.Len() }
 
@@ -308,7 +319,11 @@ var syncPageSize = 500
 // tolerant: remote events that fail validation are skipped and reported
 // in the returned error while the valid remainder still lands. It returns
 // how many events were imported.
-func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
+//
+// SyncFrom is the one-shot serial primitive; continuous multi-peer
+// replication with durable cursors and echo suppression lives in
+// internal/mesh.
+func (s *Service) SyncFrom(ctx context.Context, remote *Client, t time.Time) (int, error) {
 	var (
 		imported int
 		errs     []error
@@ -316,7 +331,7 @@ func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
 		after    string
 	)
 	for {
-		events, more, err := remote.EventsPage(cursor, after, syncPageSize)
+		events, more, err := remote.EventsPage(ctx, cursor, after, syncPageSize)
 		if err != nil {
 			return imported, errors.Join(append(errs, fmt.Errorf("tip: sync pull: %w", err))...)
 		}
@@ -340,7 +355,7 @@ func (s *Service) SyncFrom(remote *Client, t time.Time) (int, error) {
 // MISP's push synchronization, the counterpart of SyncFrom. Events marked
 // DistributionOrganisation never leave the instance (MISP's "your
 // organisation only" level). It returns how many events were exported.
-func (s *Service) SyncTo(remote *Client, t time.Time) (int, error) {
+func (s *Service) SyncTo(ctx context.Context, remote *Client, t time.Time) (int, error) {
 	events, err := s.EventsSince(t)
 	if err != nil {
 		return 0, err
@@ -350,7 +365,7 @@ func (s *Service) SyncTo(remote *Client, t time.Time) (int, error) {
 		if e.Distribution == misp.DistributionOrganisation {
 			continue
 		}
-		if _, err := remote.AddEvent(e); err != nil {
+		if _, err := remote.AddEvent(ctx, e); err != nil {
 			return exported, fmt.Errorf("tip: sync push %s: %w", e.UUID, err)
 		}
 		exported++

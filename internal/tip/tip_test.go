@@ -210,36 +210,36 @@ func TestHTTPRoundTrip(t *testing.T) {
 	client := NewClient(srv.URL, "secret-key")
 
 	e := sampleEvent(t, "via http", "http.example")
-	if _, err := client.AddEvent(e); err != nil {
+	if _, err := client.AddEvent(t.Context(), e); err != nil {
 		t.Fatal(err)
 	}
-	got, err := client.GetEvent(e.UUID)
+	got, err := client.GetEvent(t.Context(), e.UUID)
 	if err != nil || got.Info != "via http" {
 		t.Fatalf("GetEvent = %+v, %v", got, err)
 	}
-	results, err := client.Search(SearchQuery{Value: "http.example"})
+	results, err := client.Search(t.Context(), SearchQuery{Value: "http.example"})
 	if err != nil || len(results) != 1 {
 		t.Fatalf("Search = %d results, %v", len(results), err)
 	}
-	listed, err := client.EventsSince(time.Time{})
+	listed, err := client.EventsSince(t.Context(), time.Time{})
 	if err != nil || len(listed) != 1 {
 		t.Fatalf("EventsSince = %d, %v", len(listed), err)
 	}
-	exported, err := client.Export(e.UUID, FormatSTIX2)
+	exported, err := client.Export(t.Context(), e.UUID, FormatSTIX2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if _, err := stix.ParseBundle(exported); err != nil {
 		t.Fatalf("exported bundle invalid: %v", err)
 	}
-	st, err := client.Stats()
+	st, err := client.Stats(t.Context())
 	if err != nil || st.Events != 1 {
 		t.Fatalf("Stats = %+v, %v", st, err)
 	}
-	if err := client.DeleteEvent(e.UUID); err != nil {
+	if err := client.DeleteEvent(t.Context(), e.UUID); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := client.GetEvent(e.UUID); err == nil {
+	if _, err := client.GetEvent(t.Context(), e.UUID); err == nil {
 		t.Fatal("deleted event still served")
 	}
 }
@@ -247,17 +247,17 @@ func TestHTTPRoundTrip(t *testing.T) {
 func TestHTTPAuthentication(t *testing.T) {
 	srv, _ := apiServer(t, "secret-key")
 	bad := NewClient(srv.URL, "wrong-key")
-	if _, err := bad.Stats(); err == nil || !strings.Contains(err.Error(), "401") && !strings.Contains(err.Error(), "API key") {
+	if _, err := bad.Stats(t.Context()); err == nil || !strings.Contains(err.Error(), "401") && !strings.Contains(err.Error(), "API key") {
 		t.Fatalf("wrong key accepted: %v", err)
 	}
 	missing := NewClient(srv.URL, "")
-	if _, err := missing.Stats(); err == nil {
+	if _, err := missing.Stats(t.Context()); err == nil {
 		t.Fatal("missing key accepted")
 	}
 	// Open instance (no key) accepts anonymous calls.
 	open, _ := apiServer(t, "")
 	anon := NewClient(open.URL, "")
-	if _, err := anon.Stats(); err != nil {
+	if _, err := anon.Stats(t.Context()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -265,10 +265,10 @@ func TestHTTPAuthentication(t *testing.T) {
 func TestHTTPErrors(t *testing.T) {
 	srv, _ := apiServer(t, "")
 	client := NewClient(srv.URL, "")
-	if _, err := client.GetEvent("00000000-0000-0000-0000-000000000000"); err == nil {
+	if _, err := client.GetEvent(t.Context(), "00000000-0000-0000-0000-000000000000"); err == nil {
 		t.Fatal("missing event served")
 	}
-	if err := client.DeleteEvent("00000000-0000-0000-0000-000000000000"); err == nil {
+	if err := client.DeleteEvent(t.Context(), "00000000-0000-0000-0000-000000000000"); err == nil {
 		t.Fatal("missing event deleted")
 	}
 	// Bad payloads.
@@ -306,7 +306,7 @@ func TestHTTPImportSTIX(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	uuid, err := client.ImportSTIX(data)
+	uuid, err := client.ImportSTIX(t.Context(), data)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,7 +333,7 @@ func TestSyncBetweenInstances(t *testing.T) {
 		latest = e.Timestamp.Time
 	}
 	clientA := NewClient(srvA.URL, "")
-	imported, err := serviceB.SyncFrom(clientA, time.Time{})
+	imported, err := serviceB.SyncFrom(t.Context(), clientA, time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +346,7 @@ func TestSyncBetweenInstances(t *testing.T) {
 	if _, err := serviceA.AddEvent(e); err != nil {
 		t.Fatal(err)
 	}
-	imported, err = serviceB.SyncFrom(clientA, latest.Add(time.Minute))
+	imported, err = serviceB.SyncFrom(t.Context(), clientA, latest.Add(time.Minute))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -369,7 +369,7 @@ func TestSyncToPushesEvents(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	exported, err := producer.SyncTo(NewClient(srvConsumer.URL, "push-key"), time.Time{})
+	exported, err := producer.SyncTo(t.Context(), NewClient(srvConsumer.URL, "push-key"), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,7 +377,7 @@ func TestSyncToPushesEvents(t *testing.T) {
 		t.Fatalf("exported %d, consumer has %d", exported, consumer.Len())
 	}
 	// A bad key fails fast with a useful error.
-	if _, err := producer.SyncTo(NewClient(srvConsumer.URL, "wrong"), time.Time{}); err == nil {
+	if _, err := producer.SyncTo(t.Context(), NewClient(srvConsumer.URL, "wrong"), time.Time{}); err == nil {
 		t.Fatal("push with wrong key succeeded")
 	}
 }
@@ -396,7 +396,7 @@ func TestSyncToRespectsDistribution(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	exported, err := producer.SyncTo(NewClient(srvConsumer.URL, ""), time.Time{})
+	exported, err := producer.SyncTo(t.Context(), NewClient(srvConsumer.URL, ""), time.Time{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -417,15 +417,15 @@ func TestHTTPExportFormatsAndErrors(t *testing.T) {
 	client := NewClient(srv.URL, "")
 	// Every supported format over HTTP.
 	for _, format := range ExportFormats {
-		data, err := client.Export(e.UUID, format)
+		data, err := client.Export(t.Context(), e.UUID, format)
 		if err != nil || len(data) == 0 {
 			t.Fatalf("export %s: %v", format, err)
 		}
 	}
-	if _, err := client.Export(e.UUID, "protobuf"); err == nil {
+	if _, err := client.Export(t.Context(), e.UUID, "protobuf"); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if _, err := client.Export("00000000-0000-0000-0000-000000000000", FormatMISPJSON); err == nil {
+	if _, err := client.Export(t.Context(), "00000000-0000-0000-0000-000000000000", FormatMISPJSON); err == nil {
 		t.Fatal("missing event exported")
 	}
 }
@@ -452,13 +452,13 @@ func TestHTTPSearchBadBody(t *testing.T) {
 
 func TestClientConnectionErrors(t *testing.T) {
 	dead := NewClient("http://127.0.0.1:1", "")
-	if _, err := dead.Stats(); err == nil {
+	if _, err := dead.Stats(t.Context()); err == nil {
 		t.Fatal("dead endpoint succeeded")
 	}
-	if _, err := dead.EventsSince(time.Time{}); err == nil {
+	if _, err := dead.EventsSince(t.Context(), time.Time{}); err == nil {
 		t.Fatal("dead list succeeded")
 	}
-	if _, err := dead.AddEvent(sampleEvent(t, "x", "x.example")); err == nil {
+	if _, err := dead.AddEvent(t.Context(), sampleEvent(t, "x", "x.example")); err == nil {
 		t.Fatal("dead add succeeded")
 	}
 	store, err := storage.Open("")
@@ -467,7 +467,7 @@ func TestClientConnectionErrors(t *testing.T) {
 	}
 	defer store.Close()
 	local := NewService(store)
-	if _, err := local.SyncFrom(dead, time.Time{}); err == nil {
+	if _, err := local.SyncFrom(t.Context(), dead, time.Time{}); err == nil {
 		t.Fatal("sync from dead endpoint succeeded")
 	}
 }

@@ -314,7 +314,7 @@ func (w *Worker) Analyze(me *misp.Event) error {
 	me.AddAttribute("comment", "Other",
 		"threat-score:"+strconv.FormatFloat(topScore, 'f', 4, 64), now)
 	me.AddTag("caisp:eioc")
-	if _, err := w.cfg.TIP.AddEvent(me); err != nil {
+	if _, err := w.cfg.TIP.AddEvent(context.Background(), me); err != nil {
 		return fmt.Errorf("worker: write back %s: %w", me.UUID, err)
 	}
 	w.mu.Lock()
