@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs bench-mesh wsload-smoke subload-smoke meshload-smoke vet copyfree metrics-lint check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs bench-mesh bench-lifecycle wsload-smoke subload-smoke meshload-smoke lifeload-smoke vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -62,6 +62,20 @@ subload-smoke:
 bench-mesh:
 	$(GO) test -run '^$$' -bench '^BenchmarkFanIn' -benchmem ./internal/mesh/
 
+# Lifecycle suite: the bounded incremental re-score scheduler vs the
+# WithRescanAll full-walk ablation at 10k/100k stored indicators — the
+# EXPERIMENTS.md §X13 per-pass numbers.
+bench-lifecycle:
+	$(GO) test -run '^$$' -bench '^Benchmark(Incremental|RescanAll)Pass' -benchmem ./internal/lifecycle/
+
+# Lifecycle smoke: sustained virtual-time ingest with decay expiry on.
+# Exits nonzero unless the event count and heap plateau (and stay under
+# the analytic bound) while total ingest keeps growing. The full-scale
+# runs, the unbounded baseline and the 3-node deletion-convergence mode
+# are in EXPERIMENTS.md §X13.
+lifeload-smoke:
+	$(GO) run ./cmd/lifeload -ticks 300 -rate 20 -step 1h -tau 60h -batch 1024
+
 # Federation smoke: a 3-node replication ring over real loopback HTTP
 # with a crash/restart mid-ingest. Exits nonzero unless every node
 # converges to the identical event set (counts via /metrics + store
@@ -103,11 +117,14 @@ metrics-lint:
 		exit 1; \
 	fi; \
 	for want in caisp_subs_registered caisp_subs_eval_seconds caisp_subs_matches_total caisp_subs_candidates_per_event caisp_subs_rejected_total \
+		caisp_subs_expired_total \
 		caisp_mesh_pages_total caisp_mesh_events_pulled_total caisp_mesh_events_imported_total caisp_mesh_echo_suppressed_total \
-		caisp_mesh_conflicts_total caisp_mesh_lag_seconds caisp_mesh_sync_seconds; do \
+		caisp_mesh_conflicts_total caisp_mesh_lag_seconds caisp_mesh_sync_seconds caisp_mesh_deletes_applied_total \
+		caisp_lifecycle_rescored_total caisp_lifecycle_expired_total caisp_lifecycle_sighting_refreshes_total \
+		caisp_lifecycle_scan_seconds caisp_lifecycle_tracked; do \
 		echo "$$names" | grep -qx "\"$$want\"" || { \
 			echo "metrics-lint: required metric $$want is not registered"; exit 1; }; \
 	done; \
 	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
 
-check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke meshload-smoke
+check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke meshload-smoke lifeload-smoke

@@ -44,10 +44,14 @@ func main() {
 		sessLog   = flag.String("sessions", "", "JSON file of user sessions for the §II-B summary endpoints")
 		pprof     = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/ on the dashboard address")
 		slowOp    = flag.Duration("slow-op", 0, "log heuristic evaluations and dashboard pushes slower than this (0 disables)")
+		lcOff     = flag.Bool("no-lifecycle", false, "disable decay-driven re-scoring and expiry (store grows without bound)")
+		lcEvery   = flag.Duration("lifecycle-interval", 0, "cadence of the background re-score batch (0 = engine default)")
+		lcFloor   = flag.Float64("lifecycle-floor", 0, "expire indicators once their decayed score falls to this (0 = engine default)")
 	)
 	flag.Parse()
 	if err := run(*dashAddr, *tipAddr, *taxiiAddr, *dataDir, *invPath, *feedDir,
-		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog, *pprof, *slowOp); err != nil {
+		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog, *pprof, *slowOp,
+		*lcOff, *lcEvery, *lcFloor); err != nil {
 		fmt.Fprintln(os.Stderr, "caispd:", err)
 		os.Exit(1)
 	}
@@ -55,7 +59,7 @@ func main() {
 
 func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	seed int64, items int, interval time.Duration, apiKey, alarmLog, sessLog string,
-	pprof bool, slowOp time.Duration) error {
+	pprof bool, slowOp time.Duration, lcOff bool, lcEvery time.Duration, lcFloor float64) error {
 	var inventory *infra.Inventory
 	if invPath != "" {
 		raw, err := os.ReadFile(invPath)
@@ -74,11 +78,14 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	}
 
 	platform, err := core.New(core.Config{
-		DataDir:         dataDir,
-		Inventory:       inventory,
-		Feeds:           feeds,
-		ShareTAXII:      taxiiAddr != "",
-		SlowOpThreshold: slowOp,
+		DataDir:           dataDir,
+		Inventory:         inventory,
+		Feeds:             feeds,
+		ShareTAXII:        taxiiAddr != "",
+		SlowOpThreshold:   slowOp,
+		DisableLifecycle:  lcOff,
+		LifecycleInterval: lcEvery,
+		LifecycleFloor:    lcFloor,
 	})
 	if err != nil {
 		return err

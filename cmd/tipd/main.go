@@ -8,6 +8,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -20,6 +21,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/bus"
+	"github.com/caisplatform/caisp/internal/lifecycle"
 	"github.com/caisplatform/caisp/internal/mesh"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
@@ -50,6 +52,10 @@ type config struct {
 	syncPage     int
 	serialSync   bool
 	subsFile     string
+
+	noLifecycle bool
+	lcInterval  time.Duration
+	lcFloor     float64
 }
 
 func main() {
@@ -66,6 +72,9 @@ func main() {
 	flag.IntVar(&cfg.syncPage, "sync-page", mesh.DefaultBasePage, "starting sync page size (adapts up to the peer's cap)")
 	flag.BoolVar(&cfg.serialSync, "serial-sync", false, "sync one peer at a time (measured ablation; default is concurrent)")
 	flag.StringVar(&cfg.subsFile, "subs-file", "", "subscription sidecar path (default <data>/subscriptions.json; empty with no -data disables)")
+	flag.BoolVar(&cfg.noLifecycle, "no-lifecycle", false, "disable decay-driven re-scoring and expiry (store grows without bound)")
+	flag.DurationVar(&cfg.lcInterval, "lifecycle-interval", 0, "cadence of the background re-score batch (0 = engine default)")
+	flag.Float64Var(&cfg.lcFloor, "lifecycle-floor", 0, "expire indicators once their decayed score falls to this (0 = engine default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "tipd:", err)
@@ -153,6 +162,33 @@ func run(cfg config) error {
 			len(peers), strings.Join(names, ", "), cfg.syncInterval, cfg.serialSync)
 	}
 
+	// Indicator lifecycle: decay re-scoring over the store, with expiry
+	// routed through the TIP service so deletions tombstone the change
+	// log and replicate to mesh peers. tipd has no correlator, so ages
+	// come from attribute timestamps alone.
+	var lifec *lifecycle.Engine
+	if !cfg.noLifecycle {
+		lcOpts := []lifecycle.Option{
+			lifecycle.WithMetrics(reg),
+			lifecycle.WithExpireHook(func(uuid string) error {
+				err := service.DeleteEvent(uuid)
+				if err != nil && errors.Is(err, storage.ErrNotFound) {
+					return nil
+				}
+				return err
+			}),
+		}
+		if cfg.lcInterval > 0 {
+			lcOpts = append(lcOpts, lifecycle.WithInterval(cfg.lcInterval))
+		}
+		if cfg.lcFloor > 0 {
+			lcOpts = append(lcOpts, lifecycle.WithFloor(cfg.lcFloor))
+		}
+		lifec = lifecycle.New(store, lcOpts...)
+		lifec.Start()
+		defer lifec.Close()
+	}
+
 	// Streaming detection: clients register STIX patterns over REST and
 	// receive match frames on /ws/matches. Every event stored through the
 	// API is published on the bus; the drain goroutine evaluates each one
@@ -165,6 +201,7 @@ func run(cfg config) error {
 	subOpts := []subscribe.Option{
 		subscribe.WithMetrics(reg),
 		subscribe.WithHubMetrics(reg),
+		subscribe.WithSweepInterval(time.Minute),
 	}
 	if subsFile != "" {
 		subOpts = append(subOpts, subscribe.WithPersistPath(subsFile))
@@ -205,6 +242,9 @@ func run(cfg config) error {
 	mux.Handle("GET /subscriptions/{rest...}", subAPI)
 	mux.Handle("DELETE /subscriptions/{id}", subAPI)
 	mux.Handle("GET /ws/matches", subAPI)
+	if lifec != nil {
+		mux.Handle("GET /lifecycle/{rest...}", lifecycle.NewAPI(lifec))
+	}
 	mux.Handle("/", tip.NewAPI(service, cfg.apiKey))
 	srv := &http.Server{Addr: cfg.addr, Handler: mux}
 

@@ -36,6 +36,7 @@ import (
 	"github.com/caisplatform/caisp/internal/feed"
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
+	"github.com/caisplatform/caisp/internal/lifecycle"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/normalize"
 	"github.com/caisplatform/caisp/internal/obs"
@@ -134,6 +135,23 @@ type Config struct {
 	// the O(all-patterns) ablation (subscribe.WithLinearScan) instead of
 	// the pattern index. For benchmarking only.
 	SubscriptionLinearScan bool
+	// DisableLifecycle turns off decay-driven re-scoring and expiry: the
+	// store grows without bound under continuous ingest (the unbounded
+	// baseline cmd/lifeload measures against).
+	DisableLifecycle bool
+	// LifecycleInterval is the cadence of the background re-score batch.
+	// Zero uses the lifecycle default (one minute).
+	LifecycleInterval time.Duration
+	// LifecycleBatch bounds how many time-index entries one re-score run
+	// visits. Zero uses the lifecycle default (512).
+	LifecycleBatch int
+	// LifecycleFloor expires indicators whose decayed score falls to or
+	// below it. Zero uses the lifecycle default (0.3).
+	LifecycleFloor float64
+	// LifecycleRescanAll switches the re-scorer into the full-scan
+	// ablation (lifecycle.WithRescanAll): every run walks the whole store
+	// instead of one bounded batch. For benchmarking only.
+	LifecycleRescanAll bool
 }
 
 // Stats counts pipeline activity.
@@ -199,11 +217,14 @@ type Platform struct {
 	corr       *correlate.Incremental
 	classifier *textclass.Classifier
 
-	// Operational module.
+	// Operational module. lifec is the indicator-lifecycle engine: decay
+	// re-scoring, floor expiry and score history (nil under
+	// Config.DisableLifecycle).
 	store     *storage.Store
 	broker    *bus.Broker
 	tip       *tip.Service
 	engine    *heuristic.Engine
+	lifec     *lifecycle.Engine
 	analyzers int
 
 	// Output module. subs is the streaming-detection engine: standing
@@ -333,6 +354,34 @@ func New(cfg Config) (*Platform, error) {
 	// The streaming-detection surface rides the dashboard listener:
 	// /subscriptions REST plus the /ws/matches push stream.
 	p.dash.SetSubscriptions(subscribe.NewAPI(p.subs))
+	if !cfg.DisableLifecycle {
+		lcOpts := []lifecycle.Option{
+			lifecycle.WithNow(cfg.Clock.Now),
+			lifecycle.WithLogger(cfg.Logger),
+			lifecycle.WithMetrics(reg),
+			// Sightings come from the live correlator so a cluster that
+			// keeps growing keeps its score fresh; expiry routes through
+			// the TIP so the deletion lands in the replicated change log
+			// and the dashboard forgets the indicator's rIoCs.
+			lifecycle.WithSightings(p.corr.LastSightings),
+			lifecycle.WithExpireHook(p.expireEvent),
+		}
+		if cfg.LifecycleInterval > 0 {
+			lcOpts = append(lcOpts, lifecycle.WithInterval(cfg.LifecycleInterval))
+		}
+		if cfg.LifecycleBatch > 0 {
+			lcOpts = append(lcOpts, lifecycle.WithBatchSize(cfg.LifecycleBatch))
+		}
+		if cfg.LifecycleFloor > 0 {
+			lcOpts = append(lcOpts, lifecycle.WithFloor(cfg.LifecycleFloor))
+		}
+		if cfg.LifecycleRescanAll {
+			lcOpts = append(lcOpts, lifecycle.WithRescanAll(true))
+		}
+		p.lifec = lifecycle.New(store, lcOpts...)
+		p.dash.SetLifecycle(lifecycle.NewAPI(p.lifec))
+		p.lifec.Start()
+	}
 	if cfg.ShareTAXII {
 		p.taxiiSrv = taxii.NewServer("CAISP sharing", "caisp", taxii.WithNow(cfg.Clock.Now))
 		p.taxiiSrv.AddCollection(TAXIICollection, "Enriched IoCs",
@@ -473,6 +522,22 @@ func (p *Platform) Dashboard() *dashboard.Server { return p.dash }
 
 // Subscriptions returns the streaming-detection engine.
 func (p *Platform) Subscriptions() *subscribe.Engine { return p.subs }
+
+// Lifecycle returns the indicator-lifecycle engine, or nil when disabled.
+func (p *Platform) Lifecycle() *lifecycle.Engine { return p.lifec }
+
+// expireEvent is the lifecycle engine's expiry hook: the deletion goes
+// through the TIP (tombstoning the replicated change log so mesh peers
+// and subscription engines converge on the removal) and the dashboard
+// forgets the indicator's rIoCs.
+func (p *Platform) expireEvent(uuid string) error {
+	if err := p.tip.DeleteEvent(uuid); err != nil && !errors.Is(err, storage.ErrNotFound) {
+		return err
+	}
+	p.dash.DropEventRIoCs(uuid)
+	p.tracer.Drop(uuid)
+	return nil
+}
 
 // TAXII returns the sharing server, or nil when disabled.
 func (p *Platform) TAXII() *taxii.Server { return p.taxiiSrv }
@@ -851,9 +916,9 @@ func (p *Platform) analyze(me *misp.Event) error {
 	p.tracer.Mark(me.UUID, obs.StageAnalyze)
 	// Write the threat score back into the stored MISP event — "adding the
 	// threat score as a new MISP attribute" (§IV-A) — turning it into the
-	// stored eIoC.
-	me.AddAttribute("comment", "Other",
-		"threat-score:"+strconv.FormatFloat(topScore, 'f', 4, 64), now)
+	// stored eIoC. Upsert: re-analysis of a grown cluster refreshes the
+	// attribute instead of stacking duplicates.
+	heuristic.SetBaseScore(me, topScore, now)
 	me.AddTag("caisp:eioc")
 	if _, err := p.tip.AddEvent(me); err != nil {
 		p.tracer.Drop(me.UUID)
@@ -1090,6 +1155,9 @@ func (p *Platform) Stop() {
 // snapshot triggered by the final flush still completes.
 func (p *Platform) Close() error {
 	p.Stop()
+	if p.lifec != nil {
+		p.lifec.Close()
+	}
 	p.stopCompactor()
 	p.dash.Close()
 	p.subs.Close()

@@ -486,6 +486,34 @@ func (inc *Incremental) Clusters() []ComposedIoC {
 	return out
 }
 
+// LastSightings reports, for every currently emitted cluster, the most
+// recent member sighting (the maximum member LastSeen — the same value
+// compose publishes as the cIoC's LastSeen). One O(total members) pass
+// under the lock; the indicator-lifecycle engine calls it once per
+// re-score scan and uses the result as the sighting-driven refresh
+// clock for decayed eIoC scores, so a key re-observed since the last
+// composition resets decay without waiting for a membership change.
+func (inc *Incremental) LastSightings() map[string]time.Time {
+	inc.mu.Lock()
+	defer inc.mu.Unlock()
+	out := make(map[string]time.Time)
+	for _, cs := range inc.cats {
+		for _, cl := range cs.clusters {
+			if cl.absorbed || !cl.emitted {
+				continue
+			}
+			var last time.Time
+			for _, id := range cl.members {
+				if e, ok := cs.byID[id]; ok && e.LastSeen.After(last) {
+					last = e.LastSeen
+				}
+			}
+			out[cl.uuid] = last
+		}
+	}
+	return out
+}
+
 // Stats snapshots the correlator's cumulative counters.
 func (inc *Incremental) Stats() IncrementalStats {
 	inc.mu.Lock()

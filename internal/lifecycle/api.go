@@ -1,0 +1,53 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// API is the read-only HTTP surface of the lifecycle engine: cumulative
+// stats and the per-indicator score-history ring the dashboard charts.
+type API struct {
+	engine *Engine
+	mux    *http.ServeMux
+}
+
+// NewAPI wraps an engine.
+func NewAPI(e *Engine) *API {
+	a := &API{engine: e, mux: http.NewServeMux()}
+	a.mux.HandleFunc("GET /lifecycle/stats", a.handleStats)
+	a.mux.HandleFunc("GET /lifecycle/history", a.handleTracked)
+	a.mux.HandleFunc("GET /lifecycle/history/{uuid}", a.handleHistory)
+	return a
+}
+
+// ServeHTTP implements http.Handler.
+func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (a *API) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, a.engine.Stats())
+}
+
+func (a *API) handleTracked(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Tracked []string `json:"tracked"`
+	}{a.engine.Tracked()})
+}
+
+func (a *API) handleHistory(w http.ResponseWriter, r *http.Request) {
+	uuid := r.PathValue("uuid")
+	samples := a.engine.History(uuid)
+	if samples == nil {
+		http.Error(w, `{"error":"no score history for uuid"}`, http.StatusNotFound)
+		return
+	}
+	writeJSON(w, struct {
+		UUID    string   `json:"uuid"`
+		Samples []Sample `json:"samples"`
+	}{uuid, samples})
+}

@@ -1,0 +1,74 @@
+package lifecycle
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+)
+
+// benchEngine preloads n scored indicators (sightings spread over the
+// first half of τ so nothing expires) and warms the decayed scores, so
+// the measured passes are pure scans for both schedulers.
+func benchEngine(b *testing.B, n int, rescan bool) (*Engine, time.Time) {
+	b.Helper()
+	s := openStore(b)
+	pols := map[string]Policy{
+		"botnet-c2": {Tau: 1000 * time.Hour, Delta: 1},
+		"unknown":   {Tau: 1000 * time.Hour, Delta: 1},
+	}
+	const chunk = 1024
+	for off := 0; off < n; off += chunk {
+		m := min(chunk, n-off)
+		batch := make([]*misp.Event, m)
+		for i := range batch {
+			seen := t0.Add(time.Duration(int64(500*time.Hour) * int64(off+i) / int64(n)))
+			batch[i] = eioc(fmt.Sprintf("b-%06d", off+i), "botnet-c2", 4.0, seen)
+		}
+		if err := s.PutBatch(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+	now := t0.Add(500 * time.Hour)
+	warm := New(s, WithPolicies(pols), WithRescanAll(true))
+	if _, err := warm.RunOnce(now); err != nil {
+		b.Fatal(err)
+	}
+	e := New(s, WithPolicies(pols), WithBatchSize(512), WithRescanAll(rescan))
+	return e, now
+}
+
+// BenchmarkIncrementalPass measures one bounded re-score run: the
+// O(batch) steady-state cost of the production scheduler.
+func BenchmarkIncrementalPass(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("events-%d", n), func(b *testing.B) {
+			e, now := benchEngine(b, n, false)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RunOnce(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRescanAllPass measures the ablation: every run re-walks the
+// whole store, so per-run cost is O(store) instead of O(batch).
+func BenchmarkRescanAllPass(b *testing.B) {
+	for _, n := range []int{10000, 100000} {
+		b.Run(fmt.Sprintf("events-%d", n), func(b *testing.B) {
+			e, now := benchEngine(b, n, true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.RunOnce(now); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

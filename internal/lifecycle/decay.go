@@ -1,0 +1,84 @@
+// Package lifecycle bounds the operational store: a decay model drops
+// the effective score of every stored indicator as its last sighting
+// ages, a background scheduler re-scores the store in bounded
+// incremental batches, and indicators that decay below the expiry
+// floor are deleted — tombstones ride the replication feed so the
+// whole mesh converges on the removal.
+//
+// The decay curve is the polynomial model of the MISP / CIRCL
+// decaying-indicators work (Iklody et al., "Decaying Indicators of
+// Compromise"): with τ the category lifetime and δ the decay speed,
+//
+//	score(t) = base · (1 − (t/τ)^(1/δ)),  0 ≤ t ≤ τ
+//
+// so a freshly sighted indicator keeps its analyzer score and an
+// unsighted one slides to zero at τ — slowly at first for δ < 1
+// (the exponent 1/δ grows, holding the curve up until a late plunge),
+// front-loaded for δ > 1. Every sighting resets t to zero, which is
+// how the paper's static TS = Cp × Σ Xi·Pi score (heuristic package)
+// gains the time dimension the paper leaves open.
+package lifecycle
+
+import (
+	"math"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/normalize"
+)
+
+// Policy is one category's decay behaviour.
+type Policy struct {
+	// Tau is the indicator lifetime: the age at which an unsighted
+	// indicator's score reaches zero.
+	Tau time.Duration
+	// Delta shapes the curve: 1 is linear, <1 holds the score up before
+	// a late drop, >1 drops steeply early then tails off (MISP's
+	// decay_speed, default 0.3 there).
+	Delta float64
+}
+
+// Score evaluates the decay curve: the effective score of an indicator
+// with the given base score whose last sighting is age old. Clamped to
+// [0, base]; a negative age (sighting in the future, clock skew) keeps
+// the base score.
+func Score(base float64, age time.Duration, p Policy) float64 {
+	if base <= 0 {
+		return 0
+	}
+	if age <= 0 {
+		return base
+	}
+	if p.Tau <= 0 || age >= p.Tau {
+		return 0
+	}
+	delta := p.Delta
+	if delta <= 0 {
+		delta = 1
+	}
+	s := base * (1 - math.Pow(age.Seconds()/p.Tau.Seconds(), 1/delta))
+	if s < 0 {
+		return 0
+	}
+	return s
+}
+
+// DefaultPolicies maps the normalize threat categories onto decay
+// behaviours mirroring common MISP decaying-model taxonomies: network
+// infrastructure indicators (C2s, scanners, brute-forcers) age out in
+// days to weeks because attackers rotate them; file hashes barely
+// decay because a hash match stays a true positive; vulnerability
+// indicators live long because patch lag keeps them exploitable.
+func DefaultPolicies() map[string]Policy {
+	const day = 24 * time.Hour
+	return map[string]Policy{
+		normalize.CategoryMalwareDomain: {Tau: 60 * day, Delta: 0.5},
+		normalize.CategoryBotnetC2:      {Tau: 30 * day, Delta: 1},
+		normalize.CategoryPhishing:      {Tau: 14 * day, Delta: 1},
+		normalize.CategoryVulnExploit:   {Tau: 365 * day, Delta: 0.3},
+		normalize.CategoryBruteForce:    {Tau: 7 * day, Delta: 1},
+		normalize.CategoryScanner:       {Tau: 7 * day, Delta: 1},
+		normalize.CategorySpam:          {Tau: 14 * day, Delta: 1.5},
+		normalize.CategoryMalwareHash:   {Tau: 3 * 365 * day, Delta: 0.25},
+		normalize.CategoryUnknown:       {Tau: 90 * day, Delta: 1},
+	}
+}

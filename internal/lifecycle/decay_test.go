@@ -1,0 +1,58 @@
+package lifecycle
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScoreCurve(t *testing.T) {
+	p := Policy{Tau: 100 * time.Hour, Delta: 1}
+	if got := Score(4, 0, p); got != 4 {
+		t.Fatalf("age 0: %g, want base", got)
+	}
+	if got := Score(4, -time.Hour, p); got != 4 {
+		t.Fatalf("future sighting: %g, want base", got)
+	}
+	if got := Score(4, 100*time.Hour, p); got != 0 {
+		t.Fatalf("age τ: %g, want 0", got)
+	}
+	if got := Score(4, 200*time.Hour, p); got != 0 {
+		t.Fatalf("past τ: %g, want 0", got)
+	}
+	if got := Score(4, 50*time.Hour, p); got < 1.99 || got > 2.01 {
+		t.Fatalf("linear midpoint: %g, want 2", got)
+	}
+	// δ < 1 holds the score up (late plunge), δ > 1 front-loads the drop.
+	slow := Score(4, 50*time.Hour, Policy{Tau: 100 * time.Hour, Delta: 0.3})
+	steep := Score(4, 50*time.Hour, Policy{Tau: 100 * time.Hour, Delta: 3})
+	if slow <= 2 || steep >= 2 {
+		t.Fatalf("midpoints slow=%g steep=%g, want slow>2>steep", slow, steep)
+	}
+	// Monotone non-increasing in age.
+	prev := 5.0
+	for h := 0; h <= 100; h += 5 {
+		s := Score(4, time.Duration(h)*time.Hour, p)
+		if s > prev {
+			t.Fatalf("score rose with age at %dh: %g > %g", h, s, prev)
+		}
+		prev = s
+	}
+	if got := Score(0, time.Hour, p); got != 0 {
+		t.Fatalf("zero base: %g", got)
+	}
+	if got := Score(4, time.Hour, Policy{Tau: 0}); got != 0 {
+		t.Fatalf("zero τ: %g, want immediate 0", got)
+	}
+}
+
+func TestDefaultPoliciesCoverKnownCategories(t *testing.T) {
+	pols := DefaultPolicies()
+	for cat, p := range pols {
+		if p.Tau <= 0 || p.Delta <= 0 {
+			t.Fatalf("category %s has degenerate policy %+v", cat, p)
+		}
+	}
+	if _, ok := pols["unknown"]; !ok {
+		t.Fatal("no fallback policy for unknown")
+	}
+}

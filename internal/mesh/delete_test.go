@@ -1,0 +1,156 @@
+package mesh
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/storage"
+	"github.com/caisplatform/caisp/internal/tip"
+)
+
+// fullRemote is svcRemote plus the tombstone-bearing feed: the
+// in-process stand-in for a peer new enough to serve deletions.
+type fullRemote struct{ svcRemote }
+
+func (r fullRemote) Changes(_ context.Context, afterSeq uint64, limit int) ([]storage.Change, uint64, bool, error) {
+	return r.svcRemote.svc.Changes(afterSeq, limit)
+}
+
+func newFullEngine(t *testing.T, local *tip.Service, peers map[string]*tip.Service) *Engine {
+	t.Helper()
+	var ps []Peer
+	for name, svc := range peers {
+		ps = append(ps, Peer{Name: name, Remote: fullRemote{svcRemote{svc}}})
+	}
+	e, err := New(local, ps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func syncAll(t *testing.T, engines ...*Engine) {
+	t.Helper()
+	for round := 0; round < 10; round++ {
+		for _, e := range engines {
+			if _, err := e.SyncOnce(t.Context()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestDeletionReplicatesAcrossRing(t *testing.T) {
+	a, b, c := newNode(t), newNode(t), newNode(t)
+	events := sampleEvents(t, 30)
+	if _, err := a.AddEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	ea := newFullEngine(t, a, map[string]*tip.Service{"c": c})
+	eb := newFullEngine(t, b, map[string]*tip.Service{"a": a})
+	ec := newFullEngine(t, c, map[string]*tip.Service{"b": b})
+	syncAll(t, ea, eb, ec)
+	if a.Len() != 30 || b.Len() != 30 || c.Len() != 30 {
+		t.Fatalf("no convergence before delete: a=%d b=%d c=%d", a.Len(), b.Len(), c.Len())
+	}
+
+	// Expire one indicator on a; the tombstone must walk the ring.
+	doomed := events[7].UUID
+	if err := a.DeleteEventAt(doomed, now.Add(time.Minute)); err != nil {
+		t.Fatal(err)
+	}
+	syncAll(t, ea, eb, ec)
+	for name, svc := range map[string]*tip.Service{"a": a, "b": b, "c": c} {
+		if _, err := svc.GetEvent(doomed); err == nil {
+			t.Fatalf("node %s still holds the deleted event", name)
+		}
+		if svc.Len() != 29 {
+			t.Fatalf("node %s Len = %d, want 29", name, svc.Len())
+		}
+	}
+	if eb.Totals().Deleted == 0 {
+		t.Fatal("pull from a counted no applied deletions")
+	}
+
+	// Steady state: the tombstone keeps riding the feed but never
+	// re-applies (GetEvent misses are silent skips, not errors).
+	before := eb.Totals().Deleted
+	syncAll(t, ea, eb, ec)
+	if eb.Totals().Deleted != before {
+		t.Fatal("tombstone re-applied in steady state")
+	}
+}
+
+func TestConcurrentEditOutlivesDeletion(t *testing.T) {
+	a, b := newNode(t), newNode(t)
+	orig := sampleEvents(t, 1)[0]
+	if _, err := a.AddEvents([]*misp.Event{orig.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEvents([]*misp.Event{orig.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+
+	// a deletes at t+1s while b concurrently edits at t+2s: the newer
+	// edit must win on both nodes once the partition heals.
+	if err := a.DeleteEventAt(orig.UUID, now.Add(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	edited := orig.Clone()
+	edited.Info = "revised verdict"
+	edited.Timestamp = misp.UT(now.Add(2 * time.Second))
+	if _, err := b.AddEvents([]*misp.Event{edited}); err != nil {
+		t.Fatal(err)
+	}
+
+	// b pulls first so the tombstone actually reaches the node holding
+	// the newer edit (the other order resurrects on a before b ever sees
+	// the deletion — also correct, but it would not exercise the
+	// conflict path).
+	ea := newFullEngine(t, a, map[string]*tip.Service{"b": b})
+	eb := newFullEngine(t, b, map[string]*tip.Service{"a": a})
+	syncAll(t, eb, ea)
+
+	for name, svc := range map[string]*tip.Service{"a": a, "b": b} {
+		got, err := svc.GetEvent(orig.UUID)
+		if err != nil {
+			t.Fatalf("node %s lost the concurrent edit to the tombstone", name)
+		}
+		if got.Info != "revised verdict" {
+			t.Fatalf("node %s holds %q, want the edit", name, got.Info)
+		}
+	}
+	if eb.Totals().ConflictLocal == 0 {
+		t.Fatal("edit-vs-tombstone conflict not counted")
+	}
+}
+
+func TestDeletionNewerThanEventWinsBothWays(t *testing.T) {
+	a, b := newNode(t), newNode(t)
+	orig := sampleEvents(t, 1)[0]
+	if _, err := a.AddEvents([]*misp.Event{orig.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEvents([]*misp.Event{orig.Clone()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.DeleteEventAt(orig.UUID, now.Add(time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+
+	ea := newFullEngine(t, a, map[string]*tip.Service{"b": b})
+	eb := newFullEngine(t, b, map[string]*tip.Service{"a": a})
+	syncAll(t, ea, eb)
+
+	if _, err := b.GetEvent(orig.UUID); err == nil {
+		t.Fatal("b did not apply the newer deletion")
+	}
+	// a pulls b's live-but-older copy: it must not resurrect. a's feed
+	// application path sees the event, but a's copy is tombstoned newer.
+	if _, err := a.GetEvent(orig.UUID); err == nil {
+		t.Fatal("deletion clawed back on a")
+	}
+}

@@ -33,6 +33,11 @@
 //     resolve newest-timestamp-wins — a strictly newer remote revision
 //     replaces the local one through the store's edit path, a strictly
 //     older one is dropped. Ties keep the local copy.
+//   - Deletion replication: tombstoned UUIDs on the change feed
+//     (expired or retracted indicators) are applied locally at their
+//     original deletion time, again newest-wins — a local edit strictly
+//     newer than the deletion survives it. Peers that predate the
+//     tombstone wire format fall back to the events-only feed.
 //   - Batch import: pages land through the service's group-committed
 //     AddEvents, so replication rides the same 10.9× durable batch path
 //     as local ingest, and the page size adapts upward (doubling to
@@ -51,6 +56,7 @@ import (
 
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/storage"
 )
 
 // Local is the importing side of the engine: the node's own TIP service.
@@ -68,6 +74,22 @@ type Local interface {
 // change feed. *tip.Client satisfies it.
 type Remote interface {
 	ChangesPage(ctx context.Context, afterSeq uint64, limit int) ([]*misp.Event, uint64, bool, error)
+}
+
+// DeletionRemote is a Remote whose change feed also carries deletion
+// tombstones (*tip.Client satisfies it). When a peer's remote
+// implements it and the local side can delete, the engine pulls the
+// tombstone-bearing feed and replicates deletions; otherwise it falls
+// back to the events-only ChangesPage.
+type DeletionRemote interface {
+	Remote
+	Changes(ctx context.Context, afterSeq uint64, limit int) ([]storage.Change, uint64, bool, error)
+}
+
+// DeletionLocal is a Local that can apply a replicated deletion at its
+// original deletion time (*tip.Service satisfies it).
+type DeletionLocal interface {
+	DeleteEventAt(uuid string, at time.Time) error
 }
 
 // Peer names one replication source.
@@ -100,6 +122,7 @@ type Totals struct {
 	EchoSuppressed int64 // already-owned events skipped (same timestamp)
 	ConflictLocal  int64 // concurrent edits resolved keeping the local copy
 	ConflictRemote int64 // concurrent edits resolved importing the remote copy
+	Deleted        int64 // replicated deletions applied to the local store
 	Errors         int64 // failed sync attempts (transport or import)
 	Rounds         int64 // completed sync rounds (one peer drained to head)
 }
@@ -107,9 +130,10 @@ type Totals struct {
 // Engine drives continuous anti-entropy pull replication against the
 // configured peers.
 type Engine struct {
-	local   Local
-	cursors CursorStore
-	peers   []*peerState
+	local    Local
+	localDel DeletionLocal // nil when local cannot apply deletions
+	cursors  CursorStore
+	peers    []*peerState
 
 	interval   time.Duration
 	backoffMin time.Duration
@@ -130,6 +154,7 @@ type Engine struct {
 	echoSuppressed atomic.Int64
 	conflictLocal  atomic.Int64
 	conflictRemote atomic.Int64
+	deleted        atomic.Int64
 	errorsN        atomic.Int64
 	rounds         atomic.Int64
 
@@ -139,6 +164,7 @@ type Engine struct {
 	mImported  *obs.CounterVec   // {peer}
 	mEcho      *obs.CounterVec   // {peer}
 	mConflicts *obs.CounterVec   // {peer, winner}
+	mDeleted   *obs.CounterVec   // {peer}
 	mErrors    *obs.CounterVec   // {peer}
 	mSync      *obs.Histogram    // sync round latency
 	mLag       *obs.GaugeVec     // {peer} seconds behind the peer head
@@ -156,9 +182,10 @@ type Engine struct {
 type peerState struct {
 	name    string
 	remote  Remote
-	page    int           // adaptive page size
-	backoff time.Duration // 0 while healthy
-	busy    sync.Mutex    // serializes overlapping syncs of one peer
+	full    DeletionRemote // non-nil when the remote serves tombstones
+	page    int            // adaptive page size
+	backoff time.Duration  // 0 while healthy
+	busy    sync.Mutex     // serializes overlapping syncs of one peer
 }
 
 // Option configures an Engine.
@@ -223,6 +250,8 @@ func WithMetrics(reg *obs.Registry) Option {
 			"Already-owned events skipped without re-import or re-analysis.", "peer")
 		e.mConflicts = reg.CounterVec("caisp_mesh_conflicts_total",
 			"Concurrent edits of one UUID resolved newest-timestamp-wins.", "peer", "winner")
+		e.mDeleted = reg.CounterVec("caisp_mesh_deletes_applied_total",
+			"Replicated deletions applied to the local store per peer.", "peer")
 		e.mErrors = reg.CounterVec("caisp_mesh_errors_total",
 			"Failed sync attempts per peer (transport or import).", "peer")
 		e.mSync = reg.Histogram("caisp_mesh_sync_seconds",
@@ -264,8 +293,11 @@ func New(local Local, peers []Peer, cursors CursorStore, opts ...Option) (*Engin
 			return nil, fmt.Errorf("mesh: duplicate peer %q", p.Name)
 		}
 		seen[p.Name] = true
-		e.peers = append(e.peers, &peerState{name: p.Name, remote: p.Remote})
+		ps := &peerState{name: p.Name, remote: p.Remote}
+		ps.full, _ = p.Remote.(DeletionRemote)
+		e.peers = append(e.peers, ps)
 	}
+	e.localDel, _ = local.(DeletionLocal)
 	for _, o := range opts {
 		o(e)
 	}
@@ -309,6 +341,7 @@ func (e *Engine) Totals() Totals {
 		EchoSuppressed: e.echoSuppressed.Load(),
 		ConflictLocal:  e.conflictLocal.Load(),
 		ConflictRemote: e.conflictRemote.Load(),
+		Deleted:        e.deleted.Load(),
 		Errors:         e.errorsN.Load(),
 		Rounds:         e.rounds.Load(),
 	}
@@ -459,17 +492,39 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 		if err := ctx.Err(); err != nil {
 			return imported, err
 		}
-		events, next, more, err := ps.remote.ChangesPage(ctx, cur.Seq, ps.page)
+		var (
+			events  []*misp.Event
+			deletes []storage.Change
+			next    uint64
+			more    bool
+			err     error
+		)
+		if ps.full != nil && e.localDel != nil {
+			// Tombstone-bearing feed: split the page into live revisions
+			// and deletion markers.
+			var changes []storage.Change
+			changes, next, more, err = ps.full.Changes(ctx, cur.Seq, ps.page)
+			for _, ch := range changes {
+				if ch.Event != nil {
+					events = append(events, ch.Event)
+				} else {
+					deletes = append(deletes, ch)
+				}
+			}
+		} else {
+			events, next, more, err = ps.remote.ChangesPage(ctx, cur.Seq, ps.page)
+		}
 		if err != nil {
 			ps.page = e.basePage
 			e.countErr(ps)
 			return imported, err
 		}
+		entries := len(events) + len(deletes)
 		e.pages.Add(1)
-		e.pulled.Add(int64(len(events)))
+		e.pulled.Add(int64(entries))
 		if e.mPages != nil {
 			e.mPages.With(ps.name).Inc()
-			e.mPulled.With(ps.name).Add(int64(len(events)))
+			e.mPulled.With(ps.name).Add(int64(entries))
 		}
 		if len(events) > 0 {
 			n, err := e.importPage(ps, events)
@@ -485,6 +540,13 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 				newest = ts
 			}
 		}
+		if len(deletes) > 0 {
+			if err := e.applyDeletes(ps, deletes); err != nil {
+				ps.page = e.basePage
+				e.countErr(ps)
+				return imported, err
+			}
+		}
 		if next > cur.Seq {
 			// The peer scanned up to next even when every entry there was
 			// stale; advancing past those entries is loss-free because a
@@ -494,7 +556,7 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 		}
 		// Adaptive sizing: a full page means backlog — double toward the
 		// ceiling so catch-up takes fewer round-trips.
-		if len(events) == ps.page && ps.page < e.maxPage {
+		if entries == ps.page && ps.page < e.maxPage {
 			ps.page *= 2
 			if ps.page > e.maxPage {
 				ps.page = e.maxPage
@@ -576,6 +638,38 @@ func (e *Engine) importPage(ps *peerState, events []*misp.Event) (int, error) {
 		e.mImported.With(ps.name).Add(int64(len(stored)))
 	}
 	return len(stored), nil
+}
+
+// applyDeletes lands one page's tombstones locally. Newest-wins holds
+// for deletions too: a local revision stamped after the deletion time
+// is a concurrent edit that survives (the edit will out-replicate the
+// tombstone on the next round in the other direction). Applying with
+// the original deletion time — not time.Now() — keeps that comparison
+// transitive across multi-hop topologies.
+func (e *Engine) applyDeletes(ps *peerState, deletes []storage.Change) error {
+	for _, d := range deletes {
+		local, err := e.local.GetEvent(d.UUID)
+		if err != nil {
+			// Never had it (or already deleted): nothing to drop.
+			continue
+		}
+		if local.Timestamp.Unix() > d.DeletedAt.Unix() {
+			// Concurrent local edit newer than the deletion: the edit wins.
+			e.conflictLocal.Add(1)
+			if e.mConflicts != nil {
+				e.mConflicts.With(ps.name, "local").Inc()
+			}
+			continue
+		}
+		if err := e.localDel.DeleteEventAt(d.UUID, d.DeletedAt); err != nil {
+			return fmt.Errorf("mesh: apply delete %s: %w", d.UUID, err)
+		}
+		e.deleted.Add(1)
+		if e.mDeleted != nil {
+			e.mDeleted.With(ps.name).Inc()
+		}
+	}
+	return nil
 }
 
 func (e *Engine) countErr(ps *peerState) {

@@ -18,6 +18,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
 )
@@ -29,16 +30,22 @@ type snapshotHeader struct {
 	Count   int    `json:"count"`
 }
 
-// snapshotRecord is one version-2 snapshot line: the event plus the WAL
-// sequence that installed it. Persisting the per-event seq keeps the
+// snapshotRecord is one snapshot line: the event plus the WAL sequence
+// that installed it. Persisting the per-event seq keeps the
 // ingest-sequence change log — and every replication cursor a peer
 // holds against this node — stable across a compaction + restart.
-// Version-1 snapshots carried bare event lines; they load with
-// synthesized sequences (cursors predating the change feed never
-// referenced them).
+// Version-3 snapshots additionally persist deletion tombstones as
+// event-less lines carrying the deleted UUID and deletion time, so a
+// delete survives compaction + restart instead of resurrecting from the
+// last snapshot. Version-1 snapshots carried bare event lines; they
+// load with synthesized sequences (cursors predating the change feed
+// never referenced them).
 type snapshotRecord struct {
 	Seq   uint64      `json:"seq"`
-	Event *misp.Event `json:"event"`
+	Event *misp.Event `json:"event,omitempty"`
+	// UUID and DeletedAt describe a tombstone line (Event is nil).
+	UUID      string `json:"uuid,omitempty"`
+	DeletedAt int64  `json:"deleted_at,omitempty"`
 }
 
 // parallelDecode runs decode(0..n-1) across a worker pool, joining any
@@ -85,7 +92,7 @@ func parallelDecode(n, workers int, decode func(i int) error) error {
 // the caller may run it without holding the store lock as long as the
 // map it passes is not being mutated (the compaction overlay guarantees
 // that).
-func (s *Store) writeSnapshotFile(events map[string]*storedEvent, seq uint64) error {
+func (s *Store) writeSnapshotFile(events map[string]*storedEvent, tombs map[string]tombstone, seq uint64) error {
 	tmp := filepath.Join(s.dir, snapshotFile+".tmp")
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -93,12 +100,18 @@ func (s *Store) writeSnapshotFile(events map[string]*storedEvent, seq uint64) er
 	}
 	w := bufio.NewWriterSize(f, 1<<20)
 	enc := json.NewEncoder(w)
-	err = enc.Encode(snapshotHeader{Version: 2, Seq: seq, Count: len(events)})
+	err = enc.Encode(snapshotHeader{Version: 3, Seq: seq, Count: len(events) + len(tombs)})
 	for _, se := range events {
 		if err != nil {
 			break
 		}
 		err = enc.Encode(snapshotRecord{Seq: se.seq, Event: se.event})
+	}
+	for uuid, t := range tombs {
+		if err != nil {
+			break
+		}
+		err = enc.Encode(snapshotRecord{Seq: t.seq, UUID: uuid, DeletedAt: t.at.Unix()})
 	}
 	if err == nil {
 		err = w.Flush()
@@ -168,8 +181,11 @@ func (s *Store) loadSnapshot(workers int) error {
 			recs[i] = snapshotRecord{Event: e}
 			return nil
 		}
-		if err := json.Unmarshal(lines[i], &recs[i]); err != nil || recs[i].Event == nil {
+		if err := json.Unmarshal(lines[i], &recs[i]); err != nil {
 			return fmt.Errorf("storage: decode snapshot event %d: %w", i, err)
+		}
+		if recs[i].Event == nil && (hdr.Version < 3 || recs[i].UUID == "") {
+			return fmt.Errorf("storage: decode snapshot event %d: missing event", i)
 		}
 		return nil
 	}); err != nil {
@@ -187,7 +203,13 @@ func (s *Store) loadSnapshot(workers int) error {
 	s.loading = true
 	for _, rec := range recs {
 		s.seq = rec.Seq
-		s.apply(rec.Event, rec.Seq)
+		if rec.Event != nil {
+			s.apply(rec.Event, rec.Seq)
+		} else {
+			// Version-3 tombstone line: rebuild the deletion marker in the
+			// change feed without ever having seen the event.
+			s.recordTombstone(rec.UUID, rec.Seq, time.Unix(rec.DeletedAt, 0).UTC())
+		}
 	}
 	s.loading = false
 	if hdr.Seq > s.seq {
@@ -289,7 +311,7 @@ func (s *Store) applyWALRecord(rec walRecord) error {
 			s.apply(rec.Event, rec.Seq)
 		}
 	case "delete":
-		s.applyDelete(rec.UUID)
+		s.applyDelete(rec.UUID, rec.Seq, time.Unix(rec.At, 0).UTC())
 	default:
 		return fmt.Errorf("storage: unknown wal op %q", rec.Op)
 	}

@@ -43,6 +43,10 @@ import (
 const (
 	legacyWALFile = "events.wal"
 	snapshotFile  = "snapshot.json"
+
+	// defaultTombstoneRetention bounds the deletion tombstones kept for
+	// replication (WithTombstoneRetention).
+	defaultTombstoneRetention = 1 << 16
 )
 
 // ErrNotFound is returned when the requested event does not exist.
@@ -130,6 +134,15 @@ type timeEntry struct {
 type changeEntry struct {
 	seq  uint64
 	uuid string
+	del  bool // deletion marker: the entry tombstones uuid instead of installing it
+}
+
+// tombstone records one deletion the change feed must keep visible: the
+// sequence that removed the event and the wall-clock deletion time peers
+// compare against a concurrent edit (newest wins).
+type tombstone struct {
+	seq uint64
+	at  time.Time
 }
 
 // Store is a concurrency-safe embedded event store. Construct with Open.
@@ -163,6 +176,13 @@ type Store struct {
 	// entries behind, compacted away once they outnumber the live ones.
 	changes      []changeEntry
 	staleChanges int
+
+	// tombstones maps deleted UUIDs to their deletion record while the
+	// deletion is still replicable. Bounded by tombstoneCap: once the map
+	// overflows, the oldest deletions are forgotten (a peer whose cursor
+	// predates them re-syncs from the live set instead).
+	tombstones   map[string]tombstone
+	tombstoneCap int
 
 	walOps     int // operations appended since last snapshot
 	indexing   bool
@@ -253,6 +273,20 @@ func (o blockingCompactOption) apply(s *Store) { s.blockingCompact = bool(o) }
 // as the ablation baseline for the durability benchmarks. Default off.
 func WithBlockingCompaction(enabled bool) Option { return blockingCompactOption(enabled) }
 
+type tombstoneRetentionOption int
+
+func (o tombstoneRetentionOption) apply(s *Store) {
+	if o > 0 {
+		s.tombstoneCap = int(o)
+	}
+}
+
+// WithTombstoneRetention bounds how many deletion tombstones the change
+// feed retains (default 65536). Keeping every deletion forever would
+// reintroduce the unbounded growth expiry exists to prevent; overflow
+// forgets the oldest deletions first.
+func WithTombstoneRetention(n int) Option { return tombstoneRetentionOption(n) }
+
 type metricsOption struct{ reg *obs.Registry }
 
 func (o metricsOption) apply(s *Store) { s.registerMetrics(o.reg) }
@@ -296,11 +330,14 @@ func (s *Store) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.Durability().Compactions) })
 }
 
-// walRecord is one WAL entry.
+// walRecord is one WAL entry. At carries a delete's wall-clock time
+// (Unix seconds) so the tombstone replays with its original conflict
+// timestamp; put records leave it zero.
 type walRecord struct {
 	Seq   uint64      `json:"seq"`
 	Op    string      `json:"op"` // "put" or "delete"
 	UUID  string      `json:"uuid,omitempty"`
+	At    int64       `json:"at,omitempty"`
 	Event *misp.Event `json:"event,omitempty"`
 }
 
@@ -310,13 +347,15 @@ type walRecord struct {
 // torn tail on the active segment.
 func Open(dir string, opts ...Option) (*Store, error) {
 	s := &Store{
-		dir:         dir,
-		events:      make(map[string]*storedEvent),
-		byValue:     make(map[string]*postings),
-		byType:      make(map[string]*postings),
-		byTag:       make(map[string]*postings),
-		indexing:    true,
-		segmentSize: defaultSegmentSize,
+		dir:          dir,
+		events:       make(map[string]*storedEvent),
+		byValue:      make(map[string]*postings),
+		byType:       make(map[string]*postings),
+		byTag:        make(map[string]*postings),
+		tombstones:   make(map[string]tombstone),
+		tombstoneCap: defaultTombstoneRetention,
+		indexing:     true,
+		segmentSize:  defaultSegmentSize,
 	}
 	for _, o := range opts {
 		o.apply(s)
@@ -512,19 +551,32 @@ func (s *Store) WrappedJSONFor(e *misp.Event) ([]byte, error) {
 	return misp.MarshalWrapped(e)
 }
 
-// Delete removes the event with the given UUID.
+// Delete removes the event with the given UUID, stamping the tombstone
+// with the current wall clock.
 func (s *Store) Delete(uuid string) error {
+	return s.DeleteAt(uuid, time.Now())
+}
+
+// DeleteAt removes the event with the given UUID and records at as the
+// deletion time on its tombstone. Replication uses it to re-apply a
+// peer's deletion at its original time, so newest-wins conflict
+// resolution stays transitive across hops; local deletions go through
+// Delete. The deletion lands in the WAL and the ingest-sequence change
+// log, so it survives compaction + restart and reaches every
+// replication cursor.
+func (s *Store) DeleteAt(uuid string, at time.Time) error {
+	at = at.UTC()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.lookup(uuid); !ok {
 		return fmt.Errorf("%w: %s", ErrNotFound, uuid)
 	}
 	s.seq++
-	if err := s.appendWALGroup([]walRecord{{Seq: s.seq, Op: "delete", UUID: uuid}}); err != nil {
+	if err := s.appendWALGroup([]walRecord{{Seq: s.seq, Op: "delete", UUID: uuid, At: at.Unix()}}); err != nil {
 		s.seq--
 		return err
 	}
-	s.applyDelete(uuid)
+	s.applyDelete(uuid, s.seq, at)
 	return nil
 }
 
@@ -725,6 +777,63 @@ func (s *Store) ChangesPage(afterSeq uint64, limit int) ([]*misp.Event, uint64, 
 	return out, next, more, nil
 }
 
+// Change is one entry of the tombstone-aware change feed (Changes):
+// either a live event revision or a deletion marker a replication peer
+// applies to drop its copy.
+type Change struct {
+	// Seq is the ingest sequence of the change (zero when the change was
+	// decoded from a wire page, which carries only the page cursor).
+	Seq uint64
+	// UUID identifies the event either way.
+	UUID string
+	// Event is the live revision; nil marks a deletion.
+	Event *misp.Event
+	// DeletedAt is the deletion wall time when Event is nil — the
+	// timestamp newest-wins conflict resolution compares against a
+	// concurrent edit.
+	DeletedAt time.Time
+}
+
+// Changes is ChangesPage with deletions included: up to limit entries
+// strictly after afterSeq, oldest first, where a tombstoned UUID yields
+// a deletion marker instead of being silently skipped. Replication
+// pulls this feed so deletes propagate; dashboards and exports that
+// only want live events keep using ChangesPage.
+func (s *Store) Changes(afterSeq uint64, limit int) ([]Change, uint64, bool, error) {
+	s.mu.RLock()
+	i := sort.Search(len(s.changes), func(i int) bool {
+		return s.changes[i].seq > afterSeq
+	})
+	out := make([]Change, 0, min(len(s.changes)-i, max(limit, 0)))
+	next := afterSeq
+	more := false
+	for _, ent := range s.changes[i:] {
+		if limit > 0 && len(out) == limit {
+			more = true
+			break
+		}
+		next = ent.seq
+		if ent.del {
+			if t, ok := s.tombstones[ent.uuid]; ok && t.seq == ent.seq {
+				out = append(out, Change{Seq: ent.seq, UUID: ent.uuid, DeletedAt: t.at})
+			}
+			continue
+		}
+		if se, ok := s.lookup(ent.uuid); ok && se.seq == ent.seq {
+			out = append(out, Change{Seq: ent.seq, UUID: ent.uuid, Event: se.event})
+		}
+	}
+	s.mu.RUnlock()
+	if s.cloneReads {
+		for j := range out {
+			if out[j].Event != nil {
+				out[j].Event = out[j].Event.Clone() // unlocked: ablation copies taken after the lock was released
+			}
+		}
+	}
+	return out, next, more, nil
+}
+
 // Correlated returns the UUIDs of events sharing at least one attribute
 // value with the given event — MISP's automatic correlation. With
 // indexing disabled the fallback builds a transient set of the queried
@@ -799,7 +908,7 @@ func (s *Store) Compact() error {
 			s.mu.Unlock()
 			return err
 		}
-		err := s.writeSnapshotFile(base, snapSeq)
+		err := s.writeSnapshotFile(base, s.tombstones, snapSeq)
 		var covered []string
 		if err == nil {
 			covered = s.finishCompactionLocked(snapSeq, ops, start)
@@ -810,19 +919,25 @@ func (s *Store) Compact() error {
 	}
 
 	// Capture: freeze the base map behind an empty overlay and seal the
-	// active WAL segment, all under a brief lock.
+	// active WAL segment, all under a brief lock. Tombstones are copied
+	// at capture (the live map keeps mutating while the snapshot
+	// streams); the copy is bounded by the retention cap.
 	s.mu.Lock()
 	snapSeq, base, ops := s.seq, s.events, s.walOps
 	if err := s.rotateWALLocked(snapSeq); err != nil {
 		s.mu.Unlock()
 		return err
 	}
+	tombs := make(map[string]tombstone, len(s.tombstones))
+	for uuid, t := range s.tombstones {
+		tombs[uuid] = t
+	}
 	s.overlay = make(map[string]*storedEvent)
 	s.mu.Unlock()
 
 	// Stream: base is immutable while the overlay is up — encode it
 	// record-by-record entirely outside the lock.
-	err := s.writeSnapshotFile(base, snapSeq)
+	err := s.writeSnapshotFile(base, tombs, snapSeq)
 
 	// Merge: fold the writes that happened meanwhile back into the base
 	// map and, on success, drop the WAL segments the snapshot covers.
@@ -901,6 +1016,8 @@ type DurabilityStats struct {
 	Compactions int64 `json:"compactions"`
 	// LastCompactionDuration is the wall time of the latest compaction.
 	LastCompactionDuration time.Duration `json:"last_compaction_ns"`
+	// Tombstones counts retained deletion markers in the change feed.
+	Tombstones int `json:"tombstones"`
 }
 
 // Durability returns persistence counters. All zero for a memory-only
@@ -912,6 +1029,7 @@ func (s *Store) Durability() DurabilityStats {
 		WALOps:                 s.walOps,
 		Compactions:            s.compactions,
 		LastCompactionDuration: s.lastCompactDur,
+		Tombstones:             len(s.tombstones),
 	}
 	if s.wal != nil {
 		d.WALBytes = s.wal.bytes()
@@ -960,6 +1078,15 @@ func (s *Store) appendWALGroup(recs []walRecord) error {
 // lock and must only apply ascending sequences, which keeps the change
 // log sorted.
 func (s *Store) apply(e *misp.Event, seq uint64) {
+	if t, dead := s.tombstones[e.UUID]; dead && e.Timestamp.Unix() <= t.at.Unix() {
+		// Newest-wins holds against deletions too: a write stamped at or
+		// before the deletion time is a stale revision arriving late (for
+		// example an old copy pulled off a mesh peer) and must not
+		// resurrect the tombstone. Ties go to the deletion. The skipped
+		// revision gets no change entry — the tombstone stays the UUID's
+		// latest fact in the feed.
+		return
+	}
 	old, existed := s.lookup(e.UUID)
 	if existed {
 		s.unindex(old.event)
@@ -974,13 +1101,19 @@ func (s *Store) apply(e *misp.Event, seq uint64) {
 	} else {
 		s.events[e.UUID] = se
 	}
+	if _, dead := s.tombstones[e.UUID]; dead {
+		// A re-put over a tombstoned UUID resurrects it: the deletion is
+		// no longer the latest fact, so its change entry dies.
+		delete(s.tombstones, e.UUID)
+		s.staleChanges++
+	}
 	s.index(e)
 	s.timeInsert(e.Timestamp.Time, e.UUID)
 	s.changes = append(s.changes, changeEntry{seq: seq, uuid: e.UUID})
 	s.compactChanges()
 }
 
-func (s *Store) applyDelete(uuid string) {
+func (s *Store) applyDelete(uuid string, seq uint64, at time.Time) {
 	old, existed := s.lookup(uuid)
 	if !existed {
 		return
@@ -994,7 +1127,31 @@ func (s *Store) applyDelete(uuid string) {
 	} else {
 		delete(s.events, uuid)
 	}
+	s.recordTombstone(uuid, seq, at)
 	s.compactChanges()
+}
+
+// recordTombstone appends the deletion to the change log and the
+// tombstone map, evicting the oldest tombstones past the retention cap.
+// Caller holds the write lock (or is the single-threaded loader).
+func (s *Store) recordTombstone(uuid string, seq uint64, at time.Time) {
+	s.tombstones[uuid] = tombstone{seq: seq, at: at}
+	s.changes = append(s.changes, changeEntry{seq: seq, uuid: uuid, del: true})
+	if len(s.tombstones) <= s.tombstoneCap {
+		return
+	}
+	// Prune to 3/4 of the cap so the O(n log n) sort amortizes across the
+	// next cap/4 deletions.
+	all := make([]changeEntry, 0, len(s.tombstones))
+	for u, t := range s.tombstones {
+		all = append(all, changeEntry{seq: t.seq, uuid: u})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	drop := len(all) - (s.tombstoneCap - s.tombstoneCap/4)
+	for _, ent := range all[:drop] {
+		delete(s.tombstones, ent.uuid)
+		s.staleChanges++ // the forgotten deletion's change entry is now dead
+	}
 }
 
 // compactChanges drops stale change-log entries once they outnumber the
@@ -1007,6 +1164,12 @@ func (s *Store) compactChanges() {
 	}
 	live := s.changes[:0]
 	for _, ent := range s.changes {
+		if ent.del {
+			if t, ok := s.tombstones[ent.uuid]; ok && t.seq == ent.seq {
+				live = append(live, ent)
+			}
+			continue
+		}
 		if se, ok := s.lookup(ent.uuid); ok && se.seq == ent.seq {
 			live = append(live, ent)
 		}

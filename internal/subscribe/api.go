@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"time"
 
 	"github.com/caisplatform/caisp/internal/stixpattern"
 	"github.com/caisplatform/caisp/internal/wsock"
@@ -40,10 +41,13 @@ func NewAPI(e *Engine) *API {
 // ServeHTTP implements http.Handler.
 func (a *API) ServeHTTP(w http.ResponseWriter, r *http.Request) { a.mux.ServeHTTP(w, r) }
 
-// registerRequest is the POST /subscriptions body.
+// registerRequest is the POST /subscriptions body. TTL, when present, is
+// a Go duration string ("30m", "24h"); the subscription expires that long
+// after registration.
 type registerRequest struct {
 	ClientID string `json:"client_id"`
 	Pattern  string `json:"pattern"`
+	TTL      string `json:"ttl,omitempty"`
 }
 
 // apiError is the structured error body.
@@ -73,7 +77,20 @@ func (a *API) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "missing pattern"})
 		return
 	}
-	sub, err := a.engine.Register(req.ClientID, req.Pattern)
+	var ttl time.Duration
+	if req.TTL != "" {
+		d, err := time.ParseDuration(req.TTL)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad ttl: " + err.Error()})
+			return
+		}
+		if d <= 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad ttl: must be positive"})
+			return
+		}
+		ttl = d
+	}
+	sub, err := a.engine.RegisterTTL(req.ClientID, req.Pattern, ttl)
 	if err != nil {
 		var serr *stixpattern.SyntaxError
 		var tooLarge *PatternTooLargeError

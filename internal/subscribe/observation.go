@@ -3,10 +3,10 @@ package subscribe
 import (
 	"encoding/json"
 	"strconv"
-	"strings"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/correlate"
+	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/normalize"
 	"github.com/caisplatform/caisp/internal/stixpattern"
@@ -80,17 +80,15 @@ func ObservationFromMISP(me *misp.Event, threatScore float64) stixpattern.Observ
 
 // ThreatScoreOf recovers the analyzer score written back into a stored eIoC
 // ("threat-score:0.6250" comment attribute). Returns -1, false when absent.
+// When the lifecycle engine has landed a decayed score it wins: standing
+// score-gated detections see the same freshness-adjusted value the
+// dashboard ranks by.
 func ThreatScoreOf(me *misp.Event) (float64, bool) {
-	for i := range me.Attributes {
-		a := &me.Attributes[i]
-		if a.Type != "comment" {
-			continue
-		}
-		if rest, ok := strings.CutPrefix(a.Value, "threat-score:"); ok {
-			if f, err := strconv.ParseFloat(rest, 64); err == nil {
-				return f, true
-			}
-		}
+	if f, ok := heuristic.DecayedScoreOf(me); ok {
+		return f, true
+	}
+	if f, ok := heuristic.BaseScoreOf(me); ok {
+		return f, true
 	}
 	return -1, false
 }

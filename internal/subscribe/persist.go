@@ -26,10 +26,11 @@ func WithPersistPath(path string) Option {
 
 // persistedSubscription is the sidecar record for one standing pattern.
 type persistedSubscription struct {
-	ID        string    `json:"id"`
-	ClientID  string    `json:"client_id"`
-	Pattern   string    `json:"pattern"`
-	CreatedAt time.Time `json:"created_at"`
+	ID        string     `json:"id"`
+	ClientID  string     `json:"client_id"`
+	Pattern   string     `json:"pattern"`
+	CreatedAt time.Time  `json:"created_at"`
+	ExpiresAt *time.Time `json:"expires_at,omitempty"`
 }
 
 // loadPersisted replays the sidecar into the empty engine. Entries that
@@ -54,11 +55,16 @@ func (e *Engine) loadPersisted() {
 		return
 	}
 	restored := 0
+	now := e.now().UTC()
 	for _, rec := range recs {
 		if rec.ID == "" || rec.Pattern == "" {
 			continue
 		}
-		if _, err := e.register(rec.ID, rec.CreatedAt, rec.ClientID, rec.Pattern); err != nil {
+		if rec.ExpiresAt != nil && !now.Before(*rec.ExpiresAt) {
+			// The TTL ran out while the daemon was down; don't resurrect.
+			continue
+		}
+		if _, err := e.register(rec.ID, rec.CreatedAt, rec.ExpiresAt, rec.ClientID, rec.Pattern); err != nil {
 			e.logger.Warn("subscriptions: skipped on reload",
 				"id", rec.ID, "client", rec.ClientID, "error", err)
 			continue
@@ -88,6 +94,7 @@ func (e *Engine) persist() {
 			ClientID:  sub.ClientID,
 			Pattern:   sub.Pattern,
 			CreatedAt: sub.CreatedAt,
+			ExpiresAt: sub.ExpiresAt,
 		})
 	}
 	e.mu.RUnlock()

@@ -96,6 +96,11 @@ type Subscription struct {
 	ClientID  string    `json:"client_id"`
 	Pattern   string    `json:"pattern"`
 	CreatedAt time.Time `json:"created_at"`
+	// ExpiresAt is the TTL deadline; nil means the subscription lives
+	// until explicitly unsubscribed. Past the deadline the pattern stops
+	// matching immediately (lazy skip on the hot path) and the next
+	// sweep removes it.
+	ExpiresAt *time.Time `json:"expires_at,omitempty"`
 	// Matches is the number of admitted events this subscription matched
 	// at snapshot time.
 	Matches int64 `json:"matches"`
@@ -132,6 +137,13 @@ type Engine struct {
 	candidates  *obs.Histogram
 	matchTotal  *obs.Counter
 	rejected    *obs.CounterVec
+	expiredCnt  *obs.Counter
+	// sweepEvery, when positive, starts a background goroutine that
+	// removes TTL-expired subscriptions on that cadence.
+	sweepEvery time.Duration
+	sweepStop  chan struct{}
+	sweepWG    sync.WaitGroup
+	closeOnce  sync.Once
 	// hubOpts accumulates hub options until NewEngine builds the hub.
 	hubOpts []wsock.HubOption
 	// persistPath, when non-empty, is the JSON sidecar the live pattern
@@ -169,7 +181,16 @@ func WithMetrics(reg *obs.Registry) Option {
 			"Subscription matches pushed to watchers.")
 		e.rejected = reg.CounterVec("caisp_subs_rejected_total",
 			"Registrations rejected, by reason (syntax, too_large, limit).", "reason")
+		e.expiredCnt = reg.Counter("caisp_subs_expired_total",
+			"TTL-expired subscriptions removed by the sweep.")
 	}
+}
+
+// WithSweepInterval starts a background goroutine removing TTL-expired
+// subscriptions every d. Zero (the default) leaves sweeping to explicit
+// Sweep calls; expired patterns stop matching immediately either way.
+func WithSweepInterval(d time.Duration) Option {
+	return func(e *Engine) { e.sweepEvery = d }
 }
 
 // WithHubMetrics additionally registers the match hub's caisp_wsock_*
@@ -238,11 +259,38 @@ func NewEngine(opts ...Option) *Engine {
 	hubOpts := append([]wsock.HubOption{wsock.WithQueueDepth(DefaultMatchQueueDepth)}, e.hubOpts...)
 	e.hub = wsock.NewHub(hubOpts...)
 	e.loadPersisted()
+	if e.sweepEvery > 0 {
+		e.sweepStop = make(chan struct{})
+		e.sweepWG.Add(1)
+		go e.sweepLoop()
+	}
 	return e
 }
 
-// Close shuts down the match-push hub.
-func (e *Engine) Close() { e.hub.Close() }
+func (e *Engine) sweepLoop() {
+	defer e.sweepWG.Done()
+	t := time.NewTicker(e.sweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			e.Sweep()
+		case <-e.sweepStop:
+			return
+		}
+	}
+}
+
+// Close stops the expiry sweeper and shuts down the match-push hub.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		if e.sweepStop != nil {
+			close(e.sweepStop)
+			e.sweepWG.Wait()
+		}
+		e.hub.Close()
+	})
+}
 
 // AddWatcher attaches a WebSocket connection to the match stream.
 func (e *Engine) AddWatcher(c *wsock.Conn) { e.hub.Add(c) }
@@ -258,7 +306,19 @@ func (e *Engine) Len() int { return int(e.count.Load()) }
 
 // Register parses, validates, indexes and stores a pattern for clientID.
 func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
-	sub, err := e.register(uuid.NewV4().String(), time.Time{}, clientID, pattern)
+	return e.RegisterTTL(clientID, pattern, 0)
+}
+
+// RegisterTTL is Register with a bounded lifetime: the subscription
+// expires ttl after registration, at which point it stops matching and
+// the next sweep removes it. A ttl of zero or less means no expiry.
+func (e *Engine) RegisterTTL(clientID, pattern string, ttl time.Duration) (*Subscription, error) {
+	var expiresAt *time.Time
+	if ttl > 0 {
+		t := e.now().UTC().Add(ttl)
+		expiresAt = &t
+	}
+	sub, err := e.register(uuid.NewV4().String(), time.Time{}, expiresAt, clientID, pattern)
 	if err != nil {
 		return nil, err
 	}
@@ -270,7 +330,7 @@ func (e *Engine) Register(clientID, pattern string) (*Subscription, error) {
 // loader replays saved subscriptions through it with their original IDs
 // and creation stamps so client-held handles stay valid across restarts.
 // A zero createdAt means "now".
-func (e *Engine) register(id string, createdAt time.Time, clientID, pattern string) (*Subscription, error) {
+func (e *Engine) register(id string, createdAt time.Time, expiresAt *time.Time, clientID, pattern string) (*Subscription, error) {
 	if clientID == "" {
 		clientID = "default"
 	}
@@ -300,6 +360,7 @@ func (e *Engine) register(id string, createdAt time.Time, clientID, pattern stri
 			ClientID:  clientID,
 			Pattern:   pattern,
 			CreatedAt: createdAt,
+			ExpiresAt: expiresAt,
 		},
 		parsed:  parsed,
 		eqKeys:  eqKeys,
@@ -328,6 +389,43 @@ func (e *Engine) register(id string, createdAt time.Time, clientID, pattern stri
 	cl[sub.ID] = sub
 	e.count.Add(1)
 	return sub.snapshot(), nil
+}
+
+// expiredAt reports whether the subscription's TTL deadline has passed.
+func (s *subscription) expiredAt(now time.Time) bool {
+	return s.ExpiresAt != nil && !now.Before(*s.ExpiresAt)
+}
+
+// Sweep removes every TTL-expired subscription and returns how many it
+// dropped. Expired patterns already stop matching before the sweep (the
+// hot path skips them), so the sweep only reclaims index and map space.
+func (e *Engine) Sweep() int {
+	now := e.now().UTC()
+	e.mu.RLock()
+	var doomed []string
+	for id, sub := range e.subs {
+		if sub.expiredAt(now) {
+			doomed = append(doomed, id)
+		}
+	}
+	e.mu.RUnlock()
+	if len(doomed) == 0 {
+		return 0
+	}
+	n := 0
+	for _, id := range doomed {
+		if e.unsubscribe(id) == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		if e.expiredCnt != nil {
+			e.expiredCnt.Add(int64(n))
+		}
+		e.logger.Info("subscriptions expired", "count", n)
+		e.persist()
+	}
+	return n
 }
 
 // Unsubscribe removes a subscription and its index entries.
@@ -471,12 +569,16 @@ func (e *Engine) Evaluate(o stixpattern.Observation) []Match {
 	}
 	start := time.Now()
 	e.evaluated.Add(1)
+	now := e.now()
 
 	var out []Match
 	ncand := 0
 	e.mu.RLock()
 	if e.linear {
 		for _, sub := range e.subs {
+			if sub.expiredAt(now) {
+				continue
+			}
 			ncand++
 			if ok, err := sub.parsed.MatchOne(o); err == nil && ok {
 				sub.matched.Add(1)
@@ -491,8 +593,11 @@ func (e *Engine) Evaluate(o stixpattern.Observation) []Match {
 					continue
 				}
 				seen[slot] = struct{}{}
-				ncand++
 				sub := e.slots[slot]
+				if sub.expiredAt(now) {
+					continue
+				}
+				ncand++
 				if ok, err := sub.parsed.MatchOne(o); err == nil && ok {
 					sub.matched.Add(1)
 					out = append(out, Match{SubscriptionID: sub.ID, ClientID: sub.ClientID, Pattern: sub.Pattern})

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/storage"
 )
 
 // defaultRequestTimeout bounds each request issued by a Client when the
@@ -204,6 +205,54 @@ func (c *Client) ChangesPage(ctx context.Context, afterSeq uint64, limit int) ([
 		return nil, afterSeq, false, fmt.Errorf("tip: bad %s header %q", SeqHeader, hdr.Get(SeqHeader))
 	}
 	return unwrap(wrapped), next, hdr.Get(MoreHeader) == "true", nil
+}
+
+// changeItem decodes one change-page element: a wrapped event or an
+// EventTombstone deletion marker.
+type changeItem struct {
+	Event          *misp.Event    `json:"Event"`
+	EventTombstone *wireTombstone `json:"EventTombstone"`
+}
+
+// Changes is ChangesPage with deletions included: tombstone items on
+// the page decode into event-less storage.Change entries carrying the
+// deleted UUID and deletion time. Wire items carry no per-entry
+// sequence, so Change.Seq is zero; the page cursor rides in the
+// returned next sequence as usual.
+func (c *Client) Changes(ctx context.Context, afterSeq uint64, limit int) ([]storage.Change, uint64, bool, error) {
+	q := url.Values{}
+	if afterSeq > 0 {
+		q.Set("after", strconv.FormatUint(afterSeq, 10))
+	}
+	if limit > 0 {
+		q.Set("limit", strconv.Itoa(limit))
+	}
+	path := "/events/changes"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	var items []changeItem
+	hdr, err := c.doHeader(ctx, http.MethodGet, path, nil, &items)
+	if err != nil {
+		return nil, afterSeq, false, err
+	}
+	next, err := strconv.ParseUint(hdr.Get(SeqHeader), 10, 64)
+	if err != nil {
+		return nil, afterSeq, false, fmt.Errorf("tip: bad %s header %q", SeqHeader, hdr.Get(SeqHeader))
+	}
+	out := make([]storage.Change, 0, len(items))
+	for _, item := range items {
+		switch {
+		case item.Event != nil:
+			out = append(out, storage.Change{UUID: item.Event.UUID, Event: item.Event})
+		case item.EventTombstone != nil && item.EventTombstone.UUID != "":
+			out = append(out, storage.Change{
+				UUID:      item.EventTombstone.UUID,
+				DeletedAt: time.Unix(item.EventTombstone.DeletedAt, 0).UTC(),
+			})
+		}
+	}
+	return out, next, hdr.Get(MoreHeader) == "true", nil
 }
 
 // EventsSince lists events updated at or after t, paging through the

@@ -176,10 +176,26 @@ func (a *API) handleListEvents(w http.ResponseWriter, r *http.Request) {
 	a.writeEventList(w, r, events)
 }
 
+// wireTombstone is the deletion item on GET /events/changes pages: the
+// tombstoned UUID plus the deletion wall time (Unix seconds) importers
+// compare against a concurrent edit. It rides under an "EventTombstone"
+// key, so clients predating tombstones decode it as a wrapped item with
+// a nil Event and skip it.
+type wireTombstone struct {
+	UUID      string `json:"uuid"`
+	DeletedAt int64  `json:"deleted_at"`
+}
+
+// wireTombstoneItem is one tombstone element of a change-page array.
+type wireTombstoneItem struct {
+	EventTombstone wireTombstone `json:"EventTombstone"`
+}
+
 // handleListChanges serves the ingest-sequence change feed the mesh
 // replicates over: GET /events/changes?after=<seq>&limit=<n>. The
 // response carries the resume sequence in SeqHeader and the usual
-// MoreHeader pagination flag.
+// MoreHeader pagination flag. Page items are either wrapped events or
+// EventTombstone deletion markers.
 func (a *API) handleListChanges(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	var after uint64
@@ -203,14 +219,35 @@ func (a *API) handleListChanges(w http.ResponseWriter, r *http.Request) {
 	if limit > maxPageLimit {
 		limit = maxPageLimit
 	}
-	events, next, more, err := a.service.ChangesPage(after, limit)
+	changes, next, more, err := a.service.Changes(after, limit)
 	if err != nil {
 		httpError(w, http.StatusInternalServerError, err.Error())
 		return
 	}
 	w.Header().Set(SeqHeader, strconv.FormatUint(next, 10))
 	w.Header().Set(MoreHeader, strconv.FormatBool(more))
-	a.writeEventList(w, r, events)
+	var buf bytes.Buffer
+	buf.WriteByte('[')
+	for i, c := range changes {
+		var data []byte
+		var err error
+		if c.Event != nil {
+			data, err = a.service.WrappedJSONFor(c.Event)
+		} else {
+			data, err = json.Marshal(wireTombstoneItem{EventTombstone: wireTombstone{
+				UUID: c.UUID, DeletedAt: c.DeletedAt.Unix()}})
+		}
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		buf.Write(data)
+	}
+	buf.WriteString("]\n")
+	a.writeListBuffer(w, r, &buf)
 }
 
 func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
@@ -358,6 +395,12 @@ func (a *API) writeEventList(w http.ResponseWriter, r *http.Request, events []*m
 		buf.Write(data)
 	}
 	buf.WriteString("]\n")
+	a.writeListBuffer(w, r, &buf)
+}
+
+// writeListBuffer flushes an assembled JSON list, gzip-compressing
+// payloads above gzipMinBytes when the request allows it.
+func (a *API) writeListBuffer(w http.ResponseWriter, r *http.Request, buf *bytes.Buffer) {
 	w.Header().Set("Content-Type", "application/json")
 	if buf.Len() >= gzipMinBytes && acceptsGzip(r) {
 		w.Header().Set("Content-Encoding", "gzip")

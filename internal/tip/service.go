@@ -177,9 +177,18 @@ func (s *Service) WrappedJSONFor(e *misp.Event) ([]byte, error) {
 	return s.store.WrappedJSONFor(e)
 }
 
-// DeleteEvent removes one event by UUID.
+// DeleteEvent removes one event by UUID. The deletion tombstones the
+// UUID in the change feed, so replication peers drop their copies too.
 func (s *Service) DeleteEvent(uuid string) error {
 	return s.store.Delete(uuid)
+}
+
+// DeleteEventAt removes one event, recording at as the deletion time on
+// its tombstone — the entry point replication uses to re-apply a peer's
+// deletion at its original time so newest-wins stays transitive across
+// mesh hops.
+func (s *Service) DeleteEventAt(uuid string, at time.Time) error {
+	return s.store.DeleteAt(uuid, at)
 }
 
 // SearchQuery selects events; zero fields are ignored, set fields AND.
@@ -265,6 +274,13 @@ func (s *Service) ChangesPage(afterSeq uint64, limit int) ([]*misp.Event, uint64
 	return s.store.ChangesPage(afterSeq, limit)
 }
 
+// Changes is ChangesPage with deletions included: tombstoned UUIDs
+// yield deletion markers so a replication peer can drop its copy
+// instead of keeping a resurrected revision forever.
+func (s *Service) Changes(afterSeq uint64, limit int) ([]storage.Change, uint64, bool, error) {
+	return s.store.Changes(afterSeq, limit)
+}
+
 // Len reports the number of stored events.
 func (s *Service) Len() int { return s.store.Len() }
 
@@ -277,6 +293,8 @@ type Stats struct {
 	WALBytes    int64  `json:"wal_bytes"`
 	WALSegments int    `json:"wal_segments"`
 	Compactions int64  `json:"compactions"`
+	// Tombstones counts retained deletion markers in the change feed.
+	Tombstones int `json:"tombstones"`
 	// LastCompactionMS is the wall time of the latest snapshot in
 	// milliseconds (0 when none ran yet).
 	LastCompactionMS float64 `json:"last_compaction_ms"`
@@ -297,6 +315,7 @@ func (s *Service) Stats() Stats {
 		WALBytes:         d.WALBytes,
 		WALSegments:      d.WALSegments,
 		Compactions:      d.Compactions,
+		Tombstones:       d.Tombstones,
 		LastCompactionMS: float64(d.LastCompactionDuration) / float64(time.Millisecond),
 	}
 	if s.broker != nil {
