@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs bench-mesh bench-lifecycle wsload-smoke subload-smoke meshload-smoke lifeload-smoke vet copyfree metrics-lint check
+.PHONY: build test race bench bench-read bench-durability bench-correlate bench-obs bench-fanout bench-subs bench-mesh bench-lifecycle wsload-smoke subload-smoke meshload-smoke lifeload-smoke obs-smoke vet copyfree metrics-lint check
 
 build:
 	$(GO) build ./...
@@ -84,6 +84,34 @@ lifeload-smoke:
 meshload-smoke:
 	$(GO) run ./cmd/meshload -nodes 3 -topology ring -events 600 -interval 15ms -drain 30s
 
+# Observability smoke: boot caispd on scratch ports and assert every
+# probe surface answers — /healthz (live), /readyz (ready with an "ok"
+# verdict), /cluster/status (fleet-view payload with the node's role)
+# and /metrics (build info present). Exits nonzero when the daemon does
+# not come up within 15s or any probe fails.
+obs-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	$(GO) build -o $$tmp/caispd ./cmd/caispd; \
+	$$tmp/caispd -dashboard 127.0.0.1:18450 -tip 127.0.0.1:18440 -taxii '' -node smoke >$$tmp/log 2>&1 & \
+	pid=$$!; \
+	trap "kill $$pid 2>/dev/null; rm -rf $$tmp" EXIT; \
+	up=''; \
+	for i in $$(seq 1 150); do \
+		if curl -fsS http://127.0.0.1:18450/healthz >/dev/null 2>&1; then up=1; break; fi; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$up" ] || { echo 'obs-smoke: caispd did not come up'; cat $$tmp/log; exit 1; }; \
+	curl -fsS http://127.0.0.1:18450/healthz | grep ok >/dev/null \
+		|| { echo 'obs-smoke: /healthz failed'; exit 1; }; \
+	curl -fsS http://127.0.0.1:18450/readyz | grep '"status":"ok"' >/dev/null \
+		|| { echo 'obs-smoke: /readyz not ready'; exit 1; }; \
+	curl -fsS http://127.0.0.1:18450/cluster/status | grep '"role":"caispd"' >/dev/null \
+		|| { echo 'obs-smoke: /cluster/status failed'; exit 1; }; \
+	curl -fsS http://127.0.0.1:18450/metrics | grep 'caisp_build_info' >/dev/null \
+		|| { echo 'obs-smoke: /metrics missing build info'; exit 1; }; \
+	echo 'obs-smoke: /healthz /readyz /cluster/status /metrics OK'
+
 vet:
 	$(GO) vet ./...
 
@@ -121,10 +149,13 @@ metrics-lint:
 		caisp_mesh_pages_total caisp_mesh_events_pulled_total caisp_mesh_events_imported_total caisp_mesh_echo_suppressed_total \
 		caisp_mesh_conflicts_total caisp_mesh_lag_seconds caisp_mesh_sync_seconds caisp_mesh_deletes_applied_total \
 		caisp_lifecycle_rescored_total caisp_lifecycle_expired_total caisp_lifecycle_sighting_refreshes_total \
-		caisp_lifecycle_scan_seconds caisp_lifecycle_tracked; do \
+		caisp_lifecycle_scan_seconds caisp_lifecycle_tracked \
+		caisp_mesh_last_success_unix_seconds caisp_mesh_hop_latency_seconds caisp_mesh_replication_seconds \
+		caisp_health_status caisp_health_check_status \
+		caisp_build_info caisp_go_goroutines caisp_go_heap_bytes; do \
 		echo "$$names" | grep -qx "\"$$want\"" || { \
 			echo "metrics-lint: required metric $$want is not registered"; exit 1; }; \
 	done; \
 	echo "metrics-lint: $$(echo "$$names" | wc -l) metric name literals OK"
 
-check: vet build test race copyfree metrics-lint wsload-smoke subload-smoke meshload-smoke lifeload-smoke
+check: vet build test race copyfree metrics-lint obs-smoke wsload-smoke subload-smoke meshload-smoke lifeload-smoke

@@ -23,9 +23,20 @@ import (
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/normalize"
 	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/obs/health"
 	"github.com/caisplatform/caisp/internal/report"
 	"github.com/caisplatform/caisp/internal/sessions"
 	"github.com/caisplatform/caisp/internal/tip"
+)
+
+// Health thresholds: the compaction backlog degrades once the WAL holds
+// ten uncompacted trigger-intervals (the background compactor has fallen
+// far behind), and the dashboard hub degrades when its deepest client
+// queue passes 90% — the next broadcast starts evicting slow clients.
+const (
+	healthMaxWALBacklog   = 50000
+	healthMaxHubFill      = 0.9
+	healthLifecycleWithin = 5 * time.Minute
 )
 
 func main() {
@@ -47,11 +58,12 @@ func main() {
 		lcOff     = flag.Bool("no-lifecycle", false, "disable decay-driven re-scoring and expiry (store grows without bound)")
 		lcEvery   = flag.Duration("lifecycle-interval", 0, "cadence of the background re-score batch (0 = engine default)")
 		lcFloor   = flag.Float64("lifecycle-floor", 0, "expire indicators once their decayed score falls to this (0 = engine default)")
+		nodeName  = flag.String("node", "", "node name in provenance and the fleet view (empty = caisp)")
 	)
 	flag.Parse()
 	if err := run(*dashAddr, *tipAddr, *taxiiAddr, *dataDir, *invPath, *feedDir,
 		*seed, *items, *interval, *apiKey, *alarmLog, *sessLog, *pprof, *slowOp,
-		*lcOff, *lcEvery, *lcFloor); err != nil {
+		*lcOff, *lcEvery, *lcFloor, *nodeName); err != nil {
 		fmt.Fprintln(os.Stderr, "caispd:", err)
 		os.Exit(1)
 	}
@@ -59,7 +71,8 @@ func main() {
 
 func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	seed int64, items int, interval time.Duration, apiKey, alarmLog, sessLog string,
-	pprof bool, slowOp time.Duration, lcOff bool, lcEvery time.Duration, lcFloor float64) error {
+	pprof bool, slowOp time.Duration, lcOff bool, lcEvery time.Duration, lcFloor float64,
+	nodeName string) error {
 	var inventory *infra.Inventory
 	if invPath != "" {
 		raw, err := os.ReadFile(invPath)
@@ -79,6 +92,7 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 
 	platform, err := core.New(core.Config{
 		DataDir:           dataDir,
+		NodeName:          nodeName,
 		Inventory:         inventory,
 		Feeds:             feeds,
 		ShareTAXII:        taxiiAddr != "",
@@ -91,6 +105,9 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 		return err
 	}
 	defer platform.Close()
+	obs.RegisterBuildInfo(platform.Metrics())
+	obs.RegisterRuntime(platform.Metrics())
+	checks := buildHealth(platform, dataDir)
 
 	if alarmLog != "" {
 		if err := ingestAlarms(platform, alarmLog); err != nil {
@@ -110,7 +127,7 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 	}
 
 	servers := []*http.Server{
-		{Addr: dashAddr, Handler: withReport(platform, pprof)},
+		{Addr: dashAddr, Handler: withReport(platform, checks, pprof)},
 		{Addr: tipAddr, Handler: tip.NewAPI(platform.TIP(), apiKey)},
 	}
 	fmt.Printf("dashboard:  http://localhost%s\n", dashAddr)
@@ -158,7 +175,7 @@ func run(dashAddr, tipAddr, taxiiAddr, dataDir, invPath, feedDir string,
 // otherwise silent; /metrics serves the same values (and the latency
 // histograms) in Prometheus text format, and /debug/traces the slowest
 // end-to-end IoC journeys with per-stage breakdowns.
-func withReport(platform *core.Platform, pprof bool) http.Handler {
+func withReport(platform *core.Platform, checks *health.Registry, pprof bool) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /report", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/markdown; charset=utf-8")
@@ -170,11 +187,47 @@ func withReport(platform *core.Platform, pprof bool) http.Handler {
 	})
 	mux.Handle("GET /metrics", platform.Metrics().Handler())
 	mux.Handle("GET /debug/traces", platform.Tracer().Handler())
+	mux.Handle("GET /healthz", checks.Liveness())
+	mux.Handle("GET /readyz", checks.Readiness())
+	mux.Handle("GET /cluster/status", health.StatusHandler(func() health.NodeStatus {
+		d := platform.Durability()
+		return health.NodeStatus{
+			Node:     platform.NodeName(),
+			Role:     "caispd",
+			StoreSeq: platform.TIP().StoreSeq(),
+			Events:   platform.TIP().Len(),
+			WALOps:   d.WALOps,
+			// The store sequence advances on every put/edit/delete, so it
+			// doubles as the monotonic ingest counter caisp-top
+			// differentiates into a rate.
+			IngestTotal: int64(platform.TIP().StoreSeq()),
+			Clients:     platform.Dashboard().ClientCount(),
+			Health:      checks.Evaluate(),
+		}
+	}))
 	if pprof {
 		obs.RegisterPprof(mux)
 	}
 	mux.Handle("/", platform.Dashboard())
 	return mux
+}
+
+// buildHealth assembles caispd's component checks: WAL writability
+// (liveness — a node that cannot commit must restart), compaction
+// backlog, lifecycle-scheduler progress and dashboard hub saturation
+// (readiness — degraded but alive).
+func buildHealth(platform *core.Platform, dataDir string) *health.Registry {
+	checks := health.New(platform.Metrics())
+	checks.Register("wal_writable", health.DirWritable(dataDir))
+	checks.Register("compaction_backlog", health.Max("wal ops since snapshot",
+		func() float64 { return float64(platform.Durability().WALOps) }, healthMaxWALBacklog))
+	if lc := platform.Lifecycle(); lc != nil {
+		checks.Register("lifecycle_progress", health.Progress(
+			func() int64 { return int64(lc.Stats().Passes) }, healthLifecycleWithin, nil))
+	}
+	checks.Register("hub_saturation", health.Max("dashboard hub queue fill",
+		platform.Dashboard().HubSaturation, healthMaxHubFill))
+	return checks
 }
 
 // ingestAlarms replays a syslog-style alert file into the collector.

@@ -129,7 +129,7 @@ func TestWithReportEndpoint(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer platform.Close()
-	srv := httptest.NewServer(withReport(platform, true))
+	srv := httptest.NewServer(withReport(platform, buildHealth(platform, ""), true))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/report")
@@ -156,10 +156,13 @@ func TestWithReportEndpoint(t *testing.T) {
 
 	// The observability surfaces are mounted next to it.
 	for path, wantBody := range map[string]string{
-		"/metrics":      "# TYPE caisp_",
-		"/debug/traces": "[",
-		"/debug/pprof/": "profiles",
-		"/stats":        "events_collected",
+		"/metrics":        "# TYPE caisp_",
+		"/debug/traces":   "[",
+		"/debug/pprof/":   "profiles",
+		"/stats":          "events_collected",
+		"/healthz":        "ok",
+		"/readyz":         `"status":"ok"`,
+		"/cluster/status": `"role":"caispd"`,
 	} {
 		r, err := http.Get(srv.URL + path)
 		if err != nil {

@@ -11,12 +11,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"github.com/caisplatform/caisp/internal/heuristic"
 	"github.com/caisplatform/caisp/internal/infra"
 	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/obs/health"
 	"github.com/caisplatform/caisp/internal/tip"
 	"github.com/caisplatform/caisp/internal/worker"
 )
@@ -24,6 +26,20 @@ import (
 // drainDeadline bounds how long shutdown waits for the analyzer shards
 // to drain their queues after the bus subscription closes.
 const drainDeadline = 5 * time.Second
+
+// busStableCheck degrades while the bus subscription is flapping: a
+// reconnect since the previous evaluation means the publish socket
+// dropped us at least once in the interval.
+func busStableCheck(w *worker.Worker) health.Check {
+	var lastReconnects atomic.Int64 // evaluations may run concurrently (probe + scrape)
+	return func() health.Result {
+		n := int64(w.Stats().Reconnect)
+		if prev := lastReconnects.Swap(n); n > prev {
+			return health.Degradedf(fmt.Sprintf("bus reconnecting (%d reconnects total)", n))
+		}
+		return health.Pass()
+	}
+}
 
 func main() {
 	var (
@@ -33,15 +49,16 @@ func main() {
 		invPath = flag.String("inventory", "", "inventory JSON (empty = paper's Table III inventory)")
 		obsAddr = flag.String("metrics", "", "observability listen address serving /metrics (empty disables)")
 		pprofOn = flag.Bool("pprof", false, "expose pprof profiles under /debug/pprof/ on the metrics address")
+		node    = flag.String("node", "heuristicd", "node name in the fleet status view")
 	)
 	flag.Parse()
-	if err := run(*busAddr, *tipURL, *apiKey, *invPath, *obsAddr, *pprofOn); err != nil {
+	if err := run(*busAddr, *tipURL, *apiKey, *invPath, *obsAddr, *node, *pprofOn); err != nil {
 		fmt.Fprintln(os.Stderr, "heuristicd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(busAddr, tipURL, apiKey, invPath, obsAddr string, pprofOn bool) error {
+func run(busAddr, tipURL, apiKey, invPath, obsAddr, node string, pprofOn bool) error {
 	inventory := infra.PaperInventory()
 	if invPath != "" {
 		raw, err := os.ReadFile(invPath)
@@ -58,9 +75,12 @@ func run(busAddr, tipURL, apiKey, invPath, obsAddr string, pprofOn bool) error {
 		return err
 	}
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntime(reg)
+	client := tip.NewClient(tipURL, apiKey)
 	w, err := worker.New(worker.Config{
 		BusAddr:   busAddr,
-		TIP:       tip.NewClient(tipURL, apiKey),
+		TIP:       client,
 		Collector: collector,
 		Metrics:   reg,
 		RIoCSink: func(r heuristic.RIoC) {
@@ -71,10 +91,36 @@ func run(busAddr, tipURL, apiKey, invPath, obsAddr string, pprofOn bool) error {
 		return err
 	}
 
+	// Health: the worker is ready when its upstream TIP answers and the
+	// bus subscription is not flapping. Both degrade readiness — the
+	// process itself stays live so the orchestrator does not restart it
+	// while the TIP recovers.
+	checks := health.New(reg)
+	checks.Register("tip_reachable", func() health.Result {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		if _, err := client.Stats(ctx); err != nil {
+			return health.Degradedf(fmt.Sprintf("tip unreachable: %v", err))
+		}
+		return health.Pass()
+	})
+	checks.Register("bus_stable", busStableCheck(w))
+
 	var obsSrv *http.Server
 	if obsAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", reg.Handler())
+		mux.Handle("GET /healthz", checks.Liveness())
+		mux.Handle("GET /readyz", checks.Readiness())
+		mux.Handle("GET /cluster/status", health.StatusHandler(func() health.NodeStatus {
+			st := w.Stats()
+			return health.NodeStatus{
+				Node:        node,
+				Role:        "heuristicd",
+				IngestTotal: int64(st.Received),
+				Health:      checks.Evaluate(),
+			}
+		}))
 		if pprofOn {
 			obs.RegisterPprof(mux)
 		}

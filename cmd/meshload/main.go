@@ -37,9 +37,12 @@ import (
 	"strings"
 	"time"
 
+	"encoding/json"
+
 	"github.com/caisplatform/caisp/internal/mesh"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/obs/health"
 	"github.com/caisplatform/caisp/internal/storage"
 	"github.com/caisplatform/caisp/internal/tip"
 )
@@ -55,6 +58,7 @@ type options struct {
 	crash    bool
 	drain    time.Duration
 	latency  time.Duration
+	hold     time.Duration
 }
 
 func main() {
@@ -69,6 +73,7 @@ func main() {
 	flag.BoolVar(&o.crash, "crash", true, "crash/restart one node mid-ingest (ring/star/full)")
 	flag.DurationVar(&o.drain, "drain", 60*time.Second, "max wait for convergence")
 	flag.DurationVar(&o.latency, "latency", 0, "simulated one-way link latency added to every API request (WAN model)")
+	flag.DurationVar(&o.hold, "hold", 0, "keep the mesh serving after the run for this long (point caisp-top at the printed endpoints)")
 	flag.Parse()
 	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "meshload:", err)
@@ -98,10 +103,13 @@ func (n *node) start() error {
 	if err != nil {
 		return err
 	}
+	name := fmt.Sprintf("node%d", n.idx)
 	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg)
+	prov := obs.NewProvTable(obs.DefaultProvCap)
 	n.store = store
-	n.svc = tip.NewService(store, tip.WithName(fmt.Sprintf("node%d", n.idx)),
-		tip.WithMetrics(reg))
+	n.svc = tip.NewService(store, tip.WithName(name),
+		tip.WithMetrics(reg), tip.WithProvenance(prov))
 
 	var ln net.Listener
 	for i := 0; ; i++ {
@@ -120,8 +128,52 @@ func (n *node) start() error {
 	}
 	n.addr = ln.Addr().String()
 
+	meshOpts := []mesh.Option{
+		mesh.WithInterval(n.opts.interval),
+		mesh.WithBackoff(n.opts.interval, 20*n.opts.interval),
+		mesh.WithPageSize(n.opts.page, mesh.DefaultMaxPage),
+		mesh.WithMetrics(reg),
+		mesh.WithProvenance(name, prov),
+		mesh.WithTracer(tracer),
+	}
+	if n.opts.serial {
+		meshOpts = append(meshOpts, mesh.WithSerialSync())
+	}
+	engine, err := mesh.New(n.svc, n.peers,
+		mesh.NewFileCursors(filepath.Join(n.dir, "mesh-cursors.json")), meshOpts...)
+	if err != nil {
+		ln.Close()
+		return err
+	}
+	n.engine = engine
+
+	// Each node carries the full observability surface the daemons do,
+	// so caisp-top and the acceptance checks drive the real endpoints.
+	checks := health.New(reg)
+	checks.Register("wal_writable", health.DirWritable(n.dir))
+	staleAfter := 40 * n.opts.interval
+	if staleAfter < 2*time.Second {
+		staleAfter = 2 * time.Second
+	}
+	checks.Register("mesh_peers", mesh.PeersCheck(engine, staleAfter))
+
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/traces", tracer.Handler())
+	mux.Handle("GET /healthz", checks.Liveness())
+	mux.Handle("GET /readyz", checks.Readiness())
+	mux.Handle("GET /cluster/status", health.StatusHandler(func() health.NodeStatus {
+		return health.NodeStatus{
+			Node:        name,
+			Role:        "meshload",
+			StoreSeq:    n.svc.StoreSeq(),
+			Events:      n.svc.Len(),
+			WALOps:      n.store.Durability().WALOps,
+			IngestTotal: int64(n.svc.StoreSeq()),
+			Peers:       engine.PeerInfos(),
+			Health:      checks.Evaluate(),
+		}
+	}))
 	mux.Handle("/", tip.NewAPI(n.svc, ""))
 	var handler http.Handler = mux
 	if n.opts.latency > 0 {
@@ -137,21 +189,6 @@ func (n *node) start() error {
 	n.srv = &http.Server{Handler: handler}
 	go n.srv.Serve(ln)
 
-	meshOpts := []mesh.Option{
-		mesh.WithInterval(n.opts.interval),
-		mesh.WithBackoff(n.opts.interval, 20*n.opts.interval),
-		mesh.WithPageSize(n.opts.page, mesh.DefaultMaxPage),
-		mesh.WithMetrics(reg),
-	}
-	if n.opts.serial {
-		meshOpts = append(meshOpts, mesh.WithSerialSync())
-	}
-	engine, err := mesh.New(n.svc, n.peers,
-		mesh.NewFileCursors(filepath.Join(n.dir, "mesh-cursors.json")), meshOpts...)
-	if err != nil {
-		return err
-	}
-	n.engine = engine
 	if !n.noPoll {
 		engine.Start()
 	}
@@ -260,9 +297,18 @@ func run(o options) error {
 		o.nodes, o.topology, o.events, o.interval, o.serial, o.crash)
 
 	if o.topology == "fanin" {
-		return runFanin(o, nodes)
+		err = runFanin(o, nodes)
+	} else {
+		err = runConvergence(o, nodes)
 	}
-	return runConvergence(o, nodes)
+	if err == nil && o.hold > 0 {
+		fmt.Printf("holding the mesh for %s; fleet endpoints:\n", o.hold)
+		for _, n := range nodes {
+			fmt.Printf("  -node node%d=http://%s\n", n.idx, n.addr)
+		}
+		time.Sleep(o.hold)
+	}
+	return err
 }
 
 // runConvergence sustains ingest at node 0, crash/restarts a follower
@@ -340,7 +386,53 @@ func runConvergence(o options, nodes []*node) error {
 		return fmt.Errorf("echo amplification: %d re-imports after convergence", after-before)
 	}
 	fmt.Println("steady state: zero re-imports after convergence (echo suppression holds)")
+	if o.topology == "ring" {
+		if err := checkProvenance(nodes); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// checkProvenance asserts cross-node trace propagation on the ring: the
+// terminal node (deepest in the pull chain from node 0) must expose, on
+// its real /debug/traces endpoint, an import record originating at
+// node0 whose hop list walks the intermediate nodes. This is the
+// multi-hop acceptance check — it fails if any hop on the way dropped
+// or re-originated the provenance.
+func checkProvenance(nodes []*node) error {
+	term := nodes[len(nodes)-1]
+	resp, err := http.Get("http://" + term.addr + "/debug/traces")
+	if err != nil {
+		return fmt.Errorf("provenance: %w", err)
+	}
+	defer resp.Body.Close()
+	var records []struct {
+		Origin string `json:"origin"`
+		Hops   []struct {
+			Node string `json:"node"`
+		} `json:"hops"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&records); err != nil {
+		return fmt.Errorf("provenance: decode traces: %w", err)
+	}
+	wantHops := len(nodes) - 1 // 0→1→…→N-1 on the pull ring
+	best := 0
+	for _, r := range records {
+		if r.Origin != "node0" {
+			continue
+		}
+		if len(r.Hops) > best {
+			best = len(r.Hops)
+		}
+		if len(r.Hops) == wantHops && r.Hops[len(r.Hops)-1].Node == term.svc.Name() {
+			fmt.Printf("provenance: terminal node%d sees origin=node0 across %d hops\n",
+				term.idx, len(r.Hops))
+			return nil
+		}
+	}
+	return fmt.Errorf("provenance: no %d-hop trace from node0 on node%d's /debug/traces (deepest seen: %d)",
+		wantHops, term.idx, best)
 }
 
 // runFanin preloads every producer, then measures one cold node draining

@@ -25,6 +25,7 @@ import (
 	"github.com/caisplatform/caisp/internal/mesh"
 	"github.com/caisplatform/caisp/internal/misp"
 	"github.com/caisplatform/caisp/internal/obs"
+	"github.com/caisplatform/caisp/internal/obs/health"
 	"github.com/caisplatform/caisp/internal/storage"
 	"github.com/caisplatform/caisp/internal/subscribe"
 	"github.com/caisplatform/caisp/internal/tip"
@@ -107,6 +108,10 @@ func parsePeers(cfg config) ([]mesh.Peer, error) {
 
 func run(cfg config) error {
 	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg)
+	obs.RegisterRuntime(reg)
+	tracer := obs.NewTracer(reg)
+	prov := obs.NewProvTable(obs.DefaultProvCap)
 	store, err := storage.Open(cfg.dataDir, storage.WithMetrics(reg))
 	if err != nil {
 		return err
@@ -126,7 +131,7 @@ func run(cfg config) error {
 	}
 
 	service := tip.NewService(store, tip.WithBroker(broker), tip.WithName(cfg.name),
-		tip.WithMetrics(reg))
+		tip.WithMetrics(reg), tip.WithProvenance(prov))
 
 	// Federation: each -peer gets a jittered anti-entropy pull worker.
 	// Cursors persist next to the event store so a restarted node
@@ -135,6 +140,7 @@ func run(cfg config) error {
 	if err != nil {
 		return err
 	}
+	var engine *mesh.Engine
 	if len(peers) > 0 {
 		var cursors mesh.CursorStore = mesh.NewMemCursors()
 		if cfg.dataDir != "" {
@@ -144,11 +150,13 @@ func run(cfg config) error {
 			mesh.WithInterval(cfg.syncInterval),
 			mesh.WithPageSize(cfg.syncPage, mesh.DefaultMaxPage),
 			mesh.WithMetrics(reg),
+			mesh.WithProvenance(cfg.name, prov),
+			mesh.WithTracer(tracer),
 		}
 		if cfg.serialSync {
 			meshOpts = append(meshOpts, mesh.WithSerialSync())
 		}
-		engine, err := mesh.New(service, peers, cursors, meshOpts...)
+		engine, err = mesh.New(service, peers, cursors, meshOpts...)
 		if err != nil {
 			return err
 		}
@@ -231,8 +239,48 @@ func run(cfg config) error {
 	// serves the caisp_* families in Prometheus text format. Specific
 	// routes (subscriptions, match stream) sit in front of the TIP
 	// catch-all.
+	// Health: WAL writability is liveness (a node that cannot commit must
+	// restart); compaction backlog, lifecycle progress and mesh-peer
+	// staleness are readiness (alive but degraded, with the reason named
+	// in /readyz).
+	checks := health.New(reg)
+	checks.Register("wal_writable", health.DirWritable(cfg.dataDir))
+	checks.Register("compaction_backlog", health.Max("wal ops since snapshot",
+		func() float64 { return float64(store.Durability().WALOps) }, 50000))
+	if lifec != nil {
+		checks.Register("lifecycle_progress", health.Progress(
+			func() int64 { return int64(lifec.Stats().Passes) }, 5*time.Minute, nil))
+	}
+	if engine != nil {
+		staleAfter := 5 * cfg.syncInterval
+		if staleAfter < 2*time.Minute {
+			staleAfter = 2 * time.Minute
+		}
+		checks.Register("mesh_peers", mesh.PeersCheck(engine, staleAfter))
+	}
+
 	mux := http.NewServeMux()
 	mux.Handle("GET /metrics", reg.Handler())
+	mux.Handle("GET /debug/traces", tracer.Handler())
+	mux.Handle("GET /healthz", checks.Liveness())
+	mux.Handle("GET /readyz", checks.Readiness())
+	mux.Handle("GET /cluster/status", health.StatusHandler(func() health.NodeStatus {
+		st := health.NodeStatus{
+			Node:     cfg.name,
+			Role:     "tipd",
+			StoreSeq: service.StoreSeq(),
+			Events:   service.Len(),
+			WALOps:   store.Durability().WALOps,
+			// The store sequence advances on every put/edit/delete — the
+			// monotonic counter caisp-top differentiates into a rate.
+			IngestTotal: int64(service.StoreSeq()),
+			Health:      checks.Evaluate(),
+		}
+		if engine != nil {
+			st.Peers = engine.PeerInfos()
+		}
+		return st
+	}))
 	if cfg.pprof {
 		obs.RegisterPprof(mux)
 	}

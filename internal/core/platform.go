@@ -76,6 +76,9 @@ const analyzerQueueDepth = 64
 type Config struct {
 	// DataDir is the event-store directory; empty means in-memory.
 	DataDir string
+	// NodeName identifies this node in cross-node trace provenance and
+	// the fleet status view. Empty uses "caisp".
+	NodeName string
 	// Inventory describes the monitored infrastructure; nil uses the
 	// paper's Table III inventory.
 	Inventory *infra.Inventory
@@ -206,6 +209,8 @@ type Platform struct {
 	// nil-safe).
 	reg        *obs.Registry
 	tracer     *obs.Tracer
+	prov       *obs.ProvTable // origin provenance for locally ingested events
+	nodeName   string
 	flushDur   *obs.Histogram // caisp_pipeline_flush_seconds
 	analyzeDur *obs.Histogram // caisp_pipeline_analyze_seconds
 
@@ -319,6 +324,15 @@ func New(cfg Config) (*Platform, error) {
 		compactCh:         make(chan struct{}, 1),
 		compactStop:       make(chan struct{}),
 	}
+	p.nodeName = cfg.NodeName
+	if p.nodeName == "" {
+		p.nodeName = "caisp"
+	}
+	if !cfg.DisableMetrics {
+		// Origin provenance rides the observability switch: the ablation
+		// baseline must not pay the per-ingest record either.
+		p.prov = obs.NewProvTable(obs.DefaultProvCap)
+	}
 	p.registerPipelineMetrics()
 	if cfg.CompactEveryOps > 0 {
 		p.compactAfter = cfg.CompactEveryOps
@@ -330,7 +344,7 @@ func New(cfg Config) (*Platform, error) {
 		p.classifier = textclass.New()
 	}
 	p.tip = tip.NewService(store, tip.WithBroker(broker), tip.WithLogger(cfg.Logger),
-		tip.WithMetrics(reg))
+		tip.WithMetrics(reg), tip.WithName(p.nodeName), tip.WithProvenance(p.prov))
 	p.engine = heuristic.NewEngine(
 		heuristic.WithInfrastructure(collector),
 		heuristic.WithNow(cfg.Clock.Now),
@@ -457,6 +471,16 @@ func (p *Platform) Metrics() *obs.Registry { return p.reg }
 
 // Tracer returns the per-event stage tracer, or nil when disabled.
 func (p *Platform) Tracer() *obs.Tracer { return p.tracer }
+
+// NodeName returns this node's identity in provenance and fleet views.
+func (p *Platform) NodeName() string { return p.nodeName }
+
+// Provenance returns the origin-provenance table, or nil when metrics
+// are disabled.
+func (p *Platform) Provenance() *obs.ProvTable { return p.prov }
+
+// Durability reports the store's WAL watermarks (compaction backlog).
+func (p *Platform) Durability() storage.DurabilityStats { return p.store.Durability() }
 
 // rebuildCorrelationIndex reconstructs the streaming correlator's state
 // from the persisted cIoC events after a restart, so a post-crash sighting

@@ -464,6 +464,10 @@ func (s *Server) RIoCsForNode(nodeID string) []heuristic.RIoC {
 // ClientCount reports connected WebSocket clients.
 func (s *Server) ClientCount() int { return s.hub.Len() }
 
+// HubSaturation reports the fill fraction [0,1] of the deepest client
+// send queue on the last broadcast — the hub-saturation health signal.
+func (s *Server) HubSaturation() float64 { return s.hub.QueueSaturation() }
+
 // Revision returns the current dashboard revision — the value a client
 // would present as ?since= to receive only newer changes.
 func (s *Server) Revision() uint64 {

@@ -159,16 +159,24 @@ type Engine struct {
 	rounds         atomic.Int64
 
 	// metric families; nil without WithMetrics.
-	mPages     *obs.CounterVec   // {peer}
-	mPulled    *obs.CounterVec   // {peer}
-	mImported  *obs.CounterVec   // {peer}
-	mEcho      *obs.CounterVec   // {peer}
-	mConflicts *obs.CounterVec   // {peer, winner}
-	mDeleted   *obs.CounterVec   // {peer}
-	mErrors    *obs.CounterVec   // {peer}
-	mSync      *obs.Histogram    // sync round latency
-	mLag       *obs.GaugeVec     // {peer} seconds behind the peer head
-	mBackoff   *obs.GaugeVec     // {peer} current backoff, 0 when healthy
+	mPages       *obs.CounterVec // {peer}
+	mPulled      *obs.CounterVec // {peer}
+	mImported    *obs.CounterVec // {peer}
+	mEcho        *obs.CounterVec // {peer}
+	mConflicts   *obs.CounterVec // {peer, winner}
+	mDeleted     *obs.CounterVec // {peer}
+	mErrors      *obs.CounterVec // {peer}
+	mSync        *obs.Histogram  // sync round latency
+	mLag         *obs.GaugeVec   // {peer} seconds behind the peer head
+	mBackoff     *obs.GaugeVec   // {peer} current backoff, 0 when healthy
+	mLastSuccess *obs.GaugeVec   // {peer} unix time of last drained round
+	mHopLat      *obs.HistogramVec // {peer} single-hop replication latency
+	mRepl        *obs.Histogram    // origin-to-here end-to-end latency
+
+	// cross-node trace propagation; zero-valued without WithProvenance.
+	node   string         // this node's name, stamped into appended hops
+	prov   *obs.ProvTable // provenance for events this node re-serves
+	tracer *obs.Tracer    // receives per-import multi-hop trace records
 
 	runCtx  context.Context
 	cancel  context.CancelFunc
@@ -180,12 +188,20 @@ type Engine struct {
 // peerState is one peer's mutable sync state, touched only by the peer's
 // worker (or by SyncOnce, which the engine serializes per peer).
 type peerState struct {
-	name    string
-	remote  Remote
-	full    DeletionRemote // non-nil when the remote serves tombstones
-	page    int            // adaptive page size
-	backoff time.Duration  // 0 while healthy
-	busy    sync.Mutex     // serializes overlapping syncs of one peer
+	name   string
+	remote Remote
+	full   DeletionRemote // non-nil when the remote serves tombstones
+	page   int            // adaptive page size
+	busy   sync.Mutex     // serializes overlapping syncs of one peer
+
+	// statMu guards the observability snapshot below, which PeerStatuses
+	// reads concurrently with the worker.
+	statMu      sync.Mutex
+	backoff     time.Duration // 0 while healthy
+	lastSuccess time.Time     // last fully drained round
+	lastErr     string        // most recent sync error, "" while healthy
+	failures    int64         // consecutive failed sync attempts
+	lagSeconds  float64       // last published replication lag
 }
 
 // Option configures an Engine.
@@ -231,6 +247,32 @@ func WithLogger(l *slog.Logger) Option {
 	}
 }
 
+// WithProvenance turns on cross-node trace propagation: every event the
+// engine imports gets a hop stamped with this node's name and the pull
+// time, and the accumulated provenance is recorded into table so the
+// node's own change feed re-serves it to the next hop. node must match
+// the name the local tip service serves under, or downstream origin-seq
+// stamping misattributes events.
+func WithProvenance(node string, table *obs.ProvTable) Option {
+	return func(e *Engine) {
+		e.node = node
+		e.prov = table
+	}
+}
+
+// WithTracer forwards each import's multi-hop provenance to tr, so the
+// terminal node's GET /debug/traces shows the full replication path an
+// event took across the mesh.
+func WithTracer(tr *obs.Tracer) Option {
+	return func(e *Engine) { e.tracer = tr }
+}
+
+// hopBuckets shapes the replication-latency histograms. Mesh hops are
+// dominated by the poll interval (default 30s, jittered to 45s, plus
+// backoff up to minutes), so the buckets reach well past DefBuckets'
+// 10s ceiling.
+var hopBuckets = []float64{.01, .05, .25, 1, 5, 15, 30, 60, 120, 300, 600}
+
 // WithMetrics registers the caisp_mesh_* families on reg (nil disables).
 func WithMetrics(reg *obs.Registry) Option {
 	return func(e *Engine) {
@@ -257,9 +299,15 @@ func WithMetrics(reg *obs.Registry) Option {
 		e.mSync = reg.Histogram("caisp_mesh_sync_seconds",
 			"Wall time of one sync round: drain a peer's backlog to its head.")
 		e.mLag = reg.GaugeVec("caisp_mesh_lag_seconds",
-			"Replication lag per peer: age of the newest event pulled in the last drained round, zero when caught up.", "peer")
+			"Replication lag per peer: age of the newest event pulled in the last drained round while healthy, seconds since the last success while the peer is failing.", "peer")
 		e.mBackoff = reg.GaugeVec("caisp_mesh_backoff_seconds",
 			"Current failure backoff per peer; zero while healthy.", "peer")
+		e.mLastSuccess = reg.GaugeVec("caisp_mesh_last_success_unix_seconds",
+			"Unix time of the last fully drained sync round per peer; zero until one succeeds.", "peer")
+		e.mHopLat = reg.HistogramVec("caisp_mesh_hop_latency_seconds",
+			"Single-hop replication latency: time between the upstream node pulling (or ingesting) an event and this node pulling it.", hopBuckets, "peer")
+		e.mRepl = reg.Histogram("caisp_mesh_replication_seconds",
+			"End-to-end replication latency: origin ingest to arrival at this node, any number of hops.", hopBuckets...)
 	}
 }
 
@@ -415,6 +463,7 @@ func (e *Engine) runPeer(ps *peerState) {
 		_, err := e.syncPeer(e.runCtx, ps)
 		<-e.sem
 		next := e.jittered(e.interval)
+		ps.statMu.Lock()
 		if err != nil && e.runCtx.Err() == nil {
 			if ps.backoff == 0 {
 				ps.backoff = e.backoffMin
@@ -429,8 +478,10 @@ func (e *Engine) runPeer(ps *peerState) {
 		} else {
 			ps.backoff = 0
 		}
+		backoff := ps.backoff
+		ps.statMu.Unlock()
 		if e.mBackoff != nil {
-			e.mBackoff.With(ps.name).Set(ps.backoff.Seconds())
+			e.mBackoff.With(ps.name).Set(backoff.Seconds())
 		}
 		timer.Reset(next)
 	}
@@ -493,7 +544,7 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 			return imported, err
 		}
 		var (
-			events  []*misp.Event
+			live    []storage.Change // entries with Event != nil, Prov attached when served
 			deletes []storage.Change
 			next    uint64
 			more    bool
@@ -501,49 +552,54 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 		)
 		if ps.full != nil && e.localDel != nil {
 			// Tombstone-bearing feed: split the page into live revisions
-			// and deletion markers.
+			// and deletion markers, keeping each live entry's Change
+			// wrapper so its provenance survives to import.
 			var changes []storage.Change
 			changes, next, more, err = ps.full.Changes(ctx, cur.Seq, ps.page)
 			for _, ch := range changes {
 				if ch.Event != nil {
-					events = append(events, ch.Event)
+					live = append(live, ch)
 				} else {
 					deletes = append(deletes, ch)
 				}
 			}
 		} else {
+			var events []*misp.Event
 			events, next, more, err = ps.remote.ChangesPage(ctx, cur.Seq, ps.page)
+			for _, ev := range events {
+				live = append(live, storage.Change{UUID: ev.UUID, Event: ev})
+			}
 		}
 		if err != nil {
 			ps.page = e.basePage
-			e.countErr(ps)
+			e.markFailure(ps, err)
 			return imported, err
 		}
-		entries := len(events) + len(deletes)
+		entries := len(live) + len(deletes)
 		e.pages.Add(1)
 		e.pulled.Add(int64(entries))
 		if e.mPages != nil {
 			e.mPages.With(ps.name).Inc()
 			e.mPulled.With(ps.name).Add(int64(entries))
 		}
-		if len(events) > 0 {
-			n, err := e.importPage(ps, events)
+		if len(live) > 0 {
+			n, err := e.importPage(ps, live)
 			imported += n
 			if err != nil {
 				// Nothing from this page landed: do not advance the
 				// cursor, the page is re-pulled after backoff.
 				ps.page = e.basePage
-				e.countErr(ps)
+				e.markFailure(ps, err)
 				return imported, err
 			}
-			if ts := events[len(events)-1].Timestamp.Time; ts.After(newest) {
+			if ts := live[len(live)-1].Event.Timestamp.Time; ts.After(newest) {
 				newest = ts
 			}
 		}
 		if len(deletes) > 0 {
 			if err := e.applyDeletes(ps, deletes); err != nil {
 				ps.page = e.basePage
-				e.countErr(ps)
+				e.markFailure(ps, err)
 				return imported, err
 			}
 		}
@@ -570,26 +626,74 @@ func (e *Engine) syncPeer(ctx context.Context, ps *peerState) (int, error) {
 	if e.mSync != nil {
 		e.mSync.Observe(time.Since(start).Seconds())
 	}
+	// Drained to the peer's head: lag is how stale the newest event
+	// pulled this round was on arrival, zero when already caught up.
+	lag := 0.0
+	if !newest.IsZero() {
+		lag = time.Since(newest).Seconds()
+	}
+	e.markSuccess(ps, lag)
+	return imported, nil
+}
+
+// markSuccess publishes one drained round: the peer is healthy, its lag
+// is the freshness of what the round pulled, and the last-success clock
+// restarts. This is the only healthy path that touches the lag gauge —
+// a failed round must not leave the previous round's value standing, so
+// markFailure republishes it as time-since-last-success instead.
+func (e *Engine) markSuccess(ps *peerState, lag float64) {
+	now := time.Now()
+	ps.statMu.Lock()
+	ps.lastSuccess = now
+	ps.failures = 0
+	ps.lastErr = ""
+	ps.lagSeconds = lag
+	ps.statMu.Unlock()
 	if e.mLag != nil {
-		// Drained to the peer's head: lag is how stale the newest event
-		// pulled this round was on arrival, zero when already caught up.
-		lag := 0.0
-		if !newest.IsZero() {
-			lag = time.Since(newest).Seconds()
-		}
 		e.mLag.With(ps.name).Set(lag)
 	}
-	return imported, nil
+	if e.mLastSuccess != nil {
+		e.mLastSuccess.With(ps.name).Set(float64(now.Unix()))
+	}
+}
+
+// markFailure records one failed sync attempt and republishes the lag
+// gauge as seconds since the last successful round, so a dead peer's
+// lag grows instead of freezing at its last healthy reading.
+func (e *Engine) markFailure(ps *peerState, err error) {
+	e.errorsN.Add(1)
+	if e.mErrors != nil {
+		e.mErrors.With(ps.name).Inc()
+	}
+	var lag float64
+	ps.statMu.Lock()
+	ps.failures++
+	ps.lastErr = err.Error()
+	if !ps.lastSuccess.IsZero() {
+		lag = time.Since(ps.lastSuccess).Seconds()
+		ps.lagSeconds = lag
+	}
+	ps.statMu.Unlock()
+	if e.mLag != nil && lag > 0 {
+		e.mLag.With(ps.name).Set(lag)
+	}
 }
 
 // importPage filters one pulled page against the local store and batch
 // imports what remains. The error is non-nil only when the whole batch
 // failed to land (the caller then refuses to advance the cursor);
 // per-event validation rejections are logged and skipped, matching
-// AddEvents' partial-failure tolerance.
-func (e *Engine) importPage(ps *peerState, events []*misp.Event) (int, error) {
-	fresh := make([]*misp.Event, 0, len(events))
-	for _, ev := range events {
+// AddEvents' partial-failure tolerance. Each entry's Event is non-nil;
+// its Prov, when the peer serves provenance, rides through to the
+// engine's table with this node's hop appended.
+func (e *Engine) importPage(ps *peerState, changes []storage.Change) (int, error) {
+	fresh := make([]*misp.Event, 0, len(changes))
+	prov := make(map[string]*obs.Provenance, len(changes))
+	for _, ch := range changes {
+		ev := ch.Event
+		if ch.Prov != nil {
+			prov[ev.UUID] = ch.Prov
+		}
 		local, err := e.local.GetEvent(ev.UUID)
 		if err == nil {
 			// Already own this UUID: newest timestamp wins. Compare at
@@ -637,7 +741,81 @@ func (e *Engine) importPage(ps *peerState, events []*misp.Event) (int, error) {
 	if e.mImported != nil {
 		e.mImported.With(ps.name).Add(int64(len(stored)))
 	}
+	e.recordProvenance(ps, stored, prov)
 	return len(stored), nil
+}
+
+// recordProvenance stamps this node's hop onto each imported event's
+// provenance, observes hop and end-to-end replication latencies, and
+// publishes the result to the engine's table (overwriting the
+// self-origin record AddEvents just wrote) and tracer. Events from
+// peers that predate provenance get a best-effort record originating at
+// the immediate upstream peer, so the chain is never shorter than what
+// the wire actually carried.
+func (e *Engine) recordProvenance(ps *peerState, stored []*misp.Event, prov map[string]*obs.Provenance) {
+	if e.prov == nil && e.tracer == nil && e.mHopLat == nil {
+		return
+	}
+	now := time.Now()
+	for _, ev := range stored {
+		p := prov[ev.UUID]
+		if p == nil {
+			p = &obs.Provenance{Origin: ps.name}
+		} else {
+			p = p.Clone()
+		}
+		// Hop latency: time since the previous node touched the event —
+		// its last pull, or the origin ingest for the first hop.
+		prevNano := p.IngestUnixNano
+		if n := len(p.Hops); n > 0 {
+			prevNano = p.Hops[n-1].PulledUnixNano
+		}
+		p.Hops = append(p.Hops, obs.Hop{Node: e.node, PulledUnixNano: now.UnixNano()})
+		if prevNano > 0 {
+			if e.mHopLat != nil {
+				e.mHopLat.With(ps.name).Observe(now.Sub(time.Unix(0, prevNano)).Seconds())
+			}
+		}
+		if p.IngestUnixNano > 0 && e.mRepl != nil {
+			e.mRepl.Observe(now.Sub(time.Unix(0, p.IngestUnixNano)).Seconds())
+		}
+		e.prov.Record(ev.UUID, p)
+		e.tracer.RecordImport(ev.UUID, p)
+	}
+}
+
+// PeerStatus is one peer's replication state as seen from this node —
+// the machine-readable slice of the fleet view.
+type PeerStatus struct {
+	Name        string
+	Cursor      uint64
+	LastSuccess time.Time // zero until one round drains
+	LagSeconds  float64
+	Backoff     time.Duration
+	Failures    int64
+	LastError   string
+}
+
+// PeerStatuses snapshots every peer's replication state for health
+// checks and GET /cluster/status. Safe to call concurrently with the
+// sync workers.
+func (e *Engine) PeerStatuses() []PeerStatus {
+	out := make([]PeerStatus, 0, len(e.peers))
+	for _, ps := range e.peers {
+		cur := e.Cursor(ps.name)
+		ps.statMu.Lock()
+		out = append(out, PeerStatus{
+			Name:        ps.name,
+			Cursor:      cur.Seq,
+			LastSuccess: ps.lastSuccess,
+			LagSeconds:  ps.lagSeconds,
+			Backoff:     ps.backoff,
+			Failures:    ps.failures,
+			LastError:   ps.lastErr,
+		})
+		ps.statMu.Unlock()
+	}
+	return out
 }
 
 // applyDeletes lands one page's tombstones locally. Newest-wins holds
@@ -670,11 +848,4 @@ func (e *Engine) applyDeletes(ps *peerState, deletes []storage.Change) error {
 		}
 	}
 	return nil
-}
-
-func (e *Engine) countErr(ps *peerState) {
-	e.errorsN.Add(1)
-	if e.mErrors != nil {
-		e.mErrors.With(ps.name).Inc()
-	}
 }

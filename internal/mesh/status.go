@@ -1,0 +1,65 @@
+package mesh
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/caisplatform/caisp/internal/obs/health"
+)
+
+// PeerInfos projects the engine's per-peer replication state onto the
+// fleet-view wire type served by GET /cluster/status.
+func (e *Engine) PeerInfos() []health.PeerInfo {
+	statuses := e.PeerStatuses()
+	out := make([]health.PeerInfo, 0, len(statuses))
+	for _, ps := range statuses {
+		pi := health.PeerInfo{
+			Name:           ps.Name,
+			Cursor:         ps.Cursor,
+			LagSeconds:     ps.LagSeconds,
+			BackoffSeconds: ps.Backoff.Seconds(),
+			Failures:       ps.Failures,
+			LastError:      ps.LastError,
+		}
+		if !ps.LastSuccess.IsZero() {
+			pi.LastSuccessUnix = ps.LastSuccess.Unix()
+		}
+		out = append(out, pi)
+	}
+	return out
+}
+
+// PeersCheck is the mesh-staleness health check: a peer is stale when
+// it has failing syncs and no drained round within staleAfter (or none
+// ever). One stale peer degrades the node — it still serves reads and
+// accepts ingest, but its view of that peer is aging, which /readyz
+// surfaces with the peer named in the reason. Peers failing their very
+// first rounds after boot are reported once failures accumulate rather
+// than immediately, so a slow-starting neighbor does not flap readiness.
+func PeersCheck(e *Engine, staleAfter time.Duration) health.Check {
+	if staleAfter <= 0 {
+		staleAfter = 2 * DefaultInterval
+	}
+	return func() health.Result {
+		var stale []string
+		for _, ps := range e.PeerStatuses() {
+			switch {
+			case ps.Failures == 0:
+				continue
+			case ps.LastSuccess.IsZero():
+				if ps.Failures >= 3 {
+					stale = append(stale, fmt.Sprintf("%s never synced (%d failures: %s)",
+						ps.Name, ps.Failures, ps.LastError))
+				}
+			case time.Since(ps.LastSuccess) > staleAfter:
+				stale = append(stale, fmt.Sprintf("%s stale for %s (%d failures: %s)",
+					ps.Name, time.Since(ps.LastSuccess).Round(time.Second), ps.Failures, ps.LastError))
+			}
+		}
+		if len(stale) > 0 {
+			return health.Degradedf("replication stale: " + strings.Join(stale, "; "))
+		}
+		return health.Pass()
+	}
+}

@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestHistogramInfBucketCumulative pins the exposition contract for
+// observations past the last configured bound: they must appear only in
+// the +Inf bucket, the bucket series must be cumulative, and _count
+// must equal the +Inf bucket.
+func TestHistogramInfBucketCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("caisp_test_span_seconds", "Spans.", 0.1, 1, 10)
+	// Power-of-two observations keep the sum exact in binary floating
+	// point, so the _sum assertion is not at the mercy of rounding.
+	for _, v := range []float64{0.0625, 0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		`caisp_test_span_seconds_bucket{le="0.1"} 1`,
+		`caisp_test_span_seconds_bucket{le="1"} 2`,
+		`caisp_test_span_seconds_bucket{le="10"} 3`,
+		`caisp_test_span_seconds_bucket{le="+Inf"} 5`,
+		"caisp_test_span_seconds_count 5\n",
+		"caisp_test_span_seconds_sum 555.5625\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// The +Inf line must come after the finite bounds (ascending le).
+	if strings.Index(out, `le="+Inf"`) < strings.Index(out, `le="10"`) {
+		t.Fatal("+Inf bucket rendered before finite bounds")
+	}
+}
+
+// TestLabelEscapingEdgeCases covers the three characters the Prometheus
+// text format requires escaping in label values, plus newline/backslash
+// escaping in HELP lines.
+func TestLabelEscapingEdgeCases(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("caisp_test_escape", "Line one.\nLine\\two.", "path").
+		With(`C:\temp\"quoted"` + "\nnext").Set(1)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	// Label value: backslash -> \\, quote -> \", newline -> \n.
+	wantSeries := `caisp_test_escape{path="C:\\temp\\\"quoted\"\nnext"} 1`
+	if !strings.Contains(out, wantSeries) {
+		t.Fatalf("escaped series missing, want %q in:\n%s", wantSeries, out)
+	}
+	// HELP: backslash and newline escaped, quotes left alone.
+	wantHelp := `# HELP caisp_test_escape Line one.\nLine\\two.`
+	if !strings.Contains(out, wantHelp) {
+		t.Fatalf("escaped help missing, want %q in:\n%s", wantHelp, out)
+	}
+	// The raw newline must never reach the wire inside a series line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "caisp_test_escape{") && !strings.HasSuffix(line, " 1") {
+			t.Fatalf("series line split by unescaped newline: %q", line)
+		}
+	}
+}
+
+// TestVecChildrenSortedByLabelValue pins deterministic scrape output:
+// children of one family render sorted by label value, families by
+// name, regardless of touch order.
+func TestVecChildrenSortedByLabelValue(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("caisp_test_sorted_total", "Sorted.", "peer")
+	for _, peer := range []string{"zeta", "alpha", "mid"} {
+		v.With(peer).Inc()
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	ia := strings.Index(out, `peer="alpha"`)
+	im := strings.Index(out, `peer="mid"`)
+	iz := strings.Index(out, `peer="zeta"`)
+	if ia < 0 || im < 0 || iz < 0 || !(ia < im && im < iz) {
+		t.Fatalf("children not sorted by label value (alpha=%d mid=%d zeta=%d):\n%s", ia, im, iz, out)
+	}
+}
+
+// TestCounterFuncConcurrentScrape hammers WritePrometheus from several
+// goroutines while the backing value of a CounterFunc keeps moving —
+// the live-scrape race the runtime and health gauges create in
+// production. Run under -race this pins that function-backed metrics
+// need no caller-side locking; the value assertions pin that every
+// scrape sees a complete, parseable snapshot.
+func TestCounterFuncConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	var n atomic.Int64
+	r.CounterFunc("caisp_test_live_total", "Live counter.", func() float64 {
+		return float64(n.Load())
+	})
+	r.GaugeFunc("caisp_test_live_depth", "Live gauge.", func() float64 {
+		return float64(n.Load())
+	})
+
+	const scrapers = 4
+	stop := make(chan struct{})
+	var writer sync.WaitGroup
+	writer.Add(1)
+	go func() { // writer: the value moves during scrapes
+		defer writer.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				n.Add(1)
+			}
+		}
+	}()
+	var scrapeErr atomic.Value
+	var wg sync.WaitGroup
+	for i := 0; i < scrapers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				var sb strings.Builder
+				if err := r.WritePrometheus(&sb); err != nil {
+					scrapeErr.Store(err.Error())
+					return
+				}
+				out := sb.String()
+				if !strings.Contains(out, "caisp_test_live_total ") ||
+					!strings.Contains(out, "caisp_test_live_depth ") {
+					scrapeErr.Store("incomplete scrape:\n" + out)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	writer.Wait()
+
+	if v := scrapeErr.Load(); v != nil {
+		t.Fatalf("concurrent scrape failed: %v", v)
+	}
+	// A final quiesced scrape reports exactly the settled value.
+	want := n.Load()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "caisp_test_live_total "+itoa(want)) {
+		t.Fatalf("settled scrape missing value %d:\n%s", want, sb.String())
+	}
+}
+
+// itoa avoids strconv in the hot assertion above.
+func itoa(n int64) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

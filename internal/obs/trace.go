@@ -37,6 +37,15 @@ type StageSpan struct {
 	MS    float64 `json:"ms"`
 }
 
+// HopSpan is one mesh replication hop of a cross-node trace: the node
+// that pulled the event and how long the event dwelled before that pull
+// (time since the previous hop, or since origin ingest for the first
+// hop). MS is negative when the upstream side carried no timestamp.
+type HopSpan struct {
+	Node string  `json:"node"`
+	MS   float64 `json:"ms"`
+}
+
 // TraceRecord is one finished end-to-end trace.
 type TraceRecord struct {
 	// ID is the identity the trace finished under — the cluster UUID for
@@ -46,7 +55,15 @@ type TraceRecord struct {
 	Start time.Time `json:"start"`
 	// TotalMS is the end-to-end wall time in milliseconds.
 	TotalMS float64     `json:"total_ms"`
-	Stages  []StageSpan `json:"stages"`
+	Stages  []StageSpan `json:"stages,omitempty"`
+
+	// Origin, OriginSeq and Hops are set on cross-node replication
+	// traces (RecordImport): the node that first ingested the event, its
+	// ingest sequence there, and the per-hop path the event took to
+	// arrive here. Empty on single-node pipeline traces.
+	Origin    string    `json:"origin,omitempty"`
+	OriginSeq uint64    `json:"origin_seq,omitempty"`
+	Hops      []HopSpan `json:"hops,omitempty"`
 }
 
 // trace is an in-flight journey.
@@ -75,6 +92,7 @@ type Tracer struct {
 	active  map[string]*trace
 	fifo    []string      // Start order, for eviction
 	slowest []TraceRecord // ascending by TotalMS, capped at keep
+	imports []TraceRecord // most recent cross-node traces, capped at keep
 
 	maxActive int
 	keep      int
@@ -304,6 +322,61 @@ func (t *Tracer) insertSlowestLocked(rec TraceRecord) {
 	t.slowest[i-1] = rec
 }
 
+// RecordImport registers a finished cross-node replication trace: an
+// event that originated on another node and just landed here over the
+// mesh, carrying provenance p (with this node's own hop already
+// appended by the importer). The record reconstructs the per-hop
+// latencies from consecutive pull timestamps and is retained in a
+// most-recent ring served on GET /debug/traces alongside the slowest
+// pipeline traces. Nil-safe.
+func (t *Tracer) RecordImport(uuid string, p *Provenance) {
+	if t == nil || p == nil {
+		return
+	}
+	now := t.now()
+	rec := TraceRecord{
+		ID:        uuid,
+		Origin:    p.Origin,
+		OriginSeq: p.OriginSeq,
+		Start:     now,
+	}
+	if p.IngestUnixNano > 0 {
+		rec.Start = time.Unix(0, p.IngestUnixNano)
+		rec.TotalMS = float64(now.Sub(rec.Start)) / float64(time.Millisecond)
+	}
+	prev := p.IngestUnixNano
+	for _, h := range p.Hops {
+		ms := -1.0 // upstream carried no timestamp: dwell time unknown
+		if prev > 0 && h.PulledUnixNano >= prev {
+			ms = float64(h.PulledUnixNano-prev) / float64(time.Millisecond)
+		}
+		rec.Hops = append(rec.Hops, HopSpan{Node: h.Node, MS: ms})
+		prev = h.PulledUnixNano
+	}
+	t.mu.Lock()
+	t.imports = append(t.imports, rec)
+	if len(t.imports) > t.keep {
+		t.imports = t.imports[len(t.imports)-t.keep:]
+	}
+	t.mu.Unlock()
+	t.finished.Inc()
+}
+
+// Imports returns the retained cross-node replication traces, newest
+// first. Nil-safe.
+func (t *Tracer) Imports() []TraceRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]TraceRecord, len(t.imports))
+	for i := range t.imports {
+		out[len(t.imports)-1-i] = t.imports[i]
+	}
+	return out
+}
+
 // Slowest returns the retained slowest traces, slowest first. Nil-safe.
 func (t *Tracer) Slowest() []TraceRecord {
 	if t == nil {
@@ -328,12 +401,14 @@ func (t *Tracer) Active() int {
 	return len(t.active)
 }
 
-// Handler serves the slowest traces as JSON — GET /debug/traces.
+// Handler serves the retained traces as JSON — GET /debug/traces: the
+// slowest pipeline traces (slowest first) followed by the most recent
+// cross-node replication traces (origin node + per-hop latencies).
 // Nil-safe: a nil tracer serves an empty array.
 func (t *Tracer) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		recs := t.Slowest()
+		recs := append(t.Slowest(), t.Imports()...)
 		if recs == nil {
 			recs = []TraceRecord{}
 		}

@@ -581,6 +581,15 @@ func (s *Store) DeleteAt(uuid string, at time.Time) error {
 }
 
 // Len returns the number of stored events.
+// Seq reports the store's ingest-sequence high-water mark: the sequence
+// of the newest change-log entry. Peer cursors chase this value, so it
+// is the watermark GET /cluster/status publishes for lag accounting.
+func (s *Store) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
 func (s *Store) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -792,6 +801,12 @@ type Change struct {
 	// timestamp newest-wins conflict resolution compares against a
 	// concurrent edit.
 	DeletedAt time.Time
+	// Prov is the cross-node trace context attached at the serving or
+	// decoding layer (the store itself does not track provenance): the
+	// origin node, its ingest sequence there, and the per-hop pull
+	// timestamps accumulated along the replication path. Nil when the
+	// serving side predates provenance or the entry is a tombstone.
+	Prov *obs.Provenance
 }
 
 // Changes is ChangesPage with deletions included: up to limit entries

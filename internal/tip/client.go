@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
 )
 
@@ -208,10 +209,12 @@ func (c *Client) ChangesPage(ctx context.Context, afterSeq uint64, limit int) ([
 }
 
 // changeItem decodes one change-page element: a wrapped event or an
-// EventTombstone deletion marker.
+// EventTombstone deletion marker, optionally carrying the event's
+// replication provenance (absent from servers that predate it).
 type changeItem struct {
-	Event          *misp.Event    `json:"Event"`
-	EventTombstone *wireTombstone `json:"EventTombstone"`
+	Event          *misp.Event     `json:"Event"`
+	EventTombstone *wireTombstone  `json:"EventTombstone"`
+	Provenance     *obs.Provenance `json:"Provenance"`
 }
 
 // Changes is ChangesPage with deletions included: tombstone items on
@@ -244,7 +247,7 @@ func (c *Client) Changes(ctx context.Context, afterSeq uint64, limit int) ([]sto
 	for _, item := range items {
 		switch {
 		case item.Event != nil:
-			out = append(out, storage.Change{UUID: item.Event.UUID, Event: item.Event})
+			out = append(out, storage.Change{UUID: item.Event.UUID, Event: item.Event, Prov: item.Provenance})
 		case item.EventTombstone != nil && item.EventTombstone.UUID != "":
 			out = append(out, storage.Change{
 				UUID:      item.EventTombstone.UUID,

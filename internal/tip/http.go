@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/caisplatform/caisp/internal/misp"
+	"github.com/caisplatform/caisp/internal/obs"
 	"github.com/caisplatform/caisp/internal/storage"
 )
 
@@ -233,6 +234,9 @@ func (a *API) handleListChanges(w http.ResponseWriter, r *http.Request) {
 		var err error
 		if c.Event != nil {
 			data, err = a.service.WrappedJSONFor(c.Event)
+			if err == nil && c.Prov != nil {
+				data, err = spliceProvenance(data, c.Prov)
+			}
 		} else {
 			data, err = json.Marshal(wireTombstoneItem{EventTombstone: wireTombstone{
 				UUID: c.UUID, DeletedAt: c.DeletedAt.Unix()}})
@@ -249,6 +253,33 @@ func (a *API) handleListChanges(w http.ResponseWriter, r *http.Request) {
 	buf.WriteString("]\n")
 	a.writeListBuffer(w, r, &buf)
 }
+
+// spliceProvenance grafts a "Provenance" sibling onto a cached
+// {"Event":…} wire object without re-marshaling the event, preserving
+// the encode-once read path. Clients that predate provenance ignore the
+// extra key; tombstone-aware clients decode it next to the Event.
+func spliceProvenance(wrapped []byte, p *obs.Provenance) ([]byte, error) {
+	pj, err := json.Marshal(p)
+	if err != nil {
+		return nil, err
+	}
+	trimmed := bytes.TrimRight(wrapped, " \t\r\n")
+	if len(trimmed) < 2 || trimmed[len(trimmed)-1] != '}' {
+		return nil, fmt.Errorf("tip: malformed cached event encoding")
+	}
+	out := make([]byte, 0, len(trimmed)+len(pj)+len(provenanceKey)+4)
+	out = append(out, trimmed[:len(trimmed)-1]...)
+	out = append(out, ',', '"')
+	out = append(out, provenanceKey...)
+	out = append(out, '"', ':')
+	out = append(out, pj...)
+	out = append(out, '}')
+	return out, nil
+}
+
+// provenanceKey is the change-page sibling key carrying an event's
+// cross-node trace context.
+const provenanceKey = "Provenance"
 
 func (a *API) handleGetEvent(w http.ResponseWriter, r *http.Request) {
 	e, err := a.service.GetEvent(r.PathValue("uuid"))

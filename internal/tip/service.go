@@ -37,6 +37,7 @@ type Service struct {
 	broker *bus.Broker
 	logger *slog.Logger
 	name   string
+	prov   *obs.ProvTable // nil disables provenance tracking
 
 	storeOps *obs.CounterVec // caisp_tip_store_total{op}; nil without WithMetrics
 }
@@ -64,6 +65,19 @@ func (o nameOption) apply(s *Service) { s.name = string(o) }
 
 // WithName labels the instance (log and stats output).
 func WithName(name string) Option { return nameOption(name) }
+
+type provOption struct{ t *obs.ProvTable }
+
+func (o provOption) apply(s *Service) { s.prov = o.t }
+
+// WithProvenance attaches the cross-node trace table: local ingests are
+// recorded as origins under the instance name, and the change feed
+// serves each event's provenance (origin node, origin ingest seq,
+// per-hop pull timestamps) alongside the event so mesh peers can extend
+// the path. The table is shared with the node's mesh engine, which
+// overwrites entries for events that arrived by replication. Nil
+// disables provenance.
+func WithProvenance(t *obs.ProvTable) Option { return provOption{t: t} }
 
 type metricsOption struct{ reg *obs.Registry }
 
@@ -116,6 +130,10 @@ func (s *Service) AddEvent(e *misp.Event) (correlated []string, err error) {
 	if err := s.store.Put(e); err != nil {
 		return nil, err
 	}
+	// Record this node as the revision's origin. When the caller is the
+	// mesh importer, the engine overwrites the entry with the forwarded
+	// provenance right after the batch lands.
+	s.prov.RecordLocal(e.UUID, s.name, time.Now())
 	s.publish(topic, e)
 	s.countStore(topic)
 	s.logger.Debug("event stored", "instance", s.name, "uuid", e.UUID, "topic", topic, "correlated", len(correlated))
@@ -154,7 +172,9 @@ func (s *Service) AddEvents(events []*misp.Event) (stored []*misp.Event, err err
 		if perr := s.store.PutBatch(valid); perr != nil {
 			return nil, errors.Join(append(errs, perr)...)
 		}
+		now := time.Now()
 		for i, e := range valid {
+			s.prov.RecordLocal(e.UUID, s.name, now)
 			s.publish(topics[i], e)
 			s.countStore(topics[i])
 		}
@@ -276,10 +296,44 @@ func (s *Service) ChangesPage(afterSeq uint64, limit int) ([]*misp.Event, uint64
 
 // Changes is ChangesPage with deletions included: tombstoned UUIDs
 // yield deletion markers so a replication peer can drop its copy
-// instead of keeping a resurrected revision forever.
+// instead of keeping a resurrected revision forever. When provenance is
+// enabled each live entry also carries its cross-node trace context;
+// events the table has forgotten (evicted, or recovered from a WAL that
+// predates the table) get origin-only provenance synthesized from the
+// change log so downstream hops still learn the origin node and seq.
 func (s *Service) Changes(afterSeq uint64, limit int) ([]storage.Change, uint64, bool, error) {
-	return s.store.Changes(afterSeq, limit)
+	changes, next, more, err := s.store.Changes(afterSeq, limit)
+	if err != nil || s.prov == nil {
+		return changes, next, more, err
+	}
+	for i := range changes {
+		if changes[i].Event == nil {
+			continue
+		}
+		p := s.prov.Lookup(changes[i].UUID)
+		if p == nil {
+			p = &obs.Provenance{Origin: s.name}
+		}
+		if p.OriginSeq == 0 && p.Origin == s.name {
+			// The group-commit path does not learn per-event sequences;
+			// the change log does. Fill the origin seq at the wire.
+			p.OriginSeq = changes[i].Seq
+		}
+		changes[i].Prov = p
+	}
+	return changes, next, more, nil
 }
+
+// Provenance returns the attached cross-node trace table (nil when
+// provenance is disabled).
+func (s *Service) Provenance() *obs.ProvTable { return s.prov }
+
+// Name reports the instance name — the node identity provenance and
+// the fleet status view publish.
+func (s *Service) Name() string { return s.name }
+
+// StoreSeq reports the store's ingest-sequence high-water mark.
+func (s *Service) StoreSeq() uint64 { return s.store.Seq() }
 
 // Len reports the number of stored events.
 func (s *Service) Len() int { return s.store.Len() }

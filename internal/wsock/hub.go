@@ -35,8 +35,9 @@ type Hub struct {
 	shards []*shard
 	next   atomic.Uint64 // round-robin shard assignment
 
-	sent    atomic.Int64 // successful frame deliveries
-	evicted atomic.Int64 // connections dropped by the hub
+	sent     atomic.Int64 // successful frame deliveries
+	evicted  atomic.Int64 // connections dropped by the hub
+	maxQueue atomic.Int64 // deepest client queue seen on the last fan-out
 
 	queueDepth   int
 	writeTimeout time.Duration
@@ -238,6 +239,16 @@ func (h *Hub) Sent() int { return int(h.sent.Load()) }
 // slow, timing out, or failing a write.
 func (h *Hub) Evicted() int { return int(h.evicted.Load()) }
 
+// QueueSaturation reports the fill fraction [0,1] of the deepest client
+// queue seen during the most recent fan-out — the hub's health signal: a
+// value near 1 means the next broadcast starts evicting slow clients.
+func (h *Hub) QueueSaturation() float64 {
+	if h.queueDepth <= 0 {
+		return 0
+	}
+	return float64(h.maxQueue.Load()) / float64(h.queueDepth)
+}
+
 // Broadcast assembles payload into a text frame once and fans it out to
 // every connection. It returns the number of connections the frame was
 // routed toward (in serial mode: delivered to). Failed and stalled
@@ -322,6 +333,7 @@ func (s *shard) run() {
 				}
 			}
 			s.mu.Unlock()
+			h.maxQueue.Store(int64(maxDepth))
 			if h.queueGauge != nil {
 				h.queueGauge.With(s.label).Set(float64(maxDepth))
 			}
